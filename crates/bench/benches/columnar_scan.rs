@@ -1,0 +1,102 @@
+//! Ablation — the column-store design choices of §3.1: codec selection
+//! (plain vs. RLE vs. sparse), dictionary-space predicate evaluation,
+//! and the delta-merge effect on scan speed.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hana_columnar::{ColumnPredicate, ColumnTable, MainColumn, RowIdBitmap, VidCodec};
+use hana_types::{DataType, Schema, Value};
+
+const ROWS: usize = 200_000;
+
+fn codec_inputs() -> Vec<(&'static str, Vec<u32>)> {
+    // Sorted data -> long runs -> RLE; skewed -> sparse; shuffled -> plain.
+    let rle: Vec<u32> = (0..ROWS).map(|i| (i / 10_000) as u32).collect();
+    let sparse: Vec<u32> = (0..ROWS)
+        .map(|i| if i % 50 == 0 { (i % 7) as u32 + 1 } else { 0 })
+        .collect();
+    let plain: Vec<u32> = (0..ROWS)
+        .map(|i| ((i as u64 * 2_654_435_761) % 65_521) as u32)
+        .collect();
+    vec![("rle_friendly", rle), ("sparse_friendly", sparse), ("high_entropy", plain)]
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_ablation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ROWS as u64));
+    for (name, vids) in codec_inputs() {
+        let codec = VidCodec::encode(&vids);
+        println!("{name}: selected codec = {}, payload = {} bytes", codec.name(), codec.payload_bytes());
+        group.bench_function(format!("{name}/encode"), |b| {
+            b.iter(|| VidCodec::encode(&vids))
+        });
+        let m = hana_columnar::VidMatch::range(1, 3);
+        group.bench_function(format!("{name}/scan_{}", codec.name()), |b| {
+            b.iter(|| {
+                let mut out = RowIdBitmap::new(vids.len());
+                codec.scan_into(&m, &mut out, 0);
+                out.count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_delta_vs_main(c: &mut Criterion) {
+    let schema = Schema::of(&[("v", DataType::Int), ("tag", DataType::Varchar)]);
+    let mut fresh = ColumnTable::new("t", schema.clone());
+    for i in 0..ROWS as i64 {
+        fresh
+            .insert(&[Value::Int(i % 1000), Value::from(["a", "b", "c"][i as usize % 3])], 1)
+            .unwrap();
+    }
+    let mut merged = fresh.clone();
+    merged.merge_delta();
+    println!(
+        "memory: delta-resident {} bytes vs merged {} bytes",
+        fresh.payload_bytes(),
+        merged.payload_bytes()
+    );
+
+    let pred = ColumnPredicate::Between(Value::Int(100), Value::Int(200));
+    let mut group = c.benchmark_group("delta_merge_ablation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ROWS as u64));
+    group.bench_function("scan_delta_resident", |b| {
+        b.iter(|| fresh.scan(0, &pred, 1).unwrap().count())
+    });
+    group.bench_function("scan_after_merge", |b| {
+        b.iter(|| merged.scan(0, &pred, 1).unwrap().count())
+    });
+    group.bench_function("merge_cost", |b| {
+        b.iter(|| {
+            let mut t = fresh.clone();
+            t.merge_delta();
+            t
+        })
+    });
+    group.finish();
+}
+
+fn bench_dictionary_scan(c: &mut Criterion) {
+    // Dictionary-space evaluation: a LIKE over 200k strings touches only
+    // the distinct values.
+    let values: Vec<Value> = (0..ROWS)
+        .map(|i| Value::from(format!("customer-segment-{:03}", i % 200)))
+        .collect();
+    let col = MainColumn::build(&values);
+    let mut group = c.benchmark_group("dictionary_space_eval");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ROWS as u64));
+    group.bench_function("like_scan_200_distinct", |b| {
+        b.iter(|| {
+            let mut out = RowIdBitmap::new(ROWS);
+            col.scan_into(&ColumnPredicate::Like("%-1__".into()), &mut out, 0);
+            out.count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_delta_vs_main, bench_dictionary_scan);
+criterion_main!(benches);

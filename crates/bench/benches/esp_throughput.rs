@@ -1,0 +1,95 @@
+//! E8 — ESP ingest throughput for the §3.2 use cases: plain window
+//! retention, prefilter + aggregate, ESP join enrichment, and pattern
+//! matching.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hana_esp::EspEngine;
+use hana_types::{DataType, ResultSet, Row, Schema, Value};
+
+const EVENTS: usize = 20_000;
+
+fn engine() -> EspEngine {
+    let esp = EspEngine::new();
+    esp.deploy(
+        "CREATE INPUT STREAM events SCHEMA (cell VARCHAR(8), kind VARCHAR(8), load DOUBLE);\n\
+         CREATE OUTPUT WINDOW health AS \
+             SELECT cell, AVG(load) AS avg_load, COUNT(*) AS n \
+             FROM events WHERE kind = 'status' GROUP BY cell KEEP 5000 ROWS",
+    )
+    .unwrap();
+    esp
+}
+
+fn ev(i: usize) -> Row {
+    Row::from_values([
+        Value::from(["c1", "c2", "c3", "c4"][i % 4]),
+        Value::from(if i.is_multiple_of(5) { "billing" } else { "status" }),
+        Value::Double((i % 100) as f64),
+    ])
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("esp_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(EVENTS as u64));
+
+    group.bench_function("prefilter_window_ingest", |b| {
+        b.iter(|| {
+            let esp = engine();
+            for i in 0..EVENTS {
+                esp.send("events", i as i64, ev(i)).unwrap();
+            }
+            esp.window_snapshot("health").unwrap()
+        })
+    });
+
+    group.bench_function("esp_join_enrichment", |b| {
+        let esp = engine();
+        esp.register_reference(
+            "cells",
+            ResultSet::new(
+                Schema::of(&[("cell_id", DataType::Varchar), ("city", DataType::Varchar)]),
+                (0..4)
+                    .map(|i| {
+                        Row::from_values([
+                            Value::from(format!("c{}", i + 1)),
+                            Value::from(format!("city-{i}")),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        esp.deploy(
+            "CREATE OUTPUT STREAM located AS \
+             SELECT e.cell, r.city, e.load FROM events e JOIN cells r ON e.cell = r.cell_id \
+             WHERE e.load > 50",
+        )
+        .unwrap();
+        b.iter(|| {
+            for i in 0..EVENTS {
+                esp.send("events", i as i64, ev(i)).unwrap();
+            }
+        })
+    });
+
+    group.bench_function("pattern_matching", |b| {
+        let esp = engine();
+        esp.define_pattern(
+            "spike",
+            "events",
+            &["load > 90", "load > 95", "kind = 'billing'"],
+            60,
+        )
+        .unwrap();
+        b.iter(|| {
+            for i in 0..EVENTS {
+                esp.send("events", i as i64 * 1000, ev(i)).unwrap();
+            }
+            esp.take_alerts("spike")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E7 — hybrid tables: aging cost and the query-performance trade-off
+//! between all-hot, hybrid (union plan) and all-cold placements.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hana_core::HanaPlatform;
+use hana_types::{Row, Value};
+
+const ROWS: i64 = 50_000;
+
+fn platform_with_hybrid(aged_fraction: f64) -> (HanaPlatform, hana_core::Session) {
+    let hana = HanaPlatform::new_in_memory();
+    let s = hana.connect("SYSTEM", "manager").unwrap();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE sales (id INTEGER, year INTEGER, amount DOUBLE, aged BOOLEAN) \
+         USING HYBRID EXTENDED STORAGE AGING ON aged",
+    )
+    .unwrap();
+    let cutoff = (ROWS as f64 * aged_fraction) as i64;
+    let rows: Vec<Row> = (0..ROWS)
+        .map(|i| {
+            Row::from_values([
+                Value::Int(i),
+                Value::Int(2010 + (i % 10)),
+                Value::Double((i % 500) as f64),
+                Value::Bool(i < cutoff),
+            ])
+        })
+        .collect();
+    hana.load_rows(&s, "sales", &rows).unwrap();
+    hana.execute_sql(&s, "MERGE DELTA OF sales").unwrap();
+    (hana, s)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_aging");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ROWS as u64));
+
+    group.bench_function("aging_run_80pct", |b| {
+        b.iter(|| {
+            let (hana, s) = platform_with_hybrid(0.8);
+            let moved = hana.run_aging(&s, "sales").unwrap();
+            assert_eq!(moved as i64, ROWS * 8 / 10);
+            hana
+        })
+    });
+
+    // Query cost by placement (same data, different hot/cold split).
+    let q = "SELECT year, SUM(amount) FROM sales WHERE year >= 2015 GROUP BY year";
+    for (label, aged) in [("all_hot", 0.0), ("mixed_50_50", 0.5), ("mostly_cold", 0.9)] {
+        let (hana, s) = platform_with_hybrid(aged);
+        hana.run_aging(&s, "sales").unwrap();
+        group.bench_function(format!("aggregate_query/{label}"), |b| {
+            b.iter(|| {
+                let rs = hana.execute_sql(&s, q).unwrap();
+                assert_eq!(rs.len(), 5);
+                rs
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

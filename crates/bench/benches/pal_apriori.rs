@@ -1,0 +1,68 @@
+//! E6 — PAL: apriori mining cost over warranty-claim-style transactions
+//! (§4.1) and classifier scoring latency ("classify new readouts …
+//! in real-time").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hana_pal::{apriori, kmeans, AprioriParams, RuleClassifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn transactions(n: usize) -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let dtcs = ["P0300", "P0420", "P0171", "B1342", "C1201", "U0100"];
+    let ctx = ["hot", "cold", "city", "highway", "towing"];
+    (0..n)
+        .map(|_| {
+            let mut items = vec![
+                format!("dtc_{}", dtcs[rng.random_range(0..dtcs.len())]),
+                ctx[rng.random_range(0..ctx.len())].to_string(),
+            ];
+            let risky = items.contains(&"dtc_P0300".to_string())
+                && items.contains(&"hot".to_string());
+            if risky && rng.random_range(0..10) < 9 {
+                items.push("claim".into());
+            }
+            items.sort();
+            items.dedup();
+            items
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let txs = transactions(10_000);
+    let params = AprioriParams {
+        min_support: 0.005,
+        min_confidence: 0.8,
+        max_len: 3,
+    };
+
+    let mut group = c.benchmark_group("pal");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(txs.len() as u64));
+    group.bench_function("apriori_10k_transactions", |b| {
+        b.iter(|| apriori(&txs, params).unwrap())
+    });
+
+    let rules = apriori(&txs, params).unwrap();
+    println!("mined {} rules (confidence >= 0.8)", rules.len());
+    let clf = RuleClassifier::new(&rules, "claim");
+    let readout = vec!["dtc_P0300".to_string(), "hot".to_string(), "city".to_string()];
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("classifier_score_single_readout", |b| {
+        b.iter(|| clf.score(&readout))
+    });
+
+    // k-means on load profiles.
+    let points: Vec<Vec<f64>> = (0..5_000)
+        .map(|i| vec![(i % 100) as f64, ((i * 7) % 50) as f64])
+        .collect();
+    group.throughput(Throughput::Elements(points.len() as u64));
+    group.bench_function("kmeans_5k_points_k4", |b| {
+        b.iter(|| kmeans(&points, 4, 25).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

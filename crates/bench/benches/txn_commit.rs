@@ -1,0 +1,96 @@
+//! E10 — transaction-path benchmarks: auto-commit DML through the
+//! platform, distributed (two-participant) commits, and the read-only
+//! optimization of the improved 2PC.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hana_core::HanaPlatform;
+use hana_txn::{TransactionManager, TwoPhaseParticipant};
+
+fn bench_platform_dml(c: &mut Criterion) {
+    let hana = HanaPlatform::new_in_memory();
+    let s = hana.connect("SYSTEM", "manager").unwrap();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER, b VARCHAR(16))")
+        .unwrap();
+    hana.execute_sql(&s, "CREATE TABLE cold (a INTEGER) USING EXTENDED STORAGE")
+        .unwrap();
+
+    let mut group = c.benchmark_group("txn_commit");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0i64;
+    group.bench_function("autocommit_insert_local", |b| {
+        b.iter(|| {
+            i += 1;
+            hana.execute_sql(&s, &format!("INSERT INTO t VALUES ({i}, 'x')"))
+                .unwrap()
+        })
+    });
+    group.bench_function("autocommit_insert_extended", |b| {
+        b.iter(|| {
+            i += 1;
+            hana.execute_sql(&s, &format!("INSERT INTO cold VALUES ({i})"))
+                .unwrap()
+        })
+    });
+    group.bench_function("distributed_txn_both_engines", |b| {
+        b.iter(|| {
+            i += 1;
+            hana.execute_sql(&s, "BEGIN").unwrap();
+            hana.execute_sql(&s, &format!("INSERT INTO t VALUES ({i}, 'y')"))
+                .unwrap();
+            hana.execute_sql(&s, &format!("INSERT INTO cold VALUES ({i})"))
+                .unwrap();
+            hana.execute_sql(&s, "COMMIT").unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_coordinator(c: &mut Criterion) {
+    // Raw coordinator throughput with no-op participants, showing the
+    // read-only optimization skipping phase 2.
+    struct Noop(&'static str, bool);
+    impl TwoPhaseParticipant for Noop {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn prepare(&self, _tid: u64) -> hana_types::Result<hana_txn::Vote> {
+            Ok(if self.1 {
+                hana_txn::Vote::Prepared
+            } else {
+                hana_txn::Vote::ReadOnly
+            })
+        }
+        fn commit(&self, _tid: u64, _cid: u64) -> hana_types::Result<()> {
+            Ok(())
+        }
+        fn abort(&self, _tid: u64) -> hana_types::Result<()> {
+            Ok(())
+        }
+    }
+    let tm = TransactionManager::new();
+    let writers: Vec<Arc<dyn TwoPhaseParticipant>> =
+        vec![Arc::new(Noop("a", true)), Arc::new(Noop("b", true))];
+    let readers: Vec<Arc<dyn TwoPhaseParticipant>> =
+        vec![Arc::new(Noop("a", false)), Arc::new(Noop("b", false))];
+
+    let mut group = c.benchmark_group("coordinator");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("2pc_two_writers", |b| {
+        b.iter(|| tm.commit(tm.begin(), &writers).unwrap())
+    });
+    group.bench_function("2pc_read_only_skips_phase2", |b| {
+        b.iter(|| {
+            let r = tm.commit(tm.begin(), &readers).unwrap();
+            assert_eq!(r.read_only_skipped.len(), 2);
+            r
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_platform_dml, bench_coordinator);
+criterion_main!(benches);

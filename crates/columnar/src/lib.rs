@@ -1,0 +1,40 @@
+//! # hana-columnar
+//!
+//! The in-memory column store of the platform — the "SAP HANA core
+//! in-memory engine" of §3.1: dictionary-encoded columns with a
+//! read-optimized **main** fragment (ordered dictionary + compressed
+//! value IDs) and a write-optimized **delta** fragment, merged on demand;
+//! predicate evaluation in dictionary space; MVCC row versions; and the
+//! native time-series tables of Figure 2.
+//!
+//! ```
+//! use hana_columnar::{ColumnTable, ColumnPredicate};
+//! use hana_types::{Schema, DataType, Value};
+//!
+//! let mut t = ColumnTable::new("sensors", Schema::of(&[
+//!     ("equip_id", DataType::Varchar),
+//!     ("pressure", DataType::Double),
+//! ]));
+//! t.insert(&[Value::from("P-100"), Value::Double(97.5)], 1).unwrap();
+//! t.insert(&[Value::from("P-200"), Value::Double(42.0)], 1).unwrap();
+//! let hits = t.scan(1, &ColumnPredicate::Gt(Value::Double(90.0)), 1).unwrap();
+//! assert_eq!(hits.count(), 1);
+//! ```
+
+mod bitmap;
+mod bitpack;
+mod codec;
+mod column;
+mod dictionary;
+mod predicate;
+mod table;
+mod timeseries;
+
+pub use bitmap::{RowIdBitmap, SetBits};
+pub use bitpack::{width_for, BitPackedVec};
+pub use codec::VidCodec;
+pub use column::{plain_columnar_bytes, row_layout_bytes, DeltaColumn, MainColumn};
+pub use dictionary::{DeltaDictionary, OrderedDictionary, NULL_VID};
+pub use predicate::{ColumnPredicate, MatchKind, VidMatch};
+pub use table::{ColumnTable, RowVersions, NEVER};
+pub use timeseries::{Compensation, CompressedDoubles, TimeSeriesTable};

@@ -1,0 +1,403 @@
+//! The in-memory column table: per-column main + delta fragments with
+//! MVCC row-version metadata and delta merge.
+
+use hana_types::{HanaError, Result, Row, Schema, Value};
+
+use crate::bitmap::RowIdBitmap;
+use crate::column::{DeltaColumn, MainColumn};
+use crate::predicate::ColumnPredicate;
+
+/// Commit ID sentinel meaning "never" (row not deleted).
+pub const NEVER: u64 = u64::MAX;
+
+/// Per-row MVCC metadata.
+///
+/// The platform applies write-sets at commit time (see `hana-txn`), so a
+/// row's `created`/`deleted` fields always hold *commit* IDs — a snapshot
+/// at commit ID `s` sees a row iff `created <= s < deleted`.
+#[derive(Debug, Clone, Default)]
+pub struct RowVersions {
+    created: Vec<u64>,
+    deleted: Vec<u64>,
+}
+
+impl RowVersions {
+    /// Record a newly inserted row.
+    pub fn push(&mut self, created_cid: u64) {
+        self.created.push(created_cid);
+        self.deleted.push(NEVER);
+    }
+
+    /// Mark `row` deleted as of `cid`. Errors if already deleted.
+    pub fn delete(&mut self, row: usize, cid: u64) -> Result<()> {
+        if row >= self.deleted.len() {
+            return Err(HanaError::Storage(format!("row {row} out of range")));
+        }
+        if self.deleted[row] != NEVER {
+            return Err(HanaError::Storage(format!("row {row} already deleted")));
+        }
+        self.deleted[row] = cid;
+        Ok(())
+    }
+
+    /// Visibility of `row` under snapshot `cid`.
+    pub fn visible(&self, row: usize, cid: u64) -> bool {
+        self.created[row] <= cid && self.deleted[row] > cid
+    }
+
+    /// Number of rows ever inserted.
+    pub fn len(&self) -> usize {
+        self.created.len()
+    }
+
+    /// Whether no rows were ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.created.is_empty()
+    }
+}
+
+/// Per-column pair of fragments.
+#[derive(Debug, Clone)]
+struct ColumnPair {
+    main: MainColumn,
+    delta: DeltaColumn,
+}
+
+/// A dictionary-encoded, MVCC-versioned, delta/main column table — the
+/// "regular in-memory column table" of §3.1.
+///
+/// Row IDs are stable positions: `0..main_rows` live in the main
+/// fragments, the rest in the deltas. A delta merge moves delta rows into
+/// main *without* changing row IDs.
+#[derive(Debug, Clone)]
+pub struct ColumnTable {
+    name: String,
+    schema: Schema,
+    columns: Vec<ColumnPair>,
+    versions: RowVersions,
+    main_rows: usize,
+    merges: u64,
+}
+
+impl ColumnTable {
+    /// Create an empty table.
+    pub fn new(name: &str, schema: Schema) -> ColumnTable {
+        let columns = (0..schema.len())
+            .map(|_| ColumnPair {
+                main: MainColumn::empty(),
+                delta: DeltaColumn::new(),
+            })
+            .collect();
+        ColumnTable {
+            name: name.to_string(),
+            schema,
+            columns,
+            versions: RowVersions::default(),
+            main_rows: 0,
+            merges: 0,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of row slots (including deleted rows).
+    pub fn row_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Rows currently in the delta fragments.
+    pub fn delta_rows(&self) -> usize {
+        self.versions.len() - self.main_rows
+    }
+
+    /// How many delta merges have run.
+    pub fn merge_count(&self) -> u64 {
+        self.merges
+    }
+
+    /// Insert a row with the given commit ID; returns its row ID.
+    pub fn insert(&mut self, row: &[Value], cid: u64) -> Result<usize> {
+        self.schema.check_row(row)?;
+        for (pair, v) in self.columns.iter_mut().zip(row) {
+            pair.delta.append(v);
+        }
+        self.versions.push(cid);
+        Ok(self.versions.len() - 1)
+    }
+
+    /// Mark a row deleted as of `cid`.
+    pub fn delete(&mut self, row: usize, cid: u64) -> Result<()> {
+        self.versions.delete(row, cid)
+    }
+
+    /// The value at (`row`, `col`), ignoring visibility.
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        let pair = &self.columns[col];
+        if row < self.main_rows {
+            pair.main.get(row)
+        } else {
+            pair.delta.get(row - self.main_rows)
+        }
+    }
+
+    /// Bitmap of rows visible under snapshot `cid`.
+    pub fn visible(&self, cid: u64) -> RowIdBitmap {
+        let mut b = RowIdBitmap::new(self.versions.len());
+        for row in 0..self.versions.len() {
+            if self.versions.visible(row, cid) {
+                b.set(row);
+            }
+        }
+        b
+    }
+
+    /// Scan one column with a predicate under snapshot `cid`.
+    pub fn scan(&self, col: usize, pred: &ColumnPredicate, cid: u64) -> Result<RowIdBitmap> {
+        if col >= self.columns.len() {
+            return Err(HanaError::Storage(format!(
+                "column index {col} out of range for '{}'",
+                self.name
+            )));
+        }
+        let mut out = RowIdBitmap::new(self.versions.len());
+        let pair = &self.columns[col];
+        pair.main.scan_into(pred, &mut out, 0);
+        pair.delta.scan_into(pred, &mut out, self.main_rows);
+        out.and(&self.visible(cid));
+        Ok(out)
+    }
+
+    /// Scan several conjunctive predicates, intersecting the bitmaps.
+    pub fn scan_all(
+        &self,
+        preds: &[(usize, ColumnPredicate)],
+        cid: u64,
+    ) -> Result<RowIdBitmap> {
+        let mut acc = self.visible(cid);
+        for (col, pred) in preds {
+            let b = self.scan(*col, pred, cid)?;
+            acc.and(&b);
+        }
+        Ok(acc)
+    }
+
+    /// Materialize the given rows, projected to `projection` columns
+    /// (empty projection = all columns).
+    pub fn collect_rows(&self, rows: &RowIdBitmap, projection: &[usize]) -> Vec<Row> {
+        let proj: Vec<usize> = if projection.is_empty() {
+            (0..self.schema.len()).collect()
+        } else {
+            projection.to_vec()
+        };
+        rows.iter()
+            .map(|row| Row::from_values(proj.iter().map(|&c| self.value(row, c))))
+            .collect()
+    }
+
+    /// All rows visible under `cid` (convenience for full-table reads).
+    pub fn snapshot_rows(&self, cid: u64) -> Vec<Row> {
+        self.collect_rows(&self.visible(cid), &[])
+    }
+
+    /// Merge the delta fragments into the main fragments, re-encoding the
+    /// columns. Row IDs are preserved; the delta becomes empty.
+    pub fn merge_delta(&mut self) {
+        if self.delta_rows() == 0 {
+            return;
+        }
+        for pair in &mut self.columns {
+            let mut values = pair.main.materialize();
+            values.extend(pair.delta.materialize());
+            pair.main = MainColumn::build(&values);
+            pair.delta.clear();
+        }
+        self.main_rows = self.versions.len();
+        self.merges += 1;
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|p| p.main.payload_bytes() + p.delta.payload_bytes())
+            .sum::<usize>()
+            + self.versions.len() * 16
+    }
+
+    /// Per-column statistics for the optimizer: (distinct, min, max).
+    pub fn column_stats(&self, col: usize) -> (usize, Option<Value>, Option<Value>) {
+        let pair = &self.columns[col];
+        let main_dict = pair.main.dictionary();
+        let mut distinct = main_dict.len();
+        let mut min = main_dict.min().cloned();
+        let mut max = main_dict.max().cloned();
+        for v in pair.delta.dictionary().values() {
+            if main_dict.lookup(v).is_none() {
+                distinct += 1;
+            }
+            if min.as_ref().is_none_or(|m| v < m) {
+                min = Some(v.clone());
+            }
+            if max.as_ref().is_none_or(|m| v > m) {
+                max = Some(v.clone());
+            }
+        }
+        (distinct, min, max)
+    }
+
+    /// Sorted `(value, frequency)` pairs of a column across main and
+    /// delta (nulls excluded) — exactly the input the q-optimal
+    /// histogram construction of `hana-query` expects, courtesy of the
+    /// ordered dictionary.
+    pub fn value_frequencies(&self, col: usize) -> Vec<(Value, u64)> {
+        let mut freq: std::collections::BTreeMap<Value, u64> = std::collections::BTreeMap::new();
+        for row in 0..self.row_count() {
+            let v = self.value(row, col);
+            if !v.is_null() {
+                *freq.entry(v).or_insert(0) += 1;
+            }
+        }
+        freq.into_iter().collect()
+    }
+
+    /// Sorted distinct values of a column (dictionary view; feeds the
+    /// q-optimal histogram construction in `hana-query`).
+    pub fn distinct_values(&self, col: usize) -> Vec<Value> {
+        let pair = &self.columns[col];
+        let mut vals: Vec<Value> = pair.main.dictionary().values().to_vec();
+        vals.extend(pair.delta.dictionary().values().iter().cloned());
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_types::DataType;
+
+    fn table() -> ColumnTable {
+        ColumnTable::new(
+            "t",
+            Schema::of(&[("id", DataType::Int), ("tag", DataType::Varchar)]),
+        )
+    }
+
+    #[test]
+    fn insert_scan_visibility() {
+        let mut t = table();
+        t.insert(&[Value::Int(1), Value::from("a")], 10).unwrap();
+        t.insert(&[Value::Int(2), Value::from("b")], 20).unwrap();
+        // Snapshot at cid 15 sees only the first row.
+        assert_eq!(t.visible(15).count(), 1);
+        assert_eq!(t.visible(20).count(), 2);
+        let hits = t
+            .scan(0, &ColumnPredicate::Ge(Value::Int(1)), 15)
+            .unwrap();
+        assert_eq!(hits.iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn delete_hides_row_from_later_snapshots() {
+        let mut t = table();
+        let r = t.insert(&[Value::Int(1), Value::from("a")], 10).unwrap();
+        t.delete(r, 30).unwrap();
+        assert!(t.versions.visible(r, 29));
+        assert!(!t.versions.visible(r, 30));
+        assert_eq!(t.snapshot_rows(25).len(), 1);
+        assert_eq!(t.snapshot_rows(30).len(), 0);
+        assert!(t.delete(r, 40).is_err(), "double delete must fail");
+    }
+
+    #[test]
+    fn merge_preserves_row_ids_and_results() {
+        let mut t = table();
+        for i in 0..100i64 {
+            t.insert(&[Value::Int(i), Value::from(format!("v{}", i % 7))], 5)
+                .unwrap();
+        }
+        let before = t
+            .scan(0, &ColumnPredicate::Between(Value::Int(10), Value::Int(20)), 5)
+            .unwrap();
+        assert_eq!(t.delta_rows(), 100);
+        t.merge_delta();
+        assert_eq!(t.delta_rows(), 0);
+        assert_eq!(t.merge_count(), 1);
+        let after = t
+            .scan(0, &ColumnPredicate::Between(Value::Int(10), Value::Int(20)), 5)
+            .unwrap();
+        assert_eq!(before, after);
+        assert_eq!(t.value(42, 0), Value::Int(42));
+        // Inserts continue to work after a merge.
+        t.insert(&[Value::Int(100), Value::from("x")], 6).unwrap();
+        assert_eq!(t.value(100, 0), Value::Int(100));
+        assert_eq!(t.delta_rows(), 1);
+    }
+
+    #[test]
+    fn merge_usually_shrinks_memory() {
+        let mut t = table();
+        for i in 0..5000i64 {
+            t.insert(&[Value::Int(i % 50), Value::from(format!("tag{}", i % 10))], 1)
+                .unwrap();
+        }
+        let before = t.payload_bytes();
+        t.merge_delta();
+        let after = t.payload_bytes();
+        assert!(after < before, "merge should compress: {after} !< {before}");
+    }
+
+    #[test]
+    fn scan_all_intersects() {
+        let mut t = table();
+        for i in 0..10i64 {
+            t.insert(
+                &[Value::Int(i), Value::from(if i % 2 == 0 { "even" } else { "odd" })],
+                1,
+            )
+            .unwrap();
+        }
+        let hits = t
+            .scan_all(
+                &[
+                    (0, ColumnPredicate::Ge(Value::Int(4))),
+                    (1, ColumnPredicate::Eq(Value::from("even"))),
+                ],
+                1,
+            )
+            .unwrap();
+        assert_eq!(hits.iter().collect::<Vec<_>>(), vec![4, 6, 8]);
+    }
+
+    #[test]
+    fn stats_track_main_and_delta() {
+        let mut t = table();
+        t.insert(&[Value::Int(5), Value::from("a")], 1).unwrap();
+        t.merge_delta();
+        t.insert(&[Value::Int(9), Value::from("b")], 1).unwrap();
+        let (distinct, min, max) = t.column_stats(0);
+        assert_eq!(distinct, 2);
+        assert_eq!(min, Some(Value::Int(5)));
+        assert_eq!(max, Some(Value::Int(9)));
+        assert_eq!(t.distinct_values(0), vec![Value::Int(5), Value::Int(9)]);
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut t = table();
+        assert!(t.insert(&[Value::Int(1)], 1).is_err());
+        assert!(t
+            .insert(&[Value::from("nope"), Value::from("a")], 1)
+            .is_err());
+        assert_eq!(t.row_count(), 0);
+    }
+}

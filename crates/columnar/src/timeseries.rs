@@ -1,0 +1,590 @@
+//! Native time-series tables (Figure 2 of the paper).
+//!
+//! The paper's time-series extension models series semantics explicitly —
+//! an equidistant time axis and a missing-value compensation strategy —
+//! and uses an "optimized internal representation" that compresses sensor
+//! data "by more than a factor of 10 compared to row-oriented storage and
+//! more than a factor of 3 compared to columnar storage".
+//!
+//! This module reproduces that design:
+//!
+//! * the **time axis is implicit**: only `(start, interval, count)` are
+//!   stored, eliminating the per-row timestamp entirely;
+//! * values are compressed with **XOR delta encoding** (Gorilla-style),
+//!   which collapses repeated or slowly-moving sensor readings to a few
+//!   bits per point;
+//! * missing measurements are recorded in a presence bitmap and
+//!   **compensated on read** according to the declared strategy.
+
+use hana_types::{HanaError, Result};
+
+use crate::bitmap::RowIdBitmap;
+
+/// How reads fill in missing measurements (declared per table, as in the
+/// `MISSING VALUES` clause sketched in Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compensation {
+    /// Expose missing points as absent (`None`).
+    #[default]
+    None,
+    /// Repeat the previous present value (step interpolation).
+    Previous,
+    /// Linearly interpolate between the neighbouring present values.
+    Linear,
+}
+
+/// Writer of an LSB-first bit stream.
+#[derive(Debug, Clone, Default)]
+struct BitWriter {
+    words: Vec<u64>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    fn write(&mut self, v: u64, bits: u32) {
+        debug_assert!(bits <= 64);
+        if bits == 0 {
+            return;
+        }
+        let v = if bits == 64 { v } else { v & ((1u64 << bits) - 1) };
+        let off = self.bit_len % 64;
+        if off == 0 {
+            self.words.push(v);
+        } else {
+            *self.words.last_mut().expect("off != 0 implies a word") |= v << off;
+            if off + bits as usize > 64 {
+                self.words.push(v >> (64 - off));
+            }
+        }
+        self.bit_len += bits as usize;
+    }
+
+    fn bytes(&self) -> usize {
+        self.bit_len.div_ceil(8)
+    }
+}
+
+/// Reader over a [`BitWriter`]'s stream.
+struct BitReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl BitReader<'_> {
+    fn read(&mut self, bits: u32) -> u64 {
+        if bits == 0 {
+            return 0;
+        }
+        let word = self.pos / 64;
+        let off = self.pos % 64;
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut v = self.words[word] >> off;
+        if off + bits as usize > 64 {
+            v |= self.words[word + 1] << (64 - off);
+        }
+        self.pos += bits as usize;
+        v & mask
+    }
+}
+
+/// Gorilla-style XOR-compressed vector of `f64` readings.
+#[derive(Debug, Clone, Default)]
+pub struct CompressedDoubles {
+    bits: BitWriter,
+    len: usize,
+    // Encoder state for appends.
+    prev: u64,
+    prev_lead: u32,
+    prev_trail: u32,
+}
+
+impl CompressedDoubles {
+    /// An empty vector.
+    pub fn new() -> CompressedDoubles {
+        CompressedDoubles::default()
+    }
+
+    /// Number of stored readings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no readings are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one reading.
+    pub fn push(&mut self, v: f64) {
+        let bits = v.to_bits();
+        if self.len == 0 {
+            self.bits.write(bits, 64);
+            self.prev = bits;
+            self.prev_lead = u32::MAX; // no window yet
+            self.len = 1;
+            return;
+        }
+        let xor = self.prev ^ bits;
+        if xor == 0 {
+            self.bits.write(0, 1);
+        } else {
+            self.bits.write(1, 1);
+            let lead = xor.leading_zeros().min(31);
+            let trail = xor.trailing_zeros();
+            if self.prev_lead != u32::MAX && lead >= self.prev_lead && trail >= self.prev_trail
+            {
+                // Fits the previous meaningful-bit window: '0' + bits.
+                self.bits.write(0, 1);
+                let width = 64 - self.prev_lead - self.prev_trail;
+                self.bits.write(xor >> self.prev_trail, width);
+            } else {
+                // New window: '1' + 5-bit lead + 6-bit (width - 1) + bits.
+                // (width is in 1..=64, so width-1 fits 6 bits.)
+                self.bits.write(1, 1);
+                let width = 64 - lead - trail;
+                self.bits.write(lead as u64, 5);
+                self.bits.write(width as u64 - 1, 6);
+                self.bits.write(xor >> trail, width);
+                self.prev_lead = lead;
+                self.prev_trail = trail;
+            }
+        }
+        self.prev = bits;
+        self.len += 1;
+    }
+
+    /// Decode every reading in order.
+    pub fn iter(&self) -> CompressedIter<'_> {
+        CompressedIter {
+            reader: BitReader {
+                words: &self.bits.words,
+                pos: 0,
+            },
+            remaining: self.len,
+            prev: 0,
+            lead: 0,
+            trail: 0,
+            first: true,
+        }
+    }
+
+    /// Append a repeat of the previous reading (costs a single bit).
+    /// Equivalent to `push(last)`; panics if empty.
+    pub fn push_repeat(&mut self) {
+        assert!(self.len > 0, "push_repeat on empty vector");
+        self.bits.write(0, 1);
+        self.len += 1;
+    }
+
+    /// Compressed payload in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.bits.bytes()
+    }
+}
+
+/// Decoding iterator for [`CompressedDoubles`].
+pub struct CompressedIter<'a> {
+    reader: BitReader<'a>,
+    remaining: usize,
+    prev: u64,
+    lead: u32,
+    trail: u32,
+    first: bool,
+}
+
+impl Iterator for CompressedIter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.first {
+            self.first = false;
+            self.prev = self.reader.read(64);
+            return Some(f64::from_bits(self.prev));
+        }
+        if self.reader.read(1) == 1 {
+            if self.reader.read(1) == 1 {
+                self.lead = self.reader.read(5) as u32;
+                let width = self.reader.read(6) as u32 + 1;
+                self.trail = 64 - self.lead - width;
+            }
+            let width = 64 - self.lead - self.trail;
+            let xor = self.reader.read(width) << self.trail;
+            self.prev ^= xor;
+        }
+        Some(f64::from_bits(self.prev))
+    }
+}
+
+/// A multi-series table over a shared equidistant time axis.
+#[derive(Debug, Clone)]
+pub struct TimeSeriesTable {
+    name: String,
+    /// First timestamp (microseconds since epoch).
+    start_us: i64,
+    /// Sampling interval (microseconds).
+    interval_us: i64,
+    compensation: Compensation,
+    series_names: Vec<String>,
+    series: Vec<CompressedDoubles>,
+    present: Vec<RowIdBitmap>,
+    points: usize,
+}
+
+impl TimeSeriesTable {
+    /// Create a table with the given axis and per-table compensation.
+    pub fn new(
+        name: &str,
+        start_us: i64,
+        interval_us: i64,
+        series_names: &[&str],
+        compensation: Compensation,
+    ) -> Result<TimeSeriesTable> {
+        if interval_us <= 0 {
+            return Err(HanaError::Config(
+                "time series interval must be positive".into(),
+            ));
+        }
+        if series_names.is_empty() {
+            return Err(HanaError::Config(
+                "time series table needs at least one series".into(),
+            ));
+        }
+        Ok(TimeSeriesTable {
+            name: name.to_string(),
+            start_us,
+            interval_us,
+            compensation,
+            series_names: series_names.iter().map(|s| s.to_string()).collect(),
+            series: series_names.iter().map(|_| CompressedDoubles::new()).collect(),
+            present: series_names.iter().map(|_| RowIdBitmap::new(0)).collect(),
+            points: 0,
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of time points.
+    pub fn len(&self) -> usize {
+        self.points
+    }
+
+    /// Whether the table has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points == 0
+    }
+
+    /// Series names.
+    pub fn series_names(&self) -> &[String] {
+        &self.series_names
+    }
+
+    /// Timestamp (µs) of point `idx` — computed, never stored.
+    pub fn timestamp(&self, idx: usize) -> i64 {
+        self.start_us + idx as i64 * self.interval_us
+    }
+
+    /// Append one measurement per series for the next time point.
+    /// `None` marks a missing measurement.
+    pub fn push(&mut self, values: &[Option<f64>]) -> Result<()> {
+        if values.len() != self.series.len() {
+            return Err(HanaError::Execution(format!(
+                "expected {} series values, got {}",
+                self.series.len(),
+                values.len()
+            )));
+        }
+        for ((s, p), v) in self.series.iter_mut().zip(&mut self.present).zip(values) {
+            p.grow(self.points + 1);
+            match v {
+                Some(x) => {
+                    s.push(*x);
+                    p.set(self.points);
+                }
+                // Encode missing points as a repeat of the previous value
+                // (costs 1 bit); the presence bitmap masks them on read.
+                None if s.is_empty() => s.push(0.0),
+                None => s.push_repeat(),
+            }
+        }
+        self.points += 1;
+        Ok(())
+    }
+
+    /// Raw (uncompensated) reading of `series` at `idx`.
+    pub fn raw(&self, series: usize, idx: usize) -> Option<f64> {
+        if !self.present[series].get(idx) {
+            return None;
+        }
+        self.series[series].iter().nth(idx)
+    }
+
+    /// Decode a whole series with compensation applied.
+    pub fn series_values(&self, series: usize) -> Vec<Option<f64>> {
+        let raw: Vec<Option<f64>> = self.series[series]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| self.present[series].get(i).then_some(v))
+            .collect();
+        match self.compensation {
+            Compensation::None => raw,
+            Compensation::Previous => {
+                let mut last = None;
+                raw.into_iter()
+                    .map(|v| {
+                        if v.is_some() {
+                            last = v;
+                        }
+                        last
+                    })
+                    .collect()
+            }
+            Compensation::Linear => compensate_linear(&raw),
+        }
+    }
+
+    /// Average of a series over the time range `[from_us, to_us)`,
+    /// after compensation. `None` if no points fall in the range.
+    pub fn avg(&self, series: usize, from_us: i64, to_us: i64) -> Option<f64> {
+        let vals = self.series_values(series);
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (i, v) in vals.iter().enumerate() {
+            let ts = self.timestamp(i);
+            if ts >= from_us && ts < to_us {
+                if let Some(x) = v {
+                    sum += x;
+                    n += 1;
+                }
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Pearson correlation between two series (the paper's "correlation
+    /// analysis between different sensors", §3.2), over compensated values
+    /// at time points where both are defined.
+    pub fn correlation(&self, a: usize, b: usize) -> Option<f64> {
+        let (va, vb) = (self.series_values(a), self.series_values(b));
+        let pairs: Vec<(f64, f64)> = va
+            .iter()
+            .zip(&vb)
+            .filter_map(|(x, y)| Some(((*x)?, (*y)?)))
+            .collect();
+        let n = pairs.len() as f64;
+        if n < 2.0 {
+            return None;
+        }
+        let (mx, my) = (
+            pairs.iter().map(|p| p.0).sum::<f64>() / n,
+            pairs.iter().map(|p| p.1).sum::<f64>() / n,
+        );
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (x, y) in &pairs {
+            cov += (x - mx) * (y - my);
+            vx += (x - mx) * (x - mx);
+            vy += (y - my) * (y - my);
+        }
+        if vx == 0.0 || vy == 0.0 {
+            return None;
+        }
+        Some(cov / (vx.sqrt() * vy.sqrt()))
+    }
+
+    /// Bytes used by the optimized time-series representation.
+    pub fn compressed_bytes(&self) -> usize {
+        // axis metadata + per-series payload + presence bitmaps
+        24 + self
+            .series
+            .iter()
+            .zip(&self.present)
+            .map(|(s, p)| s.payload_bytes() + p.payload_bytes())
+            .sum::<usize>()
+    }
+
+    /// Bytes a plain columnar layout would use: one 8-byte timestamp
+    /// column plus 8 bytes + null byte per series value.
+    pub fn plain_columnar_bytes(&self) -> usize {
+        self.points * 8 + self.points * self.series.len() * 9
+    }
+
+    /// Bytes a row-oriented layout would use: 16-byte row header,
+    /// 8-byte timestamp, 8 bytes per series value.
+    pub fn row_layout_bytes(&self) -> usize {
+        self.points * (16 + 8 + 8 * self.series.len())
+    }
+}
+
+/// Linear interpolation between present neighbours; edges fall back to
+/// the nearest present value.
+fn compensate_linear(raw: &[Option<f64>]) -> Vec<Option<f64>> {
+    let n = raw.len();
+    let mut out = raw.to_vec();
+    let mut i = 0usize;
+    while i < n {
+        if out[i].is_some() {
+            i += 1;
+            continue;
+        }
+        // Find the gap [i, j).
+        let mut j = i;
+        while j < n && out[j].is_none() {
+            j += 1;
+        }
+        let left = i.checked_sub(1).and_then(|k| raw[k]);
+        let right = (j < n).then(|| raw[j]).flatten();
+        for (off, slot) in out.iter_mut().enumerate().take(j).skip(i) {
+            *slot = match (left, right) {
+                (Some(l), Some(r)) => {
+                    let span = (j - i + 1) as f64;
+                    let t = (off - i + 1) as f64 / span;
+                    Some(l + (r - l) * t)
+                }
+                (Some(l), None) => Some(l),
+                (None, Some(r)) => Some(r),
+                (None, None) => None,
+            };
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_compression_round_trips() {
+        let vals = [230.0, 230.0, 230.1, 229.9, 231.5, 231.5, 0.0, -4.25, 1e300];
+        let mut c = CompressedDoubles::new();
+        for &v in &vals {
+            c.push(v);
+        }
+        let out: Vec<f64> = c.iter().collect();
+        assert_eq!(out, vals);
+    }
+
+    #[test]
+    fn repeated_values_cost_one_bit() {
+        let mut c = CompressedDoubles::new();
+        for _ in 0..10_000 {
+            c.push(42.5);
+        }
+        // 8 bytes for the first value + ~1 bit per repeat.
+        assert!(c.payload_bytes() < 8 + 10_000 / 8 + 16, "{}", c.payload_bytes());
+    }
+
+    fn meter_table(points: usize) -> TimeSeriesTable {
+        let mut t = TimeSeriesTable::new(
+            "meters",
+            0,
+            60_000_000, // one reading per minute
+            &["power", "voltage"],
+            Compensation::Linear,
+        )
+        .unwrap();
+        for i in 0..points {
+            // Plateau-heavy sensor signal with occasional gaps.
+            let p = (i / 50) as f64 * 0.5 + 100.0;
+            let v = 230.0 + ((i / 200) % 3) as f64 * 0.1;
+            let gap = i % 97 == 0;
+            t.push(&[(!gap).then_some(p), Some(v)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn implicit_axis_and_access() {
+        let t = meter_table(500);
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.timestamp(0), 0);
+        assert_eq!(t.timestamp(10), 600_000_000);
+        assert_eq!(t.raw(1, 3), Some(230.0));
+        assert_eq!(t.raw(0, 0), None, "gap at i=0");
+    }
+
+    #[test]
+    fn compensation_strategies() {
+        let mut t = TimeSeriesTable::new("s", 0, 1, &["x"], Compensation::Previous).unwrap();
+        for v in [Some(1.0), None, None, Some(4.0)] {
+            t.push(&[v]).unwrap();
+        }
+        assert_eq!(
+            t.series_values(0),
+            vec![Some(1.0), Some(1.0), Some(1.0), Some(4.0)]
+        );
+
+        let mut t = TimeSeriesTable::new("s", 0, 1, &["x"], Compensation::Linear).unwrap();
+        for v in [Some(1.0), None, None, Some(4.0)] {
+            t.push(&[v]).unwrap();
+        }
+        assert_eq!(
+            t.series_values(0),
+            vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0)]
+        );
+
+        let mut t = TimeSeriesTable::new("s", 0, 1, &["x"], Compensation::None).unwrap();
+        for v in [None, Some(2.0)] {
+            t.push(&[v]).unwrap();
+        }
+        assert_eq!(t.series_values(0), vec![None, Some(2.0)]);
+    }
+
+    #[test]
+    fn linear_edges_clamp() {
+        let raw = [None, Some(2.0), None];
+        assert_eq!(compensate_linear(&raw), vec![Some(2.0), Some(2.0), Some(2.0)]);
+        assert_eq!(compensate_linear(&[None, None]), vec![None, None]);
+    }
+
+    #[test]
+    fn figure2_compression_factors() {
+        // The paper's Figure 2 claim: >10x vs row storage, >3x vs plain
+        // columnar, on realistic (plateau-heavy) sensor data.
+        let t = meter_table(50_000);
+        let compressed = t.compressed_bytes();
+        let row = t.row_layout_bytes();
+        let col = t.plain_columnar_bytes();
+        assert!(
+            row as f64 / compressed as f64 > 10.0,
+            "row/ts = {}",
+            row as f64 / compressed as f64
+        );
+        assert!(
+            col as f64 / compressed as f64 > 3.0,
+            "col/ts = {}",
+            col as f64 / compressed as f64
+        );
+    }
+
+    #[test]
+    fn aggregation_and_correlation() {
+        let mut t =
+            TimeSeriesTable::new("s", 0, 10, &["a", "b"], Compensation::None).unwrap();
+        for i in 0..100 {
+            let x = i as f64;
+            t.push(&[Some(x), Some(2.0 * x + 1.0)]).unwrap();
+        }
+        // Average of 0..9 over the first 100us (indices 0..9).
+        assert_eq!(t.avg(0, 0, 100), Some(4.5));
+        assert!(t.avg(0, 10_000, 20_000).is_none());
+        // Perfect linear relation -> correlation 1.
+        let corr = t.correlation(0, 1).unwrap();
+        assert!((corr - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(TimeSeriesTable::new("s", 0, 0, &["x"], Compensation::None).is_err());
+        assert!(TimeSeriesTable::new("s", 0, 1, &[], Compensation::None).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the column-store invariants.
+
+use hana_columnar::{
+    BitPackedVec, ColumnPredicate, ColumnTable, CompressedDoubles, MainColumn, RowIdBitmap,
+    VidCodec,
+};
+use hana_types::{DataType, Schema, Value};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bit packing is lossless for any width/value combination.
+    #[test]
+    fn bitpack_round_trip(values in prop::collection::vec(0u64..1_000_000, 0..300)) {
+        let packed = BitPackedVec::from_slice(&values);
+        prop_assert_eq!(packed.iter().collect::<Vec<_>>(), values);
+    }
+
+    /// Every codec decodes to exactly the value IDs it was given.
+    #[test]
+    fn codec_round_trip(vids in prop::collection::vec(0u32..64, 0..500)) {
+        let c = VidCodec::encode(&vids);
+        prop_assert_eq!(c.len(), vids.len());
+        for (i, &v) in vids.iter().enumerate() {
+            prop_assert_eq!(c.get(i), v);
+        }
+    }
+
+    /// A codec scan equals a scalar scan of the decoded values.
+    #[test]
+    fn codec_scan_matches_naive(
+        vids in prop::collection::vec(0u32..16, 1..400),
+        lo in 0u32..16,
+        span in 0u32..16,
+    ) {
+        let hi = lo.saturating_add(span);
+        let m = hana_columnar::VidMatch::range(lo.max(1), hi);
+        let c = VidCodec::encode(&vids);
+        let mut out = RowIdBitmap::new(vids.len());
+        c.scan_into(&m, &mut out, 0);
+        let expected: Vec<usize> = vids.iter().enumerate()
+            .filter(|&(_, &v)| v >= lo.max(1) && v <= hi)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(out.iter().collect::<Vec<_>>(), expected);
+    }
+
+    /// XOR compression of doubles is lossless, including specials.
+    #[test]
+    fn gorilla_round_trip(values in prop::collection::vec(
+        prop_oneof![
+            any::<f64>().prop_filter("no NaN (NaN != NaN)", |v| !v.is_nan()),
+            (-1000i64..1000).prop_map(|i| i as f64 / 4.0),
+        ],
+        0..200,
+    )) {
+        let mut c = CompressedDoubles::new();
+        for &v in &values {
+            c.push(v);
+        }
+        let out: Vec<f64> = c.iter().collect();
+        prop_assert_eq!(out.len(), values.len());
+        for (a, b) in out.iter().zip(&values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Table scans return exactly the visible rows whose value matches,
+    /// before and after a delta merge.
+    #[test]
+    fn table_scan_matches_naive(
+        rows in prop::collection::vec((0i64..40, 0u8..3), 1..200),
+        lo in 0i64..40,
+        span in 0i64..10,
+        merge in any::<bool>(),
+    ) {
+        let mut t = ColumnTable::new("p", Schema::of(&[("v", DataType::Int)]));
+        let mut deleted = Vec::new();
+        for (i, &(v, action)) in rows.iter().enumerate() {
+            t.insert(&[Value::Int(v)], 1).unwrap();
+            if action == 2 {
+                t.delete(i, 2).unwrap();
+                deleted.push(i);
+            }
+        }
+        if merge {
+            t.merge_delta();
+        }
+        let hi = lo + span;
+        let pred = ColumnPredicate::Between(Value::Int(lo), Value::Int(hi));
+        let got = t.scan(0, &pred, 5).unwrap();
+        let expected: Vec<usize> = rows.iter().enumerate()
+            .filter(|&(i, &(v, _))| !deleted.contains(&i) && v >= lo && v <= hi)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got.iter().collect::<Vec<_>>(), expected);
+    }
+
+    /// Delta merge never changes query results or stored values.
+    #[test]
+    fn merge_is_transparent(values in prop::collection::vec(0i64..100, 1..300)) {
+        let mut t = ColumnTable::new("p", Schema::of(&[("v", DataType::Int)]));
+        for &v in &values {
+            t.insert(&[Value::Int(v)], 1).unwrap();
+        }
+        let before: Vec<Value> = (0..values.len()).map(|r| t.value(r, 0)).collect();
+        t.merge_delta();
+        let after: Vec<Value> = (0..values.len()).map(|r| t.value(r, 0)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// MainColumn::build + materialize is the identity (nulls included).
+    #[test]
+    fn main_column_identity(values in prop::collection::vec(
+        prop_oneof![
+            Just(Value::Null),
+            (0i64..50).prop_map(Value::Int),
+            "[a-c]{0,3}".prop_map(Value::from),
+        ],
+        0..200,
+    )) {
+        let m = MainColumn::build(&values);
+        prop_assert_eq!(m.materialize(), values);
+    }
+}

@@ -1,0 +1,164 @@
+//! The platform catalog: the single point of access for name
+//! resolution across every storage location of Figure 1.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use hana_iq::IqEngine;
+use hana_query::{Catalog, TableFunction, TableSource};
+use hana_sda::SdaRegistry;
+use hana_types::{HanaError, Result};
+
+/// Catalog metadata per table (beyond what the query layer needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableKindInfo {
+    /// In-memory column table.
+    Column,
+    /// In-memory row table.
+    Row,
+    /// Fully in the extended storage.
+    Extended,
+    /// Hybrid: hot in memory, cold extended; aged by the flag column.
+    Hybrid {
+        /// The dedicated aging flag column.
+        aging_column: String,
+        /// The cold partition's IQ table.
+        cold_table: String,
+    },
+    /// Virtual table at a remote source.
+    Virtual,
+}
+
+/// One catalog entry.
+#[derive(Clone)]
+pub struct TableEntry {
+    /// Where the data lives.
+    pub source: TableSource,
+    /// Kind metadata.
+    pub kind: TableKindInfo,
+}
+
+/// The platform catalog.
+pub struct PlatformCatalog {
+    tables: RwLock<HashMap<String, TableEntry>>,
+    functions: RwLock<HashMap<String, Arc<dyn TableFunction>>>,
+    sda: SdaRegistry,
+    iq_engines: RwLock<HashMap<String, Arc<IqEngine>>>,
+}
+
+impl PlatformCatalog {
+    /// An empty catalog.
+    pub fn new() -> PlatformCatalog {
+        PlatformCatalog {
+            tables: RwLock::new(HashMap::new()),
+            functions: RwLock::new(HashMap::new()),
+            sda: SdaRegistry::new(),
+            iq_engines: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Register an IQ engine under an SDA source name (the "shielded"
+    /// internal extended storage).
+    pub fn register_iq_engine(&self, source: &str, engine: Arc<IqEngine>) {
+        self.iq_engines
+            .write()
+            .insert(source.to_ascii_lowercase(), engine);
+    }
+
+    /// Add a table entry; errors on duplicates.
+    pub fn add_table(&self, name: &str, entry: TableEntry) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(HanaError::Catalog(format!("table '{name}' already exists")));
+        }
+        tables.insert(key, entry);
+        Ok(())
+    }
+
+    /// Remove and return a table entry.
+    pub fn remove_table(&self, name: &str) -> Result<TableEntry> {
+        self.tables
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .ok_or_else(|| HanaError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Look up a table entry.
+    pub fn table(&self, name: &str) -> Result<TableEntry> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| HanaError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// All table names with their kind labels.
+    pub fn list_tables(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .tables
+            .read()
+            .iter()
+            .map(|(n, e)| {
+                let kind = match &e.kind {
+                    TableKindInfo::Column => "COLUMN",
+                    TableKindInfo::Row => "ROW",
+                    TableKindInfo::Extended => "EXTENDED",
+                    TableKindInfo::Hybrid { .. } => "HYBRID",
+                    TableKindInfo::Virtual => "VIRTUAL",
+                };
+                (n.clone(), kind.to_string())
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Register a table function (virtual function, ESP window).
+    pub fn add_function(&self, name: &str, f: Arc<dyn TableFunction>) {
+        self.functions
+            .write()
+            .insert(name.to_ascii_lowercase(), f);
+    }
+}
+
+impl Default for PlatformCatalog {
+    fn default() -> Self {
+        PlatformCatalog::new()
+    }
+}
+
+impl Catalog for PlatformCatalog {
+    fn resolve_table(&self, name: &str) -> Result<TableSource> {
+        Ok(self.table(name)?.source)
+    }
+
+    fn resolve_function(&self, name: &str) -> Result<Arc<dyn TableFunction>> {
+        self.functions
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| HanaError::Catalog(format!("unknown table function '{name}'")))
+    }
+
+    fn sda(&self) -> &SdaRegistry {
+        &self.sda
+    }
+
+    fn iq_engine(&self, source: &str) -> Result<Arc<IqEngine>> {
+        self.iq_engines
+            .read()
+            .get(&source.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| {
+                HanaError::Catalog(format!("no IQ engine behind source '{source}'"))
+            })
+    }
+}

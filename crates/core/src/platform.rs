@@ -1,0 +1,1328 @@
+//! `HanaPlatform` — the single point of access and control (§2, §5).
+//!
+//! The facade owns every component of Figure 1: the in-memory column and
+//! row stores, the transaction coordinator, the shielded IQ extended
+//! storage, the ESP engine, Smart Data Access with the remote cache, the
+//! artifact repository, the security manager, and the coordinated
+//! backup/recovery spanning the in-memory and extended stores.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use hana_columnar::ColumnTable;
+use hana_esp::{EspEngine, Sink};
+use hana_hadoop::{Hive, MrFunctionRegistry};
+use hana_iq::IqEngine;
+use hana_query::{execute_query, Catalog as _, Planner, TableFunction, TableSource};
+use hana_rowstore::RowTable;
+use hana_sda::{
+    HadoopMrAdapter, HiveOdbcAdapter, IqAdapter, RemoteCacheConfig, SdaAdapter,
+};
+use hana_sql::{
+    evaluate, evaluate_predicate, parse_script, parse_statement, ColumnSpec, CreateTable,
+    Expr, Statement, TableKind,
+};
+use hana_txn::{TransactionManager, TwoPhaseParticipant, TxnHandle};
+use hana_types::{
+    ColumnDef, DataType, HanaError, ResultSet, Result, Row, Schema, Value,
+};
+
+use crate::catalog::{PlatformCatalog, TableEntry, TableKindInfo};
+use crate::repository::{ArtifactKind, DeliveryUnit, Repository};
+use crate::security::{Privilege, SecurityManager, Session};
+use crate::writes::{LocalOp, LocalWrites};
+
+/// SDA source name of the internal, shielded IQ instance.
+pub const INTERNAL_IQ_SOURCE: &str = "_iq_internal";
+
+/// Record separator for bulk-load WAL payloads.
+const ROW_SEP: char = '\u{1e}';
+
+type AdapterFactory = Box<dyn Fn(&str) -> Arc<dyn SdaAdapter> + Send + Sync>;
+
+/// A logical, transactionally consistent backup spanning the in-memory
+/// store and the extended storage (§3.1: "consistent backup and recovery
+/// of both engines").
+pub struct Backup {
+    /// The snapshot commit ID everything was captured under.
+    pub cid: u64,
+    entries: Vec<BackupEntry>,
+}
+
+struct BackupEntry {
+    name: String,
+    kind: TableKindInfo,
+    schema: Schema,
+    rows: Vec<Row>,
+    cold_rows: Vec<Row>,
+}
+
+impl Backup {
+    /// Number of captured tables.
+    pub fn table_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total captured rows.
+    pub fn row_count(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.rows.len() + e.cold_rows.len())
+            .sum()
+    }
+}
+
+/// The platform facade.
+pub struct HanaPlatform {
+    catalog: Arc<PlatformCatalog>,
+    tm: Arc<TransactionManager>,
+    iq: Arc<IqEngine>,
+    esp: Arc<EspEngine>,
+    security: SecurityManager,
+    repository: Mutex<Repository>,
+    local_writes: Arc<LocalWrites>,
+    /// session id -> open explicit transaction.
+    active_txns: Mutex<HashMap<u64, TxnHandle>>,
+    adapter_factories: RwLock<HashMap<String, AdapterFactory>>,
+}
+
+impl HanaPlatform {
+    /// A platform with a volatile WAL and a fresh extended store.
+    pub fn new_in_memory() -> HanaPlatform {
+        Self::build(TransactionManager::new())
+    }
+
+    /// A platform whose WAL persists to `path` (enables
+    /// [`HanaPlatform::recover_replay`]).
+    pub fn with_log_file(path: &Path) -> Result<HanaPlatform> {
+        Ok(Self::build(TransactionManager::with_log_file(path)?))
+    }
+
+    fn build(tm: TransactionManager) -> HanaPlatform {
+        let iq = Arc::new(IqEngine::new("iq", 1024).expect("extended store"));
+        let catalog = Arc::new(PlatformCatalog::new());
+        catalog.register_iq_engine(INTERNAL_IQ_SOURCE, Arc::clone(&iq));
+        let iq_adapter: Arc<dyn SdaAdapter> = Arc::new(IqAdapter::new(Arc::clone(&iq)));
+        catalog
+            .sda()
+            .create_remote_source(INTERNAL_IQ_SOURCE, iq_adapter, "internal", None)
+            .expect("fresh registry");
+        HanaPlatform {
+            catalog,
+            tm: Arc::new(tm),
+            iq,
+            esp: Arc::new(EspEngine::new()),
+            security: SecurityManager::new(),
+            repository: Mutex::new(Repository::new()),
+            local_writes: Arc::new(LocalWrites::new()),
+            active_txns: Mutex::new(HashMap::new()),
+            adapter_factories: RwLock::new(HashMap::new()),
+        }
+    }
+
+    // ---- component access ----
+
+    /// The platform catalog (implements the query layer's `Catalog`).
+    pub fn catalog(&self) -> &Arc<PlatformCatalog> {
+        &self.catalog
+    }
+
+    /// The transaction coordinator.
+    pub fn transaction_manager(&self) -> &Arc<TransactionManager> {
+        &self.tm
+    }
+
+    /// The extended storage engine (admin/testing; applications go
+    /// through SQL).
+    pub fn iq(&self) -> &Arc<IqEngine> {
+        &self.iq
+    }
+
+    /// The integrated event stream processor.
+    pub fn esp(&self) -> &Arc<EspEngine> {
+        &self.esp
+    }
+
+    /// The security manager.
+    pub fn security(&self) -> &SecurityManager {
+        &self.security
+    }
+
+    /// Connect with credentials.
+    pub fn connect(&self, user: &str, password: &str) -> Result<Session> {
+        self.security.connect(user, password)
+    }
+
+    /// Attach a Hadoop environment: registers the `hiveodbc` and
+    /// `hadoop` adapters for `CREATE REMOTE SOURCE`.
+    pub fn attach_hadoop(&self, hive: Arc<Hive>, functions: Arc<MrFunctionRegistry>) {
+        let mut factories = self.adapter_factories.write();
+        let h = Arc::clone(&hive);
+        factories.insert(
+            "hiveodbc".into(),
+            Box::new(move |cfg| Arc::new(HiveOdbcAdapter::new(Arc::clone(&h), cfg))),
+        );
+        factories.insert(
+            "hadoop".into(),
+            Box::new(move |cfg| Arc::new(HadoopMrAdapter::new(Arc::clone(&functions), cfg))),
+        );
+    }
+
+    /// Configure the remote materialization cache (§4.4's
+    /// `enable_remote_cache` / `remote_cache_validity`).
+    pub fn set_remote_cache(&self, enable: bool, validity: u64) {
+        self.catalog.sda().set_cache_config(RemoteCacheConfig {
+            enable_remote_cache: enable,
+            remote_cache_validity: validity,
+        });
+    }
+
+    // ---- transactions ----
+
+    fn participants(&self) -> Vec<Arc<dyn TwoPhaseParticipant>> {
+        vec![
+            Arc::clone(&self.local_writes) as Arc<dyn TwoPhaseParticipant>,
+            Arc::clone(&self.iq) as Arc<dyn TwoPhaseParticipant>,
+        ]
+    }
+
+    /// Snapshot the session reads under.
+    fn snapshot_cid(&self, session: &Session) -> u64 {
+        self.active_txns
+            .lock()
+            .get(&session.id)
+            .map(|t| t.snapshot.cid())
+            .unwrap_or_else(|| self.tm.current_snapshot().cid())
+    }
+
+    /// The session's transaction, or a fresh auto-commit one.
+    fn txn_for(&self, session: &Session) -> (TxnHandle, bool) {
+        match self.active_txns.lock().get(&session.id) {
+            Some(t) => (*t, false),
+            None => (self.tm.begin(), true),
+        }
+    }
+
+    // ---- the single point of access ----
+
+    /// Execute one SQL statement.
+    pub fn execute_sql(&self, session: &Session, sql: &str) -> Result<ResultSet> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(session, stmt, sql)
+    }
+
+    /// Execute a script of `;`-separated statements, returning the last
+    /// result.
+    pub fn execute_script(&self, session: &Session, sql: &str) -> Result<ResultSet> {
+        let mut last = ResultSet::default();
+        for piece in split_sql_script(sql) {
+            let stmt = parse_statement(&piece)?;
+            last = self.execute_statement(session, stmt, &piece)?;
+        }
+        Ok(last)
+    }
+
+    fn execute_statement(
+        &self,
+        session: &Session,
+        stmt: Statement,
+        sql_text: &str,
+    ) -> Result<ResultSet> {
+        match stmt {
+            Statement::Query(q) => {
+                self.security.check(session, Privilege::Select)?;
+                let cid = self.snapshot_cid(session);
+                execute_query(&q, self.catalog.as_ref(), cid)
+            }
+            Statement::Explain(q) => {
+                self.security.check(session, Privilege::Select)?;
+                let plan = Planner::new(self.catalog.as_ref()).plan(&q)?;
+                let lines: Vec<Row> = plan
+                    .explain()
+                    .lines()
+                    .map(|l| Row::from_values([Value::from(l)]))
+                    .collect();
+                Ok(ResultSet::new(
+                    Schema::of(&[("plan", DataType::Varchar)]),
+                    lines,
+                ))
+            }
+            Statement::CreateTable(ct) => {
+                self.security.check(session, Privilege::Ddl)?;
+                self.create_table(ct)?;
+                self.log_ddl(sql_text)?;
+                Ok(ok_result())
+            }
+            Statement::DropTable { name } => {
+                self.security.check(session, Privilege::Ddl)?;
+                self.drop_table(&name)?;
+                self.log_ddl(sql_text)?;
+                Ok(ok_result())
+            }
+            Statement::CreateRemoteSource {
+                name,
+                adapter,
+                configuration,
+                credentials,
+                ..
+            } => {
+                self.security.check(session, Privilege::Ddl)?;
+                let factories = self.adapter_factories.read();
+                let factory = factories.get(&adapter.to_ascii_lowercase()).ok_or_else(|| {
+                    HanaError::Config(format!(
+                        "no adapter '{adapter}' available; attach the environment first"
+                    ))
+                })?;
+                let instance = factory(&configuration);
+                self.catalog.sda().create_remote_source(
+                    &name,
+                    instance,
+                    &configuration,
+                    credentials.as_deref(),
+                )?;
+                Ok(ok_result())
+            }
+            Statement::CreateVirtualTable { name, remote_path } => {
+                self.security.check(session, Privilege::Ddl)?;
+                if remote_path.len() < 2 {
+                    return Err(HanaError::Parse(
+                        "virtual table path needs source and table".into(),
+                    ));
+                }
+                let source = &remote_path[0];
+                let remote_table = remote_path.last().expect("len >= 2");
+                self.catalog
+                    .sda()
+                    .create_virtual_table(&name, source, remote_table)?;
+                let vt = self
+                    .catalog
+                    .sda()
+                    .virtual_table(&name)
+                    .expect("just created");
+                self.catalog.add_table(
+                    &name,
+                    TableEntry {
+                        source: TableSource::Virtual {
+                            source: vt.source,
+                            remote_table: vt.remote_table,
+                            schema: vt.schema,
+                        },
+                        kind: TableKindInfo::Virtual,
+                    },
+                )?;
+                Ok(ok_result())
+            }
+            Statement::CreateVirtualFunction {
+                name,
+                returns,
+                configuration,
+                source,
+            } => {
+                self.security.check(session, Privilege::Ddl)?;
+                let cols: Vec<ColumnDef> = returns
+                    .iter()
+                    .map(|(n, t)| Ok(ColumnDef::new(n, DataType::parse_sql(t)?)))
+                    .collect::<Result<_>>()?;
+                let schema = Schema::new(cols)?;
+                self.catalog.sda().create_virtual_function(
+                    &name,
+                    &source,
+                    &configuration,
+                    schema.clone(),
+                )?;
+                self.catalog.add_function(
+                    &name,
+                    Arc::new(VirtualFunctionProxy {
+                        catalog: Arc::downgrade(&self.catalog),
+                        name: name.clone(),
+                        schema,
+                    }),
+                );
+                Ok(ok_result())
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                self.security.check(session, Privilege::Write)?;
+                let n = self.run_dml(session, sql_text, |p, tid, cid| {
+                    p.buffer_insert(tid, cid, &table, columns.as_deref(), &rows)
+                })?;
+                Ok(count_result(n))
+            }
+            Statement::Delete { table, filter } => {
+                self.security.check(session, Privilege::Write)?;
+                let n = self.run_dml(session, sql_text, |p, tid, cid| {
+                    p.buffer_delete(tid, cid, &table, filter.as_ref())
+                })?;
+                Ok(count_result(n))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => {
+                self.security.check(session, Privilege::Write)?;
+                let n = self.run_dml(session, sql_text, |p, tid, cid| {
+                    p.buffer_update(tid, cid, &table, &assignments, filter.as_ref())
+                })?;
+                Ok(count_result(n))
+            }
+            Statement::Begin => {
+                let mut txns = self.active_txns.lock();
+                if txns.contains_key(&session.id) {
+                    return Err(HanaError::Transaction(
+                        "a transaction is already open in this session".into(),
+                    ));
+                }
+                txns.insert(session.id, self.tm.begin());
+                Ok(ok_result())
+            }
+            Statement::Commit => {
+                let txn = self
+                    .active_txns
+                    .lock()
+                    .remove(&session.id)
+                    .ok_or_else(|| HanaError::Transaction("no open transaction".into()))?;
+                self.tm.commit(txn, &self.participants())?;
+                Ok(ok_result())
+            }
+            Statement::Rollback => {
+                let txn = self
+                    .active_txns
+                    .lock()
+                    .remove(&session.id)
+                    .ok_or_else(|| HanaError::Transaction("no open transaction".into()))?;
+                self.tm.abort(txn, &self.participants())?;
+                Ok(ok_result())
+            }
+            Statement::MergeDelta { table } => {
+                self.security.check(session, Privilege::Ddl)?;
+                let entry = self.catalog.table(&table)?;
+                match &entry.source {
+                    TableSource::Column(t) => {
+                        t.write().merge_delta();
+                        Ok(ok_result())
+                    }
+                    TableSource::Hybrid { hot, .. } => {
+                        hot.write().merge_delta();
+                        Ok(ok_result())
+                    }
+                    _ => Err(HanaError::Unsupported(format!(
+                        "'{table}' has no delta to merge"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Run a buffered DML statement inside the session's (or a fresh
+    /// auto-commit) transaction, logging it for recovery.
+    fn run_dml(
+        &self,
+        session: &Session,
+        sql_text: &str,
+        f: impl FnOnce(&Self, u64, u64) -> Result<usize>,
+    ) -> Result<usize> {
+        let (txn, auto) = self.txn_for(session);
+        let result = f(self, txn.tid, txn.snapshot.cid());
+        match result {
+            Ok(n) => {
+                self.tm.log_data(txn.tid, "hana", sql_text)?;
+                if auto {
+                    self.tm.commit(txn, &self.participants())?;
+                }
+                Ok(n)
+            }
+            Err(e) => {
+                if auto {
+                    let _ = self.tm.abort(txn, &self.participants());
+                }
+                Err(e)
+            }
+        }
+    }
+
+    // ---- DDL ----
+
+    fn create_table(&self, ct: CreateTable) -> Result<()> {
+        let schema = schema_from_specs(&ct.columns)?;
+        match &ct.extended {
+            None => match ct.kind {
+                TableKind::Column => {
+                    let table = ColumnTable::new(&ct.name, schema);
+                    self.catalog.add_table(
+                        &ct.name,
+                        TableEntry {
+                            source: TableSource::Column(Arc::new(RwLock::new(table))),
+                            kind: TableKindInfo::Column,
+                        },
+                    )
+                }
+                TableKind::Row => {
+                    let pk = ct
+                        .columns
+                        .iter()
+                        .find(|c| c.primary_key)
+                        .map(|c| c.name.clone());
+                    let table = RowTable::new(&ct.name, schema, pk.as_deref())?;
+                    self.catalog.add_table(
+                        &ct.name,
+                        TableEntry {
+                            source: TableSource::Row(Arc::new(RwLock::new(table))),
+                            kind: TableKindInfo::Row,
+                        },
+                    )
+                }
+            },
+            Some(ext) if !ext.hybrid => {
+                // Whole table in the extended store (§3.1 scenario 1).
+                self.iq.create_table(&ct.name, schema.clone())?;
+                self.catalog.add_table(
+                    &ct.name,
+                    TableEntry {
+                        source: TableSource::Extended {
+                            source: INTERNAL_IQ_SOURCE.into(),
+                            remote_table: ct.name.to_ascii_lowercase(),
+                            schema,
+                        },
+                        kind: TableKindInfo::Extended,
+                    },
+                )
+            }
+            Some(ext) => {
+                // Hybrid table (§3.1 scenario 2): hot in-memory
+                // partition + cold IQ partition, aged by the flag column.
+                let aging = ext.aging_column.clone().ok_or_else(|| {
+                    HanaError::Parse(
+                        "hybrid tables need AGING ON <flag column>".into(),
+                    )
+                })?;
+                let idx = schema.require(&aging)?;
+                if schema.column(idx).data_type != DataType::Bool {
+                    return Err(HanaError::Catalog(format!(
+                        "aging column '{aging}' must be BOOLEAN"
+                    )));
+                }
+                let cold_table = format!("{}__cold", ct.name.to_ascii_lowercase());
+                self.iq.create_table(&cold_table, schema.clone())?;
+                let hot = ColumnTable::new(&ct.name, schema);
+                self.catalog.add_table(
+                    &ct.name,
+                    TableEntry {
+                        source: TableSource::Hybrid {
+                            hot: Arc::new(RwLock::new(hot)),
+                            source: INTERNAL_IQ_SOURCE.into(),
+                            cold_table: cold_table.clone(),
+                            aging_column: aging.clone(),
+                        },
+                        kind: TableKindInfo::Hybrid {
+                            aging_column: aging,
+                            cold_table,
+                        },
+                    },
+                )
+            }
+        }
+    }
+
+    fn drop_table(&self, name: &str) -> Result<()> {
+        let entry = self.catalog.remove_table(name)?;
+        match entry.kind {
+            TableKindInfo::Extended => self.iq.drop_table(name)?,
+            TableKindInfo::Hybrid { cold_table, .. } => self.iq.drop_table(&cold_table)?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn log_ddl(&self, sql: &str) -> Result<()> {
+        let txn = self.tm.begin();
+        self.tm.log_data(txn.tid, "hana", sql)?;
+        self.tm.commit(txn, &[])?;
+        Ok(())
+    }
+
+    // ---- DML buffering ----
+
+    fn buffer_insert(
+        &self,
+        tid: u64,
+        _cid: u64,
+        table: &str,
+        columns: Option<&[String]>,
+        value_rows: &[Vec<Expr>],
+    ) -> Result<usize> {
+        let entry = self.catalog.table(table)?;
+        let schema = entry.source.schema();
+        let empty = Schema::default();
+        let mut rows = Vec::with_capacity(value_rows.len());
+        for exprs in value_rows {
+            let values: Vec<Value> = exprs
+                .iter()
+                .map(|e| evaluate(e, &empty, &Row::new()))
+                .collect::<Result<_>>()?;
+            let row = match columns {
+                None => values,
+                Some(cols) => {
+                    if cols.len() != values.len() {
+                        return Err(HanaError::Execution(format!(
+                            "{} columns but {} values",
+                            cols.len(),
+                            values.len()
+                        )));
+                    }
+                    let mut full = vec![Value::Null; schema.len()];
+                    for (c, v) in cols.iter().zip(values) {
+                        full[schema.require(c)?] = v;
+                    }
+                    full
+                }
+            };
+            schema.check_row(&row)?;
+            rows.push(row);
+        }
+        let n = rows.len();
+        match &entry.source {
+            TableSource::Column(t) => {
+                for row in rows {
+                    self.local_writes.buffer(
+                        tid,
+                        LocalOp::ColumnInsert {
+                            table: Arc::clone(t),
+                            row,
+                        },
+                    );
+                }
+            }
+            TableSource::Row(t) => {
+                for row in rows {
+                    self.local_writes.buffer(
+                        tid,
+                        LocalOp::RowInsert {
+                            table: Arc::clone(t),
+                            row,
+                        },
+                    );
+                }
+            }
+            TableSource::Hybrid { hot, .. } => {
+                for row in rows {
+                    self.local_writes.buffer(
+                        tid,
+                        LocalOp::ColumnInsert {
+                            table: Arc::clone(hot),
+                            row,
+                        },
+                    );
+                }
+            }
+            TableSource::Extended { remote_table, .. } => {
+                self.iq
+                    .buffer_insert(tid, remote_table, rows.into_iter().map(Row).collect())?;
+            }
+            TableSource::Virtual { .. } => {
+                return Err(HanaError::Unsupported(format!(
+                    "virtual table '{table}' is read-only (no CAP_DML)"
+                )));
+            }
+        }
+        Ok(n)
+    }
+
+    fn buffer_delete(
+        &self,
+        tid: u64,
+        cid: u64,
+        table: &str,
+        filter: Option<&Expr>,
+    ) -> Result<usize> {
+        let entry = self.catalog.table(table)?;
+        match &entry.source {
+            TableSource::Column(t) => {
+                let victims = {
+                    let tr = t.read();
+                    matching_column_rows(&tr, filter, cid)?
+                };
+                let n = victims.len();
+                for row_id in victims {
+                    self.local_writes.buffer(
+                        tid,
+                        LocalOp::ColumnDelete {
+                            table: Arc::clone(t),
+                            row_id,
+                        },
+                    );
+                }
+                Ok(n)
+            }
+            TableSource::Row(t) => {
+                let tr = t.read();
+                let schema = tr.schema().clone();
+                let slots = tr.slots_matching(hana_txn::Snapshot::at(cid), |row| match filter {
+                    None => true,
+                    Some(f) => evaluate_predicate(f, &schema, row).unwrap_or(false),
+                });
+                drop(tr);
+                let n = slots.len();
+                for slot in slots {
+                    self.local_writes.buffer(
+                        tid,
+                        LocalOp::RowDelete {
+                            table: Arc::clone(t),
+                            slot,
+                        },
+                    );
+                }
+                Ok(n)
+            }
+            TableSource::Hybrid {
+                hot, cold_table, ..
+            } => {
+                let victims = {
+                    let tr = hot.read();
+                    matching_column_rows(&tr, filter, cid)?
+                };
+                let mut n = victims.len();
+                for row_id in victims {
+                    self.local_writes.buffer(
+                        tid,
+                        LocalOp::ColumnDelete {
+                            table: Arc::clone(hot),
+                            row_id,
+                        },
+                    );
+                }
+                n += self.iq_delete(tid, cid, cold_table, filter)?;
+                Ok(n)
+            }
+            TableSource::Extended { remote_table, .. } => {
+                self.iq_delete(tid, cid, remote_table, filter)
+            }
+            TableSource::Virtual { .. } => Err(HanaError::Unsupported(format!(
+                "virtual table '{table}' is read-only (no CAP_DML)"
+            ))),
+        }
+    }
+
+    fn iq_delete(
+        &self,
+        tid: u64,
+        cid: u64,
+        remote_table: &str,
+        filter: Option<&Expr>,
+    ) -> Result<usize> {
+        let preds = match filter {
+            None => Vec::new(),
+            Some(f) => {
+                let (pushed, residual) = hana_sda::split_pushdown(f);
+                if !residual.is_empty() {
+                    return Err(HanaError::Unsupported(format!(
+                        "DELETE filter not fully pushable to the extended store: {residual:?}"
+                    )));
+                }
+                pushed
+            }
+        };
+        self.iq.buffer_delete(tid, remote_table, &preds, cid)
+    }
+
+    fn buffer_update(
+        &self,
+        tid: u64,
+        cid: u64,
+        table: &str,
+        assignments: &[(String, Expr)],
+        filter: Option<&Expr>,
+    ) -> Result<usize> {
+        let entry = self.catalog.table(table)?;
+        let schema = entry.source.schema();
+        let apply = |row: &Row| -> Result<Vec<Value>> {
+            let mut new_row = row.values().to_vec();
+            for (col, e) in assignments {
+                new_row[schema.require(col)?] = evaluate(e, &schema, row)?;
+            }
+            Ok(new_row)
+        };
+        match &entry.source {
+            // Hybrid tables update their hot partition; cold data is
+            // read-mostly ("rarely accessed", §3.1) and must be un-aged
+            // before modification.
+            TableSource::Column(t) | TableSource::Hybrid { hot: t, .. } => {
+                let (victims, new_rows) = {
+                    let tr = t.read();
+                    let victims = matching_column_rows(&tr, filter, cid)?;
+                    let new_rows: Vec<Vec<Value>> = victims
+                        .iter()
+                        .map(|&r| {
+                            apply(&Row::from_values(
+                                (0..schema.len()).map(|c| tr.value(r, c)),
+                            ))
+                        })
+                        .collect::<Result<_>>()?;
+                    (victims, new_rows)
+                };
+                let n = victims.len();
+                for (row_id, row) in victims.into_iter().zip(new_rows) {
+                    self.local_writes.buffer(
+                        tid,
+                        LocalOp::ColumnDelete {
+                            table: Arc::clone(t),
+                            row_id,
+                        },
+                    );
+                    self.local_writes.buffer(
+                        tid,
+                        LocalOp::ColumnInsert {
+                            table: Arc::clone(t),
+                            row,
+                        },
+                    );
+                }
+                Ok(n)
+            }
+            TableSource::Row(t) => {
+                let tr = t.read();
+                let sch = tr.schema().clone();
+                let slots = tr.slots_matching(hana_txn::Snapshot::at(cid), |row| match filter {
+                    None => true,
+                    Some(f) => evaluate_predicate(f, &sch, row).unwrap_or(false),
+                });
+                let updates: Vec<(usize, Vec<Value>)> = slots
+                    .iter()
+                    .map(|&s| {
+                        let old = tr.slot_values(s).expect("slot exists").clone();
+                        Ok((s, apply(&old)?))
+                    })
+                    .collect::<Result<_>>()?;
+                drop(tr);
+                let n = updates.len();
+                for (slot, row) in updates {
+                    self.local_writes.buffer(
+                        tid,
+                        LocalOp::RowDelete {
+                            table: Arc::clone(t),
+                            slot,
+                        },
+                    );
+                    self.local_writes.buffer(
+                        tid,
+                        LocalOp::RowInsert {
+                            table: Arc::clone(t),
+                            row,
+                        },
+                    );
+                }
+                Ok(n)
+            }
+            _ => Err(HanaError::Unsupported(format!(
+                "UPDATE is supported on local tables only, not '{table}'"
+            ))),
+        }
+    }
+
+    // ---- bulk load ----
+
+    /// Bulk-load rows through a single transaction. For extended tables
+    /// this is the §3.1 **direct load** path ("directly moves the data
+    /// into the external store without taking a detour via the in-memory
+    /// store").
+    pub fn load_rows(&self, session: &Session, table: &str, rows: &[Row]) -> Result<usize> {
+        self.security.check(session, Privilege::Write)?;
+        let entry = self.catalog.table(table)?;
+        let schema = entry.source.schema();
+        for row in rows {
+            schema.check_row(row.values())?;
+        }
+        let txn = self.tm.begin();
+        match &entry.source {
+            TableSource::Column(t) | TableSource::Hybrid { hot: t, .. } => {
+                for row in rows {
+                    self.local_writes.buffer(
+                        txn.tid,
+                        LocalOp::ColumnInsert {
+                            table: Arc::clone(t),
+                            row: row.values().to_vec(),
+                        },
+                    );
+                }
+            }
+            TableSource::Row(t) => {
+                for row in rows {
+                    self.local_writes.buffer(
+                        txn.tid,
+                        LocalOp::RowInsert {
+                            table: Arc::clone(t),
+                            row: row.values().to_vec(),
+                        },
+                    );
+                }
+            }
+            TableSource::Extended { remote_table, .. } => {
+                self.iq.buffer_insert(txn.tid, remote_table, rows.to_vec())?;
+            }
+            TableSource::Virtual { .. } => {
+                return Err(HanaError::Unsupported(format!(
+                    "virtual table '{table}' is read-only"
+                )));
+            }
+        }
+        // Log the bulk load for point-in-time recovery.
+        let payload = format!(
+            "LOAD\u{1}{table}\u{1}{}",
+            rows.iter()
+                .map(|r| r.to_delimited('\u{1f}'))
+                .collect::<Vec<_>>()
+                .join(&ROW_SEP.to_string())
+        );
+        self.tm.log_data(txn.tid, "hana", &payload)?;
+        self.tm.commit(txn, &self.participants())?;
+        Ok(rows.len())
+    }
+
+    // ---- ESP wiring ----
+
+    /// A sink forwarding rows into a platform table (ESP use case 1).
+    pub fn table_sink(self: &Arc<Self>, session: &Session, table: &str) -> Result<Sink> {
+        self.security.check(session, Privilege::Stream)?;
+        self.catalog.table(table)?; // must exist
+        let weak = Arc::downgrade(self);
+        let session = session.clone();
+        Ok(Sink::Table {
+            table: table.to_string(),
+            writer: Arc::new(move |table, _schema, rows| {
+                let platform = weak.upgrade().ok_or_else(|| {
+                    HanaError::Stream("platform shut down".into())
+                })?;
+                platform.load_rows(&session, table, rows)?;
+                Ok(())
+            }),
+        })
+    }
+
+    /// Expose a live ESP window as a table function for HANA joins
+    /// (ESP use case 3).
+    pub fn expose_esp_window(&self, session: &Session, window: &str) -> Result<()> {
+        self.security.check(session, Privilege::Stream)?;
+        let schema = self.esp.window_schema(window)?;
+        self.catalog.add_function(
+            window,
+            Arc::new(EspWindowFunction {
+                esp: Arc::clone(&self.esp),
+                window: window.to_string(),
+                schema,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Push a table's current content to the ESP as reference data
+    /// (ESP use case 2).
+    pub fn push_reference_to_esp(
+        &self,
+        session: &Session,
+        table: &str,
+        reference_name: &str,
+    ) -> Result<()> {
+        self.security.check(session, Privilege::Stream)?;
+        let rs = self.execute_sql(session, &format!("SELECT * FROM {table}"))?;
+        self.esp.register_reference(reference_name, rs);
+        Ok(())
+    }
+
+    // ---- aging (§3.1 "built-in aging mechanism") ----
+
+    /// Move rows whose aging flag is set from the hot partition to the
+    /// cold (extended) partition of a hybrid table. Returns moved rows.
+    pub fn run_aging(&self, session: &Session, table: &str) -> Result<usize> {
+        self.security.check(session, Privilege::Write)?;
+        let entry = self.catalog.table(table)?;
+        let TableSource::Hybrid {
+            hot,
+            cold_table,
+            aging_column,
+            ..
+        } = &entry.source
+        else {
+            return Err(HanaError::Unsupported(format!(
+                "'{table}' is not a hybrid table"
+            )));
+        };
+        let cid = self.tm.current_snapshot().cid();
+        let (victims, rows) = {
+            let tr = hot.read();
+            let col = tr.schema().require(aging_column)?;
+            let hits = tr.scan(
+                col,
+                &hana_columnar::ColumnPredicate::Eq(Value::Bool(true)),
+                cid,
+            )?;
+            let victims: Vec<usize> = hits.iter().collect();
+            let rows = tr.collect_rows(&hits, &[]);
+            (victims, rows)
+        };
+        if victims.is_empty() {
+            return Ok(0);
+        }
+        let txn = self.tm.begin();
+        self.iq.buffer_insert(txn.tid, cold_table, rows)?;
+        for row_id in &victims {
+            self.local_writes.buffer(
+                txn.tid,
+                LocalOp::ColumnDelete {
+                    table: Arc::clone(hot),
+                    row_id: *row_id,
+                },
+            );
+        }
+        self.tm
+            .log_data(txn.tid, "hana", &format!("-- aging {table}"))?;
+        self.tm.commit(txn, &self.participants())?;
+        Ok(victims.len())
+    }
+
+    // ---- repository / lifecycle ----
+
+    /// Store an artifact in the repository.
+    pub fn put_artifact(
+        &self,
+        session: &Session,
+        name: &str,
+        kind: ArtifactKind,
+        content: &str,
+    ) -> Result<u64> {
+        self.security.check(session, Privilege::Operate)?;
+        Ok(self.repository.lock().put(name, kind, content))
+    }
+
+    /// Export artifacts as a delivery unit.
+    pub fn export_delivery_unit(
+        &self,
+        session: &Session,
+        unit: &str,
+        names: &[&str],
+    ) -> Result<DeliveryUnit> {
+        self.security.check(session, Privilege::Operate)?;
+        self.repository.lock().export(unit, names)
+    }
+
+    /// Import and **deploy** a delivery unit atomically: all SQL and CCL
+    /// artifacts are validated before any is executed.
+    pub fn deploy_delivery_unit(&self, session: &Session, du: &DeliveryUnit) -> Result<()> {
+        self.security.check(session, Privilege::Operate)?;
+        // Validate.
+        for a in &du.artifacts {
+            match a.kind {
+                ArtifactKind::SqlScript => {
+                    parse_script(&a.content)?;
+                }
+                ArtifactKind::CclScript => {
+                    hana_esp::parse_ccl(&a.content)?;
+                }
+                _ => {}
+            }
+        }
+        self.repository.lock().import(du)?;
+        // Deploy.
+        for a in &du.artifacts {
+            match a.kind {
+                ArtifactKind::SqlScript => {
+                    self.execute_script(session, &a.content)?;
+                }
+                ArtifactKind::CclScript => {
+                    self.esp.deploy(&a.content)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    // ---- backup / recovery ----
+
+    /// Take a consistent logical backup across the in-memory store and
+    /// the extended storage (one snapshot CID for both).
+    pub fn backup(&self, session: &Session) -> Result<Backup> {
+        self.security.check(session, Privilege::Operate)?;
+        let cid = self.tm.current_snapshot().cid();
+        let mut entries = Vec::new();
+        for (name, _) in self.catalog.list_tables() {
+            let entry = self.catalog.table(&name)?;
+            let schema = entry.source.schema();
+            let (rows, cold_rows) = match &entry.source {
+                TableSource::Column(t) => (t.read().snapshot_rows(cid), Vec::new()),
+                TableSource::Row(t) => (t.read().scan(hana_txn::Snapshot::at(cid)), Vec::new()),
+                TableSource::Extended { remote_table, .. } => {
+                    (self.iq.scan(remote_table, &[], None, cid)?.rows, Vec::new())
+                }
+                TableSource::Hybrid {
+                    hot, cold_table, ..
+                } => (
+                    hot.read().snapshot_rows(cid),
+                    self.iq.scan(cold_table, &[], None, cid)?.rows,
+                ),
+                TableSource::Virtual { .. } => continue, // remote data
+            };
+            entries.push(BackupEntry {
+                name,
+                kind: entry.kind.clone(),
+                schema,
+                rows,
+                cold_rows,
+            });
+        }
+        Ok(Backup { cid, entries })
+    }
+
+    /// Restore a backup: captured tables are dropped, recreated and
+    /// reloaded (in-memory and extended partitions together).
+    pub fn restore(&self, session: &Session, backup: &Backup) -> Result<()> {
+        self.security.check(session, Privilege::Operate)?;
+        for e in &backup.entries {
+            if self.catalog.has_table(&e.name) {
+                self.drop_table(&e.name)?;
+            }
+            let specs: Vec<ColumnSpec> = e
+                .schema
+                .columns()
+                .iter()
+                .map(|c| ColumnSpec {
+                    name: c.name.clone(),
+                    type_name: c.data_type.sql_name().to_string(),
+                    not_null: !c.nullable,
+                    primary_key: false,
+                })
+                .collect();
+            let (kind, extended) = match &e.kind {
+                TableKindInfo::Column | TableKindInfo::Virtual => (TableKind::Column, None),
+                TableKindInfo::Row => (TableKind::Row, None),
+                TableKindInfo::Extended => (
+                    TableKind::Column,
+                    Some(hana_sql::ExtendedSpec {
+                        hybrid: false,
+                        aging_column: None,
+                    }),
+                ),
+                TableKindInfo::Hybrid { aging_column, .. } => (
+                    TableKind::Column,
+                    Some(hana_sql::ExtendedSpec {
+                        hybrid: true,
+                        aging_column: Some(aging_column.clone()),
+                    }),
+                ),
+            };
+            self.create_table(CreateTable {
+                name: e.name.clone(),
+                kind,
+                columns: specs,
+                extended,
+            })?;
+            if !e.rows.is_empty() {
+                self.load_rows(session, &e.name, &e.rows)?;
+            }
+            if !e.cold_rows.is_empty() {
+                // Straight into the cold partition.
+                let entry = self.catalog.table(&e.name)?;
+                if let TableSource::Hybrid { cold_table, .. } = &entry.source {
+                    let txn = self.tm.begin();
+                    self.iq.buffer_insert(txn.tid, cold_table, e.cold_rows.clone())?;
+                    self.tm.commit(txn, &self.participants())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild a platform by replaying the WAL at `path` up to
+    /// `upto_cid` (`None` = everything) — logical point-in-time
+    /// recovery. Returns the platform and the number of replayed
+    /// statements.
+    pub fn recover_replay(path: &Path, upto_cid: Option<u64>) -> Result<(HanaPlatform, usize)> {
+        let wal = hana_txn::Wal::with_file(path)?;
+        let report = match upto_cid {
+            Some(cid) => wal.recover_to(cid),
+            None => wal.recover(),
+        };
+        let committed: std::collections::HashSet<u64> =
+            report.committed.iter().map(|&(tid, _)| tid).collect();
+        let platform = HanaPlatform::new_in_memory();
+        let session = platform.connect("SYSTEM", "manager")?;
+        let mut replayed = 0usize;
+        for rec in wal.records() {
+            let hana_txn::LogRecord::Data { tid, payload, .. } = rec else {
+                continue;
+            };
+            if !committed.contains(tid) || payload.starts_with("--") {
+                continue;
+            }
+            if let Some(rest) = payload.strip_prefix("LOAD\u{1}") {
+                let (table, rows_text) = rest.split_once('\u{1}').ok_or_else(|| {
+                    HanaError::Io("corrupt LOAD record".into())
+                })?;
+                let schema = platform.catalog.table(table)?.source.schema();
+                let rows: Vec<Row> = rows_text
+                    .split(ROW_SEP)
+                    .filter(|s| !s.is_empty())
+                    .map(|line| parse_load_row(line, &schema))
+                    .collect::<Result<_>>()?;
+                platform.load_rows(&session, table, &rows)?;
+            } else {
+                platform.execute_sql(&session, payload)?;
+            }
+            replayed += 1;
+        }
+        Ok((platform, replayed))
+    }
+
+    /// Landscape summary (single administration interface, §2).
+    pub fn landscape_info(&self) -> String {
+        let tables = self.catalog.list_tables();
+        let (hits, misses) = self.catalog.sda().cache.stats();
+        let (reads, writes) = self.iq.cache().file().stats.snapshot();
+        format!(
+            "HANA data platform: {} tables ({}), last commit id {}, \
+             remote cache {}h/{}m, extended store I/O {}r/{}w pages, \
+             ESP windows: {:?}",
+            tables.len(),
+            tables
+                .iter()
+                .map(|(n, k)| format!("{n}:{k}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.tm.last_commit_id(),
+            hits,
+            misses,
+            reads,
+            writes,
+            self.esp.window_names(),
+        )
+    }
+}
+
+/// Resolve matching row IDs of a column table at statement time.
+fn matching_column_rows(
+    table: &ColumnTable,
+    filter: Option<&Expr>,
+    cid: u64,
+) -> Result<Vec<usize>> {
+    let schema = table.schema().clone();
+    let visible = table.visible(cid);
+    let mut out = Vec::new();
+    for row_id in visible.iter() {
+        let row = Row::from_values((0..schema.len()).map(|c| table.value(row_id, c)));
+        let keep = match filter {
+            None => true,
+            Some(f) => evaluate_predicate(f, &schema, &row)?,
+        };
+        if keep {
+            out.push(row_id);
+        }
+    }
+    Ok(out)
+}
+
+fn schema_from_specs(specs: &[ColumnSpec]) -> Result<Schema> {
+    let cols: Vec<ColumnDef> = specs
+        .iter()
+        .map(|c| {
+            Ok(ColumnDef {
+                name: c.name.clone(),
+                data_type: DataType::parse_sql(&c.type_name)?,
+                nullable: !c.not_null && !c.primary_key,
+            })
+        })
+        .collect::<Result<_>>()?;
+    Schema::new(cols)
+}
+
+fn ok_result() -> ResultSet {
+    ResultSet::empty(Schema::of(&[("result", DataType::Varchar)]))
+}
+
+fn count_result(n: usize) -> ResultSet {
+    ResultSet::new(
+        Schema::of(&[("rows_affected", DataType::BigInt)]),
+        vec![Row::from_values([Value::Int(n as i64)])],
+    )
+}
+
+fn parse_load_row(line: &str, schema: &Schema) -> Result<Row> {
+    let fields: Vec<&str> = line.split('\u{1f}').collect();
+    if fields.len() != schema.len() {
+        return Err(HanaError::Io("corrupt LOAD row".into()));
+    }
+    let mut vals = Vec::with_capacity(fields.len());
+    for (f, c) in fields.iter().zip(schema.columns()) {
+        vals.push(Value::parse_typed(f, c.data_type)?);
+    }
+    Ok(Row(vals))
+}
+
+/// Split a script on semicolons outside string literals, so each
+/// statement's exact text reaches the recovery log.
+fn split_sql_script(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in text.chars() {
+        match c {
+            '\'' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ';' if !in_str => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+/// Table function proxy for SDA virtual functions.
+struct VirtualFunctionProxy {
+    catalog: std::sync::Weak<PlatformCatalog>,
+    name: String,
+    schema: Schema,
+}
+
+impl TableFunction for VirtualFunctionProxy {
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn invoke(&self, _args: &[Value]) -> Result<ResultSet> {
+        let catalog = self
+            .catalog
+            .upgrade()
+            .ok_or_else(|| HanaError::Catalog("platform shut down".into()))?;
+        catalog.sda().invoke_virtual_function(&self.name)
+    }
+}
+
+/// Table function exposing a live ESP window.
+struct EspWindowFunction {
+    esp: Arc<EspEngine>,
+    window: String,
+    schema: Schema,
+}
+
+impl TableFunction for EspWindowFunction {
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn invoke(&self, _args: &[Value]) -> Result<ResultSet> {
+        self.esp.window_snapshot(&self.window)
+    }
+}

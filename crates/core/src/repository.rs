@@ -1,0 +1,190 @@
+//! The integrated repository of application artifacts.
+//!
+//! §2 "Value": "integrated repository of application artifacts for
+//! holistic life cycle management; for example application code in
+//! combination with database schema and pre-loaded content can be
+//! atomically deployed or transported from development via test to a
+//! production system." §4.1 adds that map-reduce job configurations are
+//! transported the same way.
+
+use std::collections::BTreeMap;
+
+use hana_types::{HanaError, Result};
+
+/// Artifact kinds under lifecycle management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// SQL DDL/DML script.
+    SqlScript,
+    /// CCL script for the ESP.
+    CclScript,
+    /// Virtual-function / MR job configuration.
+    MrJobConfig,
+    /// Free-form content (views, models, documentation).
+    Content,
+}
+
+/// One versioned artifact.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Artifact name (unique within the repository).
+    pub name: String,
+    /// Kind.
+    pub kind: ArtifactKind,
+    /// Payload.
+    pub content: String,
+    /// Monotonic version, starting at 1.
+    pub version: u64,
+}
+
+/// A transportable set of artifacts ("delivery unit").
+#[derive(Debug, Clone)]
+pub struct DeliveryUnit {
+    /// Unit name.
+    pub name: String,
+    /// Contained artifacts (snapshot at export time).
+    pub artifacts: Vec<Artifact>,
+}
+
+/// The repository of one system (development, test, production…).
+#[derive(Debug, Default)]
+pub struct Repository {
+    artifacts: BTreeMap<String, Artifact>,
+}
+
+impl Repository {
+    /// An empty repository.
+    pub fn new() -> Repository {
+        Repository::default()
+    }
+
+    /// Store (or upversion) an artifact.
+    pub fn put(&mut self, name: &str, kind: ArtifactKind, content: &str) -> u64 {
+        let key = name.to_ascii_lowercase();
+        let version = self.artifacts.get(&key).map(|a| a.version + 1).unwrap_or(1);
+        self.artifacts.insert(
+            key.clone(),
+            Artifact {
+                name: key,
+                kind,
+                content: content.to_string(),
+                version,
+            },
+        );
+        version
+    }
+
+    /// Fetch an artifact.
+    pub fn get(&self, name: &str) -> Result<&Artifact> {
+        self.artifacts
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| HanaError::Catalog(format!("no artifact '{name}' in repository")))
+    }
+
+    /// All artifact names.
+    pub fn list(&self) -> Vec<String> {
+        self.artifacts.keys().cloned().collect()
+    }
+
+    /// Export the named artifacts as a delivery unit.
+    pub fn export(&self, unit_name: &str, names: &[&str]) -> Result<DeliveryUnit> {
+        let artifacts = names
+            .iter()
+            .map(|n| self.get(n).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(DeliveryUnit {
+            name: unit_name.to_string(),
+            artifacts,
+        })
+    }
+
+    /// Import a delivery unit **atomically**: either every artifact is
+    /// accepted or none is (versions bump only on success).
+    pub fn import(&mut self, unit: &DeliveryUnit) -> Result<()> {
+        // Validation phase: reject empty units and empty payloads before
+        // touching anything.
+        if unit.artifacts.is_empty() {
+            return Err(HanaError::Config(format!(
+                "delivery unit '{}' is empty",
+                unit.name
+            )));
+        }
+        for a in &unit.artifacts {
+            if a.content.trim().is_empty() {
+                return Err(HanaError::Config(format!(
+                    "artifact '{}' in unit '{}' has no content",
+                    a.name, unit.name
+                )));
+            }
+        }
+        // Apply phase.
+        for a in &unit.artifacts {
+            self.put(&a.name, a.kind, &a.content);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versioning() {
+        let mut r = Repository::new();
+        assert_eq!(r.put("Model.sql", ArtifactKind::SqlScript, "CREATE ..."), 1);
+        assert_eq!(r.put("model.SQL", ArtifactKind::SqlScript, "CREATE v2"), 2);
+        assert_eq!(r.get("model.sql").unwrap().version, 2);
+        assert!(r.get("missing").is_err());
+    }
+
+    #[test]
+    fn transport_dev_to_prod() {
+        let mut dev = Repository::new();
+        dev.put("schema.sql", ArtifactKind::SqlScript, "CREATE TABLE t (a INT)");
+        dev.put("monitor.ccl", ArtifactKind::CclScript, "CREATE INPUT STREAM s SCHEMA (a INT)");
+        dev.put(
+            "sensors.job",
+            ArtifactKind::MrJobConfig,
+            "hana.mapred.driver.class=com.x.Y",
+        );
+        let du = dev
+            .export("telemetry-du", &["schema.sql", "monitor.ccl", "sensors.job"])
+            .unwrap();
+
+        let mut prod = Repository::new();
+        prod.import(&du).unwrap();
+        assert_eq!(prod.list().len(), 3);
+        assert_eq!(prod.get("sensors.job").unwrap().kind, ArtifactKind::MrJobConfig);
+    }
+
+    #[test]
+    fn import_is_atomic() {
+        let mut r = Repository::new();
+        let du = DeliveryUnit {
+            name: "broken".into(),
+            artifacts: vec![
+                Artifact {
+                    name: "good".into(),
+                    kind: ArtifactKind::Content,
+                    content: "x".into(),
+                    version: 1,
+                },
+                Artifact {
+                    name: "bad".into(),
+                    kind: ArtifactKind::Content,
+                    content: "   ".into(),
+                    version: 1,
+                },
+            ],
+        };
+        assert!(r.import(&du).is_err());
+        assert!(r.list().is_empty(), "nothing applied on failure");
+        assert!(r
+            .import(&DeliveryUnit {
+                name: "empty".into(),
+                artifacts: vec![]
+            })
+            .is_err());
+    }
+}

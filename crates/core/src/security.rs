@@ -1,0 +1,170 @@
+//! Single credential control for the whole platform.
+//!
+//! §2 "Value": "single control of access rights based on credentials
+//! within the platform; for example, a query in the SAP HANA event
+//! stream processor (ESP) may run with the same credentials as a
+//! corresponding query in the SAP HANA core database system." One user
+//! store and one privilege check guard SQL, CCL deployment, remote
+//! sources and administration alike.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use hana_types::{HanaError, Result};
+
+/// Platform privileges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Privilege {
+    /// Full administration (implies everything).
+    Admin,
+    /// Read queries.
+    Select,
+    /// DML.
+    Write,
+    /// DDL (tables, remote sources, virtual objects).
+    Ddl,
+    /// Deploy/operate streams (ESP).
+    Stream,
+    /// Backup / recovery / repository transport.
+    Operate,
+}
+
+/// An authenticated connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// Session id.
+    pub id: u64,
+    /// User name (lower case).
+    pub user: String,
+}
+
+struct UserRecord {
+    /// Deliberately simple credential check (this is a simulation; no
+    /// real secrets live here).
+    password: String,
+    privileges: HashSet<Privilege>,
+}
+
+/// The user store + authenticator.
+pub struct SecurityManager {
+    users: RwLock<HashMap<String, UserRecord>>,
+    next_session: AtomicU64,
+}
+
+impl SecurityManager {
+    /// A manager seeded with the `SYSTEM` administrator.
+    pub fn new() -> SecurityManager {
+        let mut users = HashMap::new();
+        users.insert(
+            "system".to_string(),
+            UserRecord {
+                password: "manager".into(),
+                privileges: [Privilege::Admin].into_iter().collect(),
+            },
+        );
+        SecurityManager {
+            users: RwLock::new(users),
+            next_session: AtomicU64::new(1),
+        }
+    }
+
+    /// Authenticate and open a session.
+    pub fn connect(&self, user: &str, password: &str) -> Result<Session> {
+        let key = user.to_ascii_lowercase();
+        let users = self.users.read();
+        let rec = users
+            .get(&key)
+            .ok_or_else(|| HanaError::Security(format!("unknown user '{user}'")))?;
+        if rec.password != password {
+            return Err(HanaError::Security(format!(
+                "invalid credentials for '{user}'"
+            )));
+        }
+        Ok(Session {
+            id: self.next_session.fetch_add(1, Ordering::Relaxed),
+            user: key,
+        })
+    }
+
+    /// Create a user (admin only).
+    pub fn create_user(
+        &self,
+        admin: &Session,
+        name: &str,
+        password: &str,
+        privileges: &[Privilege],
+    ) -> Result<()> {
+        self.check(admin, Privilege::Admin)?;
+        let key = name.to_ascii_lowercase();
+        let mut users = self.users.write();
+        if users.contains_key(&key) {
+            return Err(HanaError::Security(format!("user '{name}' exists")));
+        }
+        users.insert(
+            key,
+            UserRecord {
+                password: password.to_string(),
+                privileges: privileges.iter().copied().collect(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Check that the session's user holds `privilege` (Admin implies
+    /// all).
+    pub fn check(&self, session: &Session, privilege: Privilege) -> Result<()> {
+        let users = self.users.read();
+        let rec = users
+            .get(&session.user)
+            .ok_or_else(|| HanaError::Security(format!("user '{}' gone", session.user)))?;
+        if rec.privileges.contains(&Privilege::Admin) || rec.privileges.contains(&privilege) {
+            Ok(())
+        } else {
+            Err(HanaError::Security(format!(
+                "user '{}' lacks {privilege:?} privilege",
+                session.user
+            )))
+        }
+    }
+}
+
+impl Default for SecurityManager {
+    fn default() -> Self {
+        SecurityManager::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn authentication_and_privileges() {
+        let sm = SecurityManager::new();
+        let admin = sm.connect("SYSTEM", "manager").unwrap();
+        assert!(sm.connect("SYSTEM", "wrong").is_err());
+        assert!(sm.connect("ghost", "x").is_err());
+
+        sm.create_user(&admin, "analyst", "pw", &[Privilege::Select])
+            .unwrap();
+        let analyst = sm.connect("analyst", "pw").unwrap();
+        assert!(sm.check(&analyst, Privilege::Select).is_ok());
+        assert!(sm.check(&analyst, Privilege::Write).is_err());
+        assert!(sm.check(&admin, Privilege::Stream).is_ok(), "admin implies all");
+        // Only admins create users.
+        assert!(sm
+            .create_user(&analyst, "x", "y", &[Privilege::Select])
+            .is_err());
+        assert!(sm.create_user(&admin, "analyst", "pw", &[]).is_err());
+    }
+
+    #[test]
+    fn sessions_are_distinct() {
+        let sm = SecurityManager::new();
+        let a = sm.connect("SYSTEM", "manager").unwrap();
+        let b = sm.connect("SYSTEM", "manager").unwrap();
+        assert_ne!(a.id, b.id);
+    }
+}

@@ -1,0 +1,205 @@
+//! The "hana" two-phase-commit participant: buffered writes against the
+//! in-memory stores, applied atomically at commit with the transaction's
+//! commit ID.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use hana_columnar::ColumnTable;
+use hana_rowstore::RowTable;
+use hana_txn::{TwoPhaseParticipant, Vote};
+use hana_types::{Result, Value};
+
+/// One buffered local operation.
+pub enum LocalOp {
+    /// Insert into a column table.
+    ColumnInsert {
+        /// Target table.
+        table: Arc<RwLock<ColumnTable>>,
+        /// The row.
+        row: Vec<Value>,
+    },
+    /// Delete a (statement-time-resolved) row of a column table.
+    ColumnDelete {
+        /// Target table.
+        table: Arc<RwLock<ColumnTable>>,
+        /// Row id.
+        row_id: usize,
+    },
+    /// Insert into a row table.
+    RowInsert {
+        /// Target table.
+        table: Arc<RwLock<RowTable>>,
+        /// The row.
+        row: Vec<Value>,
+    },
+    /// Delete a slot of a row table.
+    RowDelete {
+        /// Target table.
+        table: Arc<RwLock<RowTable>>,
+        /// Slot id.
+        slot: usize,
+    },
+}
+
+/// The local-store participant. Writes buffer per transaction and become
+/// visible only under the commit ID the coordinator assigns.
+#[derive(Default)]
+pub struct LocalWrites {
+    pending: Mutex<HashMap<u64, Vec<LocalOp>>>,
+}
+
+impl LocalWrites {
+    /// A fresh participant.
+    pub fn new() -> LocalWrites {
+        LocalWrites::default()
+    }
+
+    /// Buffer an operation for transaction `tid`.
+    pub fn buffer(&self, tid: u64, op: LocalOp) {
+        self.pending.lock().entry(tid).or_default().push(op);
+    }
+
+    /// Buffered operation count for `tid` (tests/monitoring).
+    pub fn pending_ops(&self, tid: u64) -> usize {
+        self.pending.lock().get(&tid).map(Vec::len).unwrap_or(0)
+    }
+}
+
+impl TwoPhaseParticipant for LocalWrites {
+    fn name(&self) -> &str {
+        "hana"
+    }
+
+    fn prepare(&self, tid: u64) -> Result<Vote> {
+        // In-memory stores become durable through the coordinator's WAL
+        // (logical logging). Prepare validates constraints *before* the
+        // commit point so a no-vote can still abort the transaction:
+        // schema conformance and primary-key uniqueness (against the
+        // latest state and within the buffered batch).
+        let pending = self.pending.lock();
+        let Some(ops) = pending.get(&tid).filter(|v| !v.is_empty()) else {
+            return Ok(Vote::ReadOnly);
+        };
+        let mut batch_keys: Vec<hana_types::Value> = Vec::new();
+        for op in ops.iter() {
+            match op {
+                LocalOp::ColumnInsert { table, row } => {
+                    table.read().schema().check_row(row)?;
+                }
+                LocalOp::RowInsert { table, row } => {
+                    let t = table.read();
+                    t.schema().check_row(row)?;
+                    if let Some(pk) = t.pk_column() {
+                        let key = &row[pk];
+                        let latest = hana_txn::Snapshot::at(u64::MAX - 1);
+                        if key.is_null() {
+                            return Err(hana_types::HanaError::Storage(format!(
+                                "primary key of '{}' must not be NULL",
+                                t.name()
+                            )));
+                        }
+                        if t.get(key, latest).is_some() || batch_keys.contains(key) {
+                            return Err(hana_types::HanaError::Storage(format!(
+                                "duplicate primary key {key} in '{}'",
+                                t.name()
+                            )));
+                        }
+                        batch_keys.push(key.clone());
+                    }
+                }
+                LocalOp::ColumnDelete { .. } | LocalOp::RowDelete { .. } => {}
+            }
+        }
+        Ok(Vote::Prepared)
+    }
+
+    fn commit(&self, tid: u64, cid: u64) -> Result<()> {
+        let Some(ops) = self.pending.lock().remove(&tid) else {
+            return Ok(());
+        };
+        for op in ops {
+            match op {
+                LocalOp::ColumnInsert { table, row } => {
+                    table.write().insert(&row, cid)?;
+                }
+                LocalOp::ColumnDelete { table, row_id } => {
+                    table.write().delete(row_id, cid)?;
+                }
+                LocalOp::RowInsert { table, row } => {
+                    table.write().insert(&row, cid)?;
+                }
+                LocalOp::RowDelete { table, slot } => {
+                    table.write().delete_slot(slot, cid)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn abort(&self, tid: u64) -> Result<()> {
+        self.pending.lock().remove(&tid);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_txn::TransactionManager;
+    use hana_types::{DataType, Schema};
+
+    #[test]
+    fn writes_apply_only_at_commit() {
+        let tm = TransactionManager::new();
+        let table = Arc::new(RwLock::new(ColumnTable::new(
+            "t",
+            Schema::of(&[("a", DataType::Int)]),
+        )));
+        let writes = Arc::new(LocalWrites::new());
+        let txn = tm.begin();
+        writes.buffer(
+            txn.tid,
+            LocalOp::ColumnInsert {
+                table: Arc::clone(&table),
+                row: vec![Value::Int(1)],
+            },
+        );
+        assert_eq!(table.read().row_count(), 0, "not yet");
+        let parts: Vec<Arc<dyn TwoPhaseParticipant>> = vec![writes.clone()];
+        let receipt = tm.commit(txn, &parts).unwrap();
+        assert_eq!(table.read().visible(receipt.cid).count(), 1);
+        assert_eq!(table.read().visible(receipt.cid - 1).count(), 0);
+    }
+
+    #[test]
+    fn abort_discards_buffered_ops() {
+        let tm = TransactionManager::new();
+        let table = Arc::new(RwLock::new(ColumnTable::new(
+            "t",
+            Schema::of(&[("a", DataType::Int)]),
+        )));
+        let writes = Arc::new(LocalWrites::new());
+        let txn = tm.begin();
+        writes.buffer(
+            txn.tid,
+            LocalOp::ColumnInsert {
+                table: Arc::clone(&table),
+                row: vec![Value::Int(1)],
+            },
+        );
+        assert_eq!(writes.pending_ops(txn.tid), 1);
+        let parts: Vec<Arc<dyn TwoPhaseParticipant>> = vec![writes.clone()];
+        tm.abort(txn, &parts).unwrap();
+        assert_eq!(writes.pending_ops(txn.tid), 0);
+        assert_eq!(table.read().row_count(), 0);
+    }
+
+    #[test]
+    fn read_only_vote_without_ops() {
+        let writes = LocalWrites::new();
+        assert_eq!(writes.prepare(99).unwrap(), Vote::ReadOnly);
+    }
+}

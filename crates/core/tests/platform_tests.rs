@@ -1,0 +1,426 @@
+//! End-to-end platform tests: SQL over every storage kind, hybrid
+//! tables + aging, transactions, security, repository transport,
+//! backup/restore and point-in-time recovery.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hana_core::{ArtifactKind, HanaPlatform, Privilege};
+use hana_hadoop::{Hdfs, Hive, MrCluster, MrConfig, MrFunctionRegistry};
+use hana_types::{Row, Value};
+
+fn platform() -> (HanaPlatform, hana_core::Session) {
+    let hana = HanaPlatform::new_in_memory();
+    let session = hana.connect("SYSTEM", "manager").unwrap();
+    (hana, session)
+}
+
+#[test]
+fn column_table_crud_roundtrip() {
+    let (hana, s) = platform();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE t (id INTEGER, name VARCHAR(20))")
+        .unwrap();
+    let rs = hana
+        .execute_sql(&s, "INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+        .unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(3));
+    hana.execute_sql(&s, "UPDATE t SET name = UPPER(name) WHERE id >= 2")
+        .unwrap();
+    hana.execute_sql(&s, "DELETE FROM t WHERE id = 1").unwrap();
+    let rs = hana
+        .execute_sql(&s, "SELECT name FROM t WHERE id BETWEEN 1 AND 3 ORDER BY name")
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.rows[0][0], Value::from("B"));
+    // Column-list inserts.
+    hana.execute_sql(&s, "INSERT INTO t (name, id) VALUES ('x', 9)")
+        .unwrap();
+    let rs = hana
+        .execute_sql(&s, "SELECT id FROM t WHERE name = 'x'")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(9));
+}
+
+#[test]
+fn row_table_with_primary_key() {
+    let (hana, s) = platform();
+    hana.execute_sql(
+        &s,
+        "CREATE ROW TABLE accounts (id INTEGER PRIMARY KEY, balance DOUBLE)",
+    )
+    .unwrap();
+    hana.execute_sql(&s, "INSERT INTO accounts VALUES (1, 100.0)")
+        .unwrap();
+    // Duplicate PK fails and the auto-commit transaction rolls back.
+    assert!(hana
+        .execute_sql(&s, "INSERT INTO accounts VALUES (1, 5.0)")
+        .is_err());
+    let rs = hana
+        .execute_sql(&s, "SELECT COUNT(*) FROM accounts")
+        .unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(1));
+}
+
+#[test]
+fn extended_table_lives_in_iq() {
+    let (hana, s) = platform();
+    hana.execute_sql(
+        &s,
+        "CREATE TABLE archive (id INTEGER, payload VARCHAR(50)) USING EXTENDED STORAGE",
+    )
+    .unwrap();
+    assert!(hana.iq().has_table("archive"), "shielded IQ holds the data");
+    hana.execute_sql(&s, "INSERT INTO archive VALUES (1, 'cold'), (2, 'colder')")
+        .unwrap();
+    let rs = hana
+        .execute_sql(&s, "SELECT payload FROM archive WHERE id = 2")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::from("colder"));
+    // Direct (bulk) load bypassing the in-memory store.
+    let rows: Vec<Row> = (10..1010)
+        .map(|i| Row::from_values([Value::Int(i), Value::from(format!("p{i}"))]))
+        .collect();
+    hana.load_rows(&s, "archive", &rows).unwrap();
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM archive").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(1002));
+    hana.execute_sql(&s, "DROP TABLE archive").unwrap();
+    assert!(!hana.iq().has_table("archive"));
+}
+
+#[test]
+fn hybrid_table_with_aging() {
+    let (hana, s) = platform();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE sales (id INTEGER, amount DOUBLE, is_cold BOOLEAN) \
+         USING HYBRID EXTENDED STORAGE AGING ON is_cold",
+    )
+    .unwrap();
+    for i in 0..100 {
+        hana.execute_sql(
+            &s,
+            &format!(
+                "INSERT INTO sales VALUES ({i}, {}.0, {})",
+                i * 10,
+                if i < 80 { "true" } else { "false" }
+            ),
+        )
+        .unwrap();
+    }
+    // Everything starts hot.
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(100));
+    // Aging moves flagged rows into the cold partition.
+    let moved = hana.run_aging(&s, "sales").unwrap();
+    assert_eq!(moved, 80);
+    assert_eq!(hana.iq().row_count("sales__cold", u64::MAX - 1).unwrap(), 80);
+    // Queries still see the whole logical table (union plan).
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(100));
+    let rs = hana
+        .execute_sql(&s, "SELECT SUM(amount) FROM sales WHERE id < 10")
+        .unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Double(450.0));
+    // Aging again is a no-op.
+    assert_eq!(hana.run_aging(&s, "sales").unwrap(), 0);
+}
+
+#[test]
+fn explicit_transactions_commit_and_rollback() {
+    let (hana, s) = platform();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)").unwrap();
+    hana.execute_sql(&s, "BEGIN").unwrap();
+    hana.execute_sql(&s, "INSERT INTO t VALUES (1)").unwrap();
+    hana.execute_sql(&s, "INSERT INTO t VALUES (2)").unwrap();
+    // Not visible before commit (reads use the txn snapshot).
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(0));
+    hana.execute_sql(&s, "COMMIT").unwrap();
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(2));
+
+    hana.execute_sql(&s, "BEGIN").unwrap();
+    hana.execute_sql(&s, "INSERT INTO t VALUES (3)").unwrap();
+    hana.execute_sql(&s, "ROLLBACK").unwrap();
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(2));
+    assert!(hana.execute_sql(&s, "COMMIT").is_err(), "nothing open");
+}
+
+#[test]
+fn distributed_transaction_spans_hot_and_cold() {
+    let (hana, s) = platform();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE hot (a INTEGER)").unwrap();
+    hana.execute_sql(&s, "CREATE TABLE cold (a INTEGER) USING EXTENDED STORAGE")
+        .unwrap();
+    hana.execute_sql(&s, "BEGIN").unwrap();
+    hana.execute_sql(&s, "INSERT INTO hot VALUES (1)").unwrap();
+    hana.execute_sql(&s, "INSERT INTO cold VALUES (2)").unwrap();
+    // Simulate the extended store failing before commit: the entire
+    // transaction aborts (§3.1).
+    hana.iq().set_failing(true);
+    assert!(hana.execute_sql(&s, "COMMIT").is_err());
+    hana.iq().set_failing(false);
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM hot").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(0), "local part rolled back too");
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM cold").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(0));
+}
+
+#[test]
+fn security_gates_every_entry_point() {
+    let (hana, admin) = platform();
+    hana.security()
+        .create_user(&admin, "reader", "pw", &[Privilege::Select])
+        .unwrap();
+    let reader = hana.connect("reader", "pw").unwrap();
+    hana.execute_sql(&admin, "CREATE COLUMN TABLE t (a INTEGER)").unwrap();
+    assert!(hana.execute_sql(&reader, "SELECT * FROM t").is_ok());
+    assert!(hana.execute_sql(&reader, "INSERT INTO t VALUES (1)").is_err());
+    assert!(hana
+        .execute_sql(&reader, "CREATE COLUMN TABLE u (a INTEGER)")
+        .is_err());
+    assert!(hana.backup(&reader).is_err());
+    assert!(hana.run_aging(&reader, "t").is_err());
+}
+
+#[test]
+fn repository_transport_dev_to_prod() {
+    let (dev, dev_s) = platform();
+    dev.put_artifact(
+        &dev_s,
+        "schema.sql",
+        ArtifactKind::SqlScript,
+        "CREATE COLUMN TABLE orders (id INTEGER, total DOUBLE); \
+         INSERT INTO orders VALUES (1, 10.5)",
+    )
+    .unwrap();
+    dev.put_artifact(
+        &dev_s,
+        "monitor.ccl",
+        ArtifactKind::CclScript,
+        "CREATE INPUT STREAM ticks SCHEMA (v DOUBLE); \
+         CREATE OUTPUT WINDOW w AS SELECT COUNT(v) FROM ticks KEEP 10 ROWS",
+    )
+    .unwrap();
+    let du = dev
+        .export_delivery_unit(&dev_s, "app-du", &["schema.sql", "monitor.ccl"])
+        .unwrap();
+
+    let (prod, prod_s) = platform();
+    prod.deploy_delivery_unit(&prod_s, &du).unwrap();
+    // SQL artifact deployed: table exists with content.
+    let rs = prod.execute_sql(&prod_s, "SELECT total FROM orders").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Double(10.5));
+    // CCL artifact deployed: the stream accepts events.
+    prod.esp()
+        .send("ticks", 0, Row::from_values([Value::Double(1.0)]))
+        .unwrap();
+    assert_eq!(prod.esp().window_names(), vec!["w".to_string()]);
+}
+
+#[test]
+fn esp_integration_forward_and_hana_join() {
+    let hana = Arc::new(HanaPlatform::new_in_memory());
+    let s = hana.connect("SYSTEM", "manager").unwrap();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE readings (cell VARCHAR(10), avg_load DOUBLE)")
+        .unwrap();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE cells (cell_id VARCHAR(10), city VARCHAR(20))")
+        .unwrap();
+    hana.execute_sql(&s, "INSERT INTO cells VALUES ('c1', 'Walldorf')")
+        .unwrap();
+    hana.esp()
+        .deploy(
+            "CREATE INPUT STREAM events SCHEMA (cell VARCHAR(10), load DOUBLE);\n\
+             CREATE OUTPUT WINDOW agg AS SELECT cell, AVG(load) AS avg_load \
+             FROM events GROUP BY cell KEEP 100 ROWS",
+        )
+        .unwrap();
+    // Use case 1: forward the window into a HANA table.
+    let sink = hana.table_sink(&s, "readings").unwrap();
+    hana.esp().attach_sink("agg", sink).unwrap();
+    // Use case 2: push reference data into the ESP.
+    hana.push_reference_to_esp(&s, "cells", "cells").unwrap();
+    // Use case 3: expose the window for HANA joins.
+    hana.expose_esp_window(&s, "agg").unwrap();
+
+    for i in 0..10 {
+        hana.esp()
+            .send(
+                "events",
+                i,
+                Row::from_values([Value::from("c1"), Value::Double(40.0 + i as f64)]),
+            )
+            .unwrap();
+    }
+    // HANA join: query the live window joined with a HANA table.
+    let rs = hana
+        .execute_sql(
+            &s,
+            "SELECT c.city, w.avg_load FROM agg() w JOIN cells c ON w.cell = c.cell_id",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::from("Walldorf"));
+    // Forward into the table.
+    hana.esp().flush_window("agg").unwrap();
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM readings").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(1));
+}
+
+#[test]
+fn hadoop_federation_through_sql_ddl() {
+    let (hana, s) = platform();
+    let mr = Arc::new(MrCluster::new(
+        Arc::new(Hdfs::new(4)),
+        MrConfig {
+            worker_slots: 4,
+            job_startup: Duration::from_micros(300),
+            task_startup: Duration::from_micros(30),
+        },
+    ));
+    let hive = Arc::new(Hive::new(Arc::clone(&mr)));
+    hive.create_table(
+        "product",
+        hana_types::Schema::of(&[
+            ("product_name", hana_types::DataType::Varchar),
+            ("brand_name", hana_types::DataType::Varchar),
+        ]),
+    )
+    .unwrap();
+    hive.load(
+        "product",
+        &[
+            Row::from_values([Value::from("Widget"), Value::from("Acme")]),
+            Row::from_values([Value::from("Gadget"), Value::from("Globex")]),
+        ],
+    )
+    .unwrap();
+    let registry = Arc::new(MrFunctionRegistry::new(mr));
+    hana.attach_hadoop(Arc::clone(&hive), registry);
+
+    // The exact §4.2 workflow.
+    hana.execute_sql(
+        &s,
+        "CREATE REMOTE SOURCE HIVE1 ADAPTER \"hiveodbc\" CONFIGURATION 'DSN=hive1' \
+         WITH CREDENTIAL TYPE 'PASSWORD' USING 'user=dfuser;password=dfpass'",
+    )
+    .unwrap();
+    hana.execute_sql(
+        &s,
+        "CREATE VIRTUAL TABLE \"VIRTUAL_PRODUCT\" AT \"HIVE1\".\"dflo\".\"dflo\".\"product\"",
+    )
+    .unwrap();
+    let rs = hana
+        .execute_sql(&s, "SELECT product_name, brand_name FROM \"VIRTUAL_PRODUCT\"")
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    // Virtual tables are read-only.
+    assert!(hana
+        .execute_sql(&s, "INSERT INTO virtual_product VALUES ('x', 'y')")
+        .is_err());
+    // Unknown adapter errors.
+    assert!(hana
+        .execute_sql(
+            &s,
+            "CREATE REMOTE SOURCE T ADAPTER \"teradata\" CONFIGURATION 'x'"
+        )
+        .is_err());
+}
+
+#[test]
+fn backup_restore_spans_engines() {
+    let (hana, s) = platform();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE hot (a INTEGER)").unwrap();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE mixed (a INTEGER, cold BOOLEAN) \
+         USING HYBRID EXTENDED STORAGE AGING ON cold",
+    )
+    .unwrap();
+    hana.execute_sql(&s, "INSERT INTO hot VALUES (1), (2)").unwrap();
+    hana.execute_sql(
+        &s,
+        "INSERT INTO mixed VALUES (1, true), (2, false), (3, true)",
+    )
+    .unwrap();
+    hana.run_aging(&s, "mixed").unwrap();
+
+    let backup = hana.backup(&s).unwrap();
+    assert_eq!(backup.table_count(), 2);
+    assert_eq!(backup.row_count(), 5);
+
+    // Wreck the data, then restore.
+    hana.execute_sql(&s, "DELETE FROM hot").unwrap();
+    hana.execute_sql(&s, "DROP TABLE mixed").unwrap();
+    hana.restore(&s, &backup).unwrap();
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM hot").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(2));
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM mixed").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(3));
+    // The cold partition was restored into IQ.
+    assert_eq!(hana.iq().row_count("mixed__cold", u64::MAX - 1).unwrap(), 2);
+}
+
+#[test]
+fn point_in_time_recovery_replays_wal() {
+    let dir = std::env::temp_dir().join(format!("hana-pitr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("platform.wal");
+    let _ = std::fs::remove_file(&wal);
+    let checkpoint_cid;
+    {
+        let hana = HanaPlatform::with_log_file(&wal).unwrap();
+        let s = hana.connect("SYSTEM", "manager").unwrap();
+        hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)").unwrap();
+        hana.execute_sql(&s, "INSERT INTO t VALUES (1)").unwrap();
+        hana.execute_sql(&s, "INSERT INTO t VALUES (2)").unwrap();
+        checkpoint_cid = hana.transaction_manager().last_commit_id();
+        hana.execute_sql(&s, "INSERT INTO t VALUES (3)").unwrap();
+        hana.load_rows(
+            &s,
+            "t",
+            &[Row::from_values([Value::Int(4)]), Row::from_values([Value::Int(5)])],
+        )
+        .unwrap();
+    }
+    // Full recovery sees everything.
+    let (full, replayed) = HanaPlatform::recover_replay(&wal, None).unwrap();
+    assert!(replayed >= 5);
+    let s = full.connect("SYSTEM", "manager").unwrap();
+    let rs = full.execute_sql(&s, "SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(5));
+    // Point-in-time recovery stops at the checkpoint.
+    let (pit, _) = HanaPlatform::recover_replay(&wal, Some(checkpoint_cid)).unwrap();
+    let s = pit.connect("SYSTEM", "manager").unwrap();
+    let rs = pit.execute_sql(&s, "SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(2));
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn explain_and_landscape() {
+    let (hana, s) = platform();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)").unwrap();
+    let rs = hana
+        .execute_sql(&s, "EXPLAIN SELECT a FROM t WHERE a > 1")
+        .unwrap();
+    let text: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert!(text.iter().any(|l| l.contains("Column Scan")), "{text:?}");
+    let info = hana.landscape_info();
+    assert!(info.contains("t:COLUMN"), "{info}");
+}
+
+#[test]
+fn merge_delta_via_sql() {
+    let (hana, s) = platform();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)").unwrap();
+    for i in 0..50 {
+        hana.execute_sql(&s, &format!("INSERT INTO t VALUES ({i})"))
+            .unwrap();
+    }
+    hana.execute_sql(&s, "MERGE DELTA OF t").unwrap();
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(50));
+    assert!(hana.execute_sql(&s, "MERGE DELTA OF missing").is_err());
+}

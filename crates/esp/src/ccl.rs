@@ -1,0 +1,299 @@
+//! The CCL subset (Continuous Computation Language, paper footnote 2).
+//!
+//! Supported statements (semicolon-separated scripts):
+//!
+//! ```text
+//! CREATE INPUT STREAM ticks SCHEMA (cell VARCHAR(10), load DOUBLE);
+//! CREATE OUTPUT WINDOW avg_load AS
+//!     SELECT cell, AVG(load) FROM ticks WHERE load > 0 GROUP BY cell
+//!     KEEP 60 SECONDS;
+//! CREATE OUTPUT STREAM alerts AS
+//!     SELECT cell, load FROM ticks WHERE load > 95;
+//! ```
+//!
+//! The `KEEP` clause trails the SELECT (a small divergence from Sybase
+//! CCL, where it follows the FROM item, chosen so the embedded SELECT is
+//! plain SQL parsed by `hana-sql`).
+
+use hana_sql::{parse_statement, Query, Statement};
+use hana_types::{DataType, HanaError, Result, Schema};
+
+use crate::window::Keep;
+
+/// A parsed CCL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CclStatement {
+    /// `CREATE INPUT STREAM name SCHEMA (...)`
+    CreateInputStream {
+        /// Stream name.
+        name: String,
+        /// Event schema.
+        schema: Schema,
+    },
+    /// `CREATE OUTPUT WINDOW name AS SELECT ... [KEEP ...]`
+    CreateWindow {
+        /// Window name.
+        name: String,
+        /// The continuous query.
+        query: Query,
+        /// Retention.
+        keep: Keep,
+    },
+    /// `CREATE OUTPUT STREAM name AS SELECT ...` (stateless).
+    CreateOutputStream {
+        /// Derived stream name.
+        name: String,
+        /// The continuous query (no aggregates).
+        query: Query,
+    },
+}
+
+/// Parse a CCL script (`;`-separated).
+pub fn parse_ccl(script: &str) -> Result<Vec<CclStatement>> {
+    script
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_ccl_statement)
+        .collect()
+}
+
+/// Parse one CCL statement.
+pub fn parse_ccl_statement(text: &str) -> Result<CclStatement> {
+    let upper = text.to_uppercase();
+    let bad = |m: &str| HanaError::Stream(format!("{m} in CCL statement: {text}"));
+
+    if let Some(rest) = strip_prefix_ci(text, "CREATE INPUT STREAM") {
+        // name SCHEMA (col type, ...)
+        let schema_pos = find_kw(&rest.to_uppercase(), "SCHEMA")
+            .ok_or_else(|| bad("missing SCHEMA clause"))?;
+        let name = rest[..schema_pos].trim().to_ascii_lowercase();
+        if name.is_empty() || name.contains(' ') {
+            return Err(bad("bad stream name"));
+        }
+        let cols_text = rest[schema_pos + "SCHEMA".len()..].trim();
+        let inner = cols_text
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| bad("SCHEMA must be parenthesized"))?;
+        let mut cols = Vec::new();
+        for item in split_top_level(inner) {
+            let mut parts = item.trim().splitn(2, char::is_whitespace);
+            let cname = parts.next().ok_or_else(|| bad("bad column"))?;
+            let ctype = parts.next().ok_or_else(|| bad("missing column type"))?;
+            cols.push(hana_types::ColumnDef::new(
+                cname,
+                DataType::parse_sql(ctype)?,
+            ));
+        }
+        return Ok(CclStatement::CreateInputStream {
+            name,
+            schema: Schema::new(cols)?,
+        });
+    }
+
+    for (kw, is_window) in [
+        ("CREATE OUTPUT WINDOW", true),
+        ("CREATE WINDOW", true),
+        ("CREATE OUTPUT STREAM", false),
+    ] {
+        if let Some(rest) = strip_prefix_ci(text, kw) {
+            let as_pos = find_kw(&rest.to_uppercase(), "AS")
+                .ok_or_else(|| bad("missing AS SELECT"))?;
+            let name = rest[..as_pos].trim().to_ascii_lowercase();
+            let mut select_text = rest[as_pos + 2..].trim().to_string();
+            let mut keep = Keep::All;
+            if is_window {
+                if let Some(kpos) = find_kw(&select_text.to_uppercase(), "KEEP") {
+                    let keep_clause = select_text[kpos + 4..].trim().to_string();
+                    select_text.truncate(kpos);
+                    keep = parse_keep(&keep_clause)
+                        .ok_or_else(|| bad("malformed KEEP clause"))?;
+                }
+            }
+            let Statement::Query(query) = parse_statement(select_text.trim())? else {
+                return Err(bad("AS must be followed by SELECT"));
+            };
+            if !is_window {
+                let has_agg = query.select.iter().any(|s| s.expr.contains_aggregate());
+                if has_agg || !query.group_by.is_empty() {
+                    return Err(bad("output streams are stateless; use a WINDOW for aggregation"));
+                }
+                return Ok(CclStatement::CreateOutputStream { name, query });
+            }
+            return Ok(CclStatement::CreateWindow { name, query, keep });
+        }
+    }
+    let _ = upper;
+    Err(bad("unrecognized CCL statement"))
+}
+
+fn parse_keep(clause: &str) -> Option<Keep> {
+    let mut it = clause.split_whitespace();
+    let n: i64 = it.next()?.parse().ok()?;
+    let unit = it.next()?.to_uppercase();
+    if it.next().is_some() || n <= 0 {
+        return None;
+    }
+    match unit.as_str() {
+        "ROWS" | "ROW" => Some(Keep::Rows(n as usize)),
+        "SECONDS" | "SECOND" | "SEC" => Some(Keep::Seconds(n)),
+        "MINUTES" | "MINUTE" | "MIN" => Some(Keep::Seconds(n * 60)),
+        _ => None,
+    }
+}
+
+/// Case-insensitive prefix strip (whitespace-tolerant).
+fn strip_prefix_ci<'a>(text: &'a str, prefix: &str) -> Option<&'a str> {
+    let mut rest = text.trim_start();
+    for word in prefix.split_whitespace() {
+        let t = rest.trim_start();
+        if t.len() < word.len() || !t[..word.len()].eq_ignore_ascii_case(word) {
+            return None;
+        }
+        rest = &t[word.len()..];
+        // Must be followed by whitespace or end.
+        if !rest.is_empty() && !rest.starts_with(char::is_whitespace) {
+            return None;
+        }
+    }
+    Some(rest)
+}
+
+/// Find a standalone keyword (not inside quotes/identifiers) in an
+/// upper-cased haystack; returns its byte offset.
+fn find_kw(upper: &str, kw: &str) -> Option<usize> {
+    let bytes = upper.as_bytes();
+    let mut i = 0;
+    let mut in_str = false;
+    while i + kw.len() <= upper.len() {
+        let c = bytes[i] as char;
+        if c == '\'' {
+            in_str = !in_str;
+            i += 1;
+            continue;
+        }
+        if !in_str
+            && upper[i..].starts_with(kw)
+            && (i == 0 || !(bytes[i - 1] as char).is_alphanumeric())
+            && upper[i + kw.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+        {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Split on commas not nested in parentheses.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_input_stream() {
+        let s = parse_ccl_statement(
+            "CREATE INPUT STREAM ticks SCHEMA (cell VARCHAR(10), load DOUBLE, ok BOOLEAN)",
+        )
+        .unwrap();
+        let CclStatement::CreateInputStream { name, schema } = s else {
+            panic!()
+        };
+        assert_eq!(name, "ticks");
+        assert_eq!(schema.len(), 3);
+        assert_eq!(schema.column(1).data_type, DataType::Double);
+    }
+
+    #[test]
+    fn parse_window_with_keep() {
+        let s = parse_ccl_statement(
+            "CREATE OUTPUT WINDOW avg_load AS SELECT cell, AVG(load) FROM ticks \
+             WHERE load > 0 GROUP BY cell KEEP 60 SECONDS",
+        )
+        .unwrap();
+        let CclStatement::CreateWindow { name, query, keep } = s else {
+            panic!()
+        };
+        assert_eq!(name, "avg_load");
+        assert_eq!(keep, Keep::Seconds(60));
+        assert_eq!(query.group_by.len(), 1);
+
+        let s = parse_ccl_statement(
+            "CREATE WINDOW recent AS SELECT * FROM ticks KEEP 100 ROWS",
+        )
+        .unwrap();
+        assert!(matches!(
+            s,
+            CclStatement::CreateWindow {
+                keep: Keep::Rows(100),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_output_stream_rejects_aggregates() {
+        let s = parse_ccl_statement(
+            "CREATE OUTPUT STREAM alerts AS SELECT cell FROM ticks WHERE load > 95",
+        )
+        .unwrap();
+        assert!(matches!(s, CclStatement::CreateOutputStream { .. }));
+        assert!(parse_ccl_statement(
+            "CREATE OUTPUT STREAM bad AS SELECT SUM(load) FROM ticks"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parse_script() {
+        let stmts = parse_ccl(
+            "CREATE INPUT STREAM s SCHEMA (a INT);\n\
+             CREATE OUTPUT WINDOW w AS SELECT a FROM s KEEP 5 ROWS;\n",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn keyword_detection_ignores_strings() {
+        // 'KEEP' inside a literal must not terminate the SELECT.
+        let s = parse_ccl_statement(
+            "CREATE OUTPUT STREAM x AS SELECT cell FROM ticks WHERE cell = 'KEEPALIVE'",
+        )
+        .unwrap();
+        let CclStatement::CreateOutputStream { query, .. } = s else {
+            panic!()
+        };
+        assert!(query.filter.is_some());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_ccl_statement("CREATE INPUT STREAM s").is_err());
+        assert!(parse_ccl_statement("CREATE OUTPUT WINDOW w AS DELETE FROM t").is_err());
+        assert!(parse_ccl_statement("CREATE OUTPUT WINDOW w AS SELECT a FROM s KEEP x ROWS").is_err());
+        assert!(parse_ccl_statement("DROP EVERYTHING").is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # hana-hadoop
+//!
+//! The simulated Hadoop stack the platform federates with (§4 of the
+//! paper): a block-based, replicated **HDFS**, a multi-threaded
+//! **MapReduce** engine with explicit job/task startup costs, a **Hive**
+//! layer (MetaStore with statistics, HiveQL→MR-DAG compiler, fetch-task
+//! fast path, two-phase CTAS), and a registry of custom MR programs
+//! that back `CREATE VIRTUAL FUNCTION`.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hana_hadoop::{Hdfs, Hive, MrCluster, MrConfig};
+//! use hana_types::{Schema, DataType, Row, Value};
+//!
+//! let hdfs = Arc::new(Hdfs::new(4));
+//! let mr = Arc::new(MrCluster::new(hdfs, MrConfig::default()));
+//! let hive = Hive::new(mr);
+//! hive.create_table("product", Schema::of(&[
+//!     ("product_name", DataType::Varchar),
+//!     ("brand_name", DataType::Varchar),
+//! ])).unwrap();
+//! hive.load("product", &[Row::from_values([
+//!     Value::from("Widget"), Value::from("Acme"),
+//! ])]).unwrap();
+//! let rs = hive.execute("SELECT product_name, brand_name FROM product").unwrap();
+//! assert_eq!(rs.len(), 1);
+//! ```
+
+mod hdfs;
+mod hive;
+mod mapreduce;
+mod mrfunc;
+
+pub use hdfs::{Hdfs, DEFAULT_BLOCK_SIZE};
+pub use hive::{parse_row, CtasStats, Hive, HiveTable, TableStats, FIELD_SEP};
+pub use mapreduce::{
+    partition_of, Combiner, JobSpec, JobStats, Mapper, MrCluster, MrConfig, Reducer, KV,
+};
+pub use mrfunc::{output_line, MrFunction, MrFunctionRegistry};

@@ -1,0 +1,270 @@
+//! End-to-end tests of the Hive layer: HiveQL over MapReduce.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hana_hadoop::{Hdfs, Hive, MrCluster, MrConfig, MrFunction, MrFunctionRegistry, KV};
+use hana_sql::{parse_statement, Statement};
+use hana_types::{DataType, Row, Schema, Value};
+
+fn fast_cluster() -> Arc<MrCluster> {
+    let cfg = MrConfig {
+        worker_slots: 4,
+        job_startup: Duration::from_micros(200),
+        task_startup: Duration::from_micros(20),
+    };
+    Arc::new(MrCluster::new(Arc::new(Hdfs::new(4)), cfg))
+}
+
+fn setup_hive() -> Hive {
+    let hive = Hive::new(fast_cluster());
+    hive.create_table(
+        "customer",
+        Schema::of(&[
+            ("c_custkey", DataType::Int),
+            ("c_name", DataType::Varchar),
+            ("c_mktsegment", DataType::Varchar),
+        ]),
+    )
+    .unwrap();
+    hive.create_table(
+        "orders",
+        Schema::of(&[
+            ("o_orderkey", DataType::Int),
+            ("o_custkey", DataType::Int),
+            ("o_orderstatus", DataType::Varchar),
+            ("o_totalprice", DataType::Double),
+        ]),
+    )
+    .unwrap();
+    let customers: Vec<Row> = (0..20)
+        .map(|i| {
+            Row::from_values([
+                Value::Int(i),
+                Value::from(format!("Customer#{i}")),
+                Value::from(if i % 4 == 0 { "HOUSEHOLD" } else { "AUTOMOBILE" }),
+            ])
+        })
+        .collect();
+    hive.load("customer", &customers).unwrap();
+    let orders: Vec<Row> = (0..100)
+        .map(|i| {
+            Row::from_values([
+                Value::Int(1000 + i),
+                Value::Int(i % 20),
+                Value::from(if i % 2 == 0 { "O" } else { "F" }),
+                Value::Double(100.0 + i as f64),
+            ])
+        })
+        .collect();
+    hive.load("orders", &orders).unwrap();
+    hive
+}
+
+#[test]
+fn metastore_tracks_stats() {
+    let hive = setup_hive();
+    let stats = hive.table_stats("orders").unwrap();
+    assert_eq!(stats.row_count, 100);
+    assert_eq!(stats.file_count, 1);
+    assert!(hive.has_table("CUSTOMER"), "case-insensitive");
+    assert_eq!(hive.list_tables(), vec!["customer", "orders"]);
+    assert!(hive.table_stats("nope").is_err());
+}
+
+#[test]
+fn fetch_task_runs_no_mr_job() {
+    let hive = setup_hive();
+    let before = hive.cluster().counters().0;
+    let rs = hive.execute("SELECT c_name FROM customer").unwrap();
+    assert_eq!(rs.len(), 20);
+    assert_eq!(
+        hive.cluster().counters().0,
+        before,
+        "bare projection must use the fetch task, not MR"
+    );
+}
+
+#[test]
+fn filtered_scan_is_one_map_only_job() {
+    let hive = setup_hive();
+    let before = hive.cluster().counters();
+    let rs = hive
+        .execute("SELECT c_custkey FROM customer WHERE c_mktsegment = 'HOUSEHOLD'")
+        .unwrap();
+    assert_eq!(rs.len(), 5);
+    let after = hive.cluster().counters();
+    assert_eq!(after.0 - before.0, 1, "exactly one MR job");
+    assert_eq!(after.2 - before.2, 0, "map-only");
+}
+
+#[test]
+fn paper_join_query() {
+    // The example query of §4.4.
+    let hive = setup_hive();
+    let rs = hive
+        .execute(
+            "SELECT c_custkey, c_name, o_orderkey, o_orderstatus \
+             FROM customer JOIN orders ON c_custkey = o_custkey \
+             WHERE c_mktsegment = 'HOUSEHOLD'",
+        )
+        .unwrap();
+    // 5 HOUSEHOLD customers x 5 orders each.
+    assert_eq!(rs.len(), 25);
+    let custkeys: std::collections::HashSet<i64> = rs
+        .rows
+        .iter()
+        .map(|r| r[0].as_i64().unwrap())
+        .collect();
+    assert_eq!(custkeys, [0i64, 4, 8, 12, 16].into_iter().collect());
+}
+
+#[test]
+fn group_by_aggregation_with_having() {
+    let hive = setup_hive();
+    let rs = hive
+        .execute(
+            "SELECT o_orderstatus, COUNT(*) AS cnt, SUM(o_totalprice) AS total \
+             FROM orders GROUP BY o_orderstatus HAVING COUNT(*) > 10 \
+             ORDER BY o_orderstatus",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.rows[0][0], Value::from("F"));
+    assert_eq!(rs.rows[0][1], Value::Int(50));
+    // F orders are the odd i: totals 101, 103, ..., 199.
+    assert_eq!(rs.rows[0][2], Value::Double((0..100).filter(|i| i % 2 == 1).map(|i| 100.0 + i as f64).sum()));
+}
+
+#[test]
+fn global_aggregate_without_group_by() {
+    let hive = setup_hive();
+    let rs = hive
+        .execute("SELECT COUNT(*), AVG(o_totalprice) FROM orders WHERE o_totalprice >= 150")
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::Int(50));
+    let avg = rs.rows[0][1].as_f64().unwrap();
+    assert!((avg - 174.5).abs() < 1e-9, "avg = {avg}");
+}
+
+#[test]
+fn join_plus_aggregation_dag() {
+    let hive = setup_hive();
+    let before = hive.cluster().counters().0;
+    let rs = hive
+        .execute(
+            "SELECT c_mktsegment, COUNT(*) AS orders_cnt \
+             FROM customer JOIN orders ON c_custkey = o_custkey \
+             GROUP BY c_mktsegment ORDER BY c_mktsegment",
+        )
+        .unwrap();
+    let jobs = hive.cluster().counters().0 - before;
+    assert!(jobs >= 2, "join + group-by is a multi-job DAG, got {jobs}");
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.rows[0][0], Value::from("AUTOMOBILE"));
+    assert_eq!(rs.rows[0][1], Value::Int(75));
+    assert_eq!(rs.rows[1][1], Value::Int(25));
+}
+
+#[test]
+fn distinct_and_limit() {
+    let hive = setup_hive();
+    let rs = hive
+        .execute("SELECT DISTINCT o_orderstatus FROM orders WHERE o_totalprice > 0")
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    let rs = hive
+        .execute("SELECT o_orderkey FROM orders LIMIT 7")
+        .unwrap();
+    assert_eq!(rs.len(), 7);
+}
+
+#[test]
+fn ctas_is_two_phase_and_registers_stats() {
+    let hive = setup_hive();
+    let Statement::Query(q) = parse_statement(
+        "SELECT c_custkey, c_name FROM customer WHERE c_mktsegment = 'HOUSEHOLD'",
+    )
+    .unwrap() else {
+        panic!()
+    };
+    let stats = hive.create_table_as_select("household_customers", &q).unwrap();
+    assert_eq!(stats.rows, 5);
+    assert!(stats.select_jobs >= 1);
+    let ts = hive.table_stats("household_customers").unwrap();
+    assert_eq!(ts.row_count, 5);
+    // The materialized table reads back via the fetch task.
+    let before = hive.cluster().counters().0;
+    let rs = hive.execute("SELECT * FROM household_customers").unwrap();
+    assert_eq!(rs.len(), 5);
+    assert_eq!(hive.cluster().counters().0, before, "fetch task, no MR");
+}
+
+#[test]
+fn modification_tick_advances_on_load() {
+    let hive = setup_hive();
+    let t1 = hive.table_stats("orders").unwrap().last_modified;
+    hive.load(
+        "orders",
+        &[Row::from_values([
+            Value::Int(9999),
+            Value::Int(1),
+            Value::from("O"),
+            Value::Double(1.0),
+        ])],
+    )
+    .unwrap();
+    let t2 = hive.table_stats("orders").unwrap().last_modified;
+    assert!(t2 > t1);
+}
+
+#[test]
+fn virtual_function_registry_runs_custom_jobs() {
+    let cluster = fast_cluster();
+    let registry = MrFunctionRegistry::new(Arc::clone(&cluster));
+    // Raw sensor lines in HDFS, as the ESP adapter would write them.
+    cluster
+        .hdfs()
+        .append_lines(
+            "/plant100/sensors/day1",
+            &["P-100,95.2", "P-101,88.0", "P-100,97.9", "P-102,91.5"],
+        )
+        .unwrap();
+    // The "custom jar": parse lines, keep max pressure per equipment.
+    let mapper = |_k: &str, line: &str, out: &mut Vec<KV>| {
+        if let Some((id, p)) = line.split_once(',') {
+            out.push((id.to_string(), p.to_string()));
+        }
+    };
+    struct MaxReducer;
+    impl hana_hadoop::Reducer for MaxReducer {
+        fn reduce(&self, key: &str, values: &[String], out: &mut Vec<String>) {
+            let max = values
+                .iter()
+                .filter_map(|v| v.parse::<f64>().ok())
+                .fold(f64::MIN, f64::max);
+            out.push(hana_hadoop::output_line(&[key.to_string(), max.to_string()]));
+        }
+    }
+    registry.register(
+        "com.customer.hadoop.SensorMRDriver",
+        MrFunction {
+            inputs: vec!["/plant100/sensors".into()],
+            mapper: Arc::new(mapper),
+            reducer: Some(Arc::new(MaxReducer)),
+            num_reducers: 2,
+            output_schema: Schema::of(&[
+                ("equip_id", DataType::Varchar),
+                ("pressure", DataType::Double),
+            ]),
+        },
+    );
+    assert!(registry.has("com.customer.hadoop.SensorMRDriver"));
+    let rs = registry.invoke("com.customer.hadoop.SensorMRDriver").unwrap();
+    assert_eq!(rs.len(), 3);
+    let sorted = rs.sorted_by(&[0]);
+    assert_eq!(sorted.rows[0][0], Value::from("P-100"));
+    assert_eq!(sorted.rows[0][1], Value::Double(97.9));
+    assert!(registry.invoke("no.such.Driver").is_err());
+}

@@ -1,0 +1,40 @@
+//! # hana-iq
+//!
+//! The **extended storage** of the platform — the tightly integrated,
+//! disk-based column store modeled on the Sybase IQ storage manager
+//! (§3.1 of the paper): fixed-size page files with an LRU buffer cache,
+//! chunked column segments with zone maps and FP-style bitmap indexes,
+//! a local executor that accepts shipped sub-plans (scans, joins,
+//! group-bys, sorts), **direct load** for high-ingestion scenarios, and
+//! full participation in the platform's improved two-phase commit.
+//!
+//! ```
+//! use hana_iq::{IqEngine, IqPlan};
+//! use hana_types::{Schema, DataType, Row, Value};
+//!
+//! let iq = IqEngine::new("iq", 128).unwrap();
+//! iq.create_table("cold_orders", Schema::of(&[
+//!     ("o_id", DataType::Int),
+//!     ("o_total", DataType::Double),
+//! ])).unwrap();
+//! let rows: Vec<Row> = (0..100)
+//!     .map(|i| Row::from_values([Value::Int(i), Value::Double(i as f64)]))
+//!     .collect();
+//! iq.direct_load("cold_orders", &rows, 1).unwrap();
+//! let rs = iq.execute(&IqPlan::scan("cold_orders"), 1).unwrap();
+//! assert_eq!(rs.len(), 100);
+//! ```
+
+mod cache;
+mod engine;
+mod page;
+mod plan;
+mod segment;
+mod store;
+
+pub use cache::BufferCache;
+pub use engine::{aggregate_rows, IqEngine, ScanStats};
+pub use page::{IoStats, PageFile, PageId, PAGE_SIZE};
+pub use plan::IqPlan;
+pub use segment::{decode_segment, encode_segment};
+pub use store::{Chunk, IqTable, PageChain, ZoneMap, BITMAP_INDEX_MAX_DISTINCT, ROWS_PER_CHUNK};

@@ -1,0 +1,183 @@
+//! The paged disk file underneath the extended storage.
+//!
+//! Sybase IQ is a disk-based column store (§3.1); this module provides the
+//! disk substrate: a single file of fixed-size pages with allocation, a
+//! free list, and I/O counters that the benchmarks read to show where the
+//! disk cost goes.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use hana_types::{HanaError, Result};
+
+/// Fixed page size of the extended store (16 KiB, IQ-ish).
+pub const PAGE_SIZE: usize = 16 * 1024;
+
+/// Identifier of a page within a [`PageFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// Cumulative I/O statistics.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Pages read from disk.
+    pub reads: AtomicU64,
+    /// Pages written to disk.
+    pub writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Snapshot `(reads, writes)`.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.reads.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// An append-allocated file of [`PAGE_SIZE`] pages with a free list.
+pub struct PageFile {
+    file: Mutex<File>,
+    path: PathBuf,
+    next_page: AtomicU64,
+    free: Mutex<Vec<PageId>>,
+    /// Disk I/O counters (reads here are *actual* disk reads; the buffer
+    /// cache counts its hits separately).
+    pub stats: IoStats,
+}
+
+impl PageFile {
+    /// Create (or truncate) a page file at `path`.
+    pub fn create(path: &Path) -> Result<PageFile> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(PageFile {
+            file: Mutex::new(file),
+            path: path.to_path_buf(),
+            next_page: AtomicU64::new(0),
+            free: Mutex::new(Vec::new()),
+            stats: IoStats::default(),
+        })
+    }
+
+    /// A page file in a fresh temporary location (tests, default engine).
+    pub fn temp(label: &str) -> Result<PageFile> {
+        let dir = std::env::temp_dir().join("hana-iq");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!(
+            "{label}-{}-{:x}.pages",
+            std::process::id(),
+            // Distinguish files created in the same process.
+            &PageFile::temp as *const _ as usize ^ rand_seed()
+        ));
+        PageFile::create(&path)
+    }
+
+    /// The file's location on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Allocate a page (reusing freed pages first).
+    pub fn allocate(&self) -> PageId {
+        if let Some(id) = self.free.lock().pop() {
+            return id;
+        }
+        PageId(self.next_page.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Return a page to the free list.
+    pub fn free(&self, id: PageId) {
+        self.free.lock().push(id);
+    }
+
+    /// Number of pages ever allocated (high-water mark).
+    pub fn allocated_pages(&self) -> u64 {
+        self.next_page.load(Ordering::Relaxed)
+    }
+
+    /// Write `data` (at most [`PAGE_SIZE`] bytes) to `page`.
+    pub fn write_page(&self, page: PageId, data: &[u8]) -> Result<()> {
+        if data.len() > PAGE_SIZE {
+            return Err(HanaError::Io(format!(
+                "page payload of {} bytes exceeds page size {PAGE_SIZE}",
+                data.len()
+            )));
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[..data.len()].copy_from_slice(data);
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(page.0 * PAGE_SIZE as u64))?;
+        f.write_all(&buf)?;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Read the raw bytes of `page`.
+    pub fn read_page(&self, page: PageId) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(page.0 * PAGE_SIZE as u64))?;
+        f.read_exact(&mut buf)?;
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(buf)
+    }
+}
+
+/// Cheap per-call entropy for temp file names without `rand`.
+fn rand_seed() -> usize {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as usize)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let pf = PageFile::temp("rt").unwrap();
+        let a = pf.allocate();
+        let b = pf.allocate();
+        assert_ne!(a, b);
+        pf.write_page(a, b"hello").unwrap();
+        pf.write_page(b, &[7u8; PAGE_SIZE]).unwrap();
+        let ra = pf.read_page(a).unwrap();
+        assert_eq!(&ra[..5], b"hello");
+        assert_eq!(ra[5], 0, "padding is zeroed");
+        assert_eq!(pf.read_page(b).unwrap(), vec![7u8; PAGE_SIZE]);
+        assert_eq!(pf.stats.snapshot(), (2, 2));
+        std::fs::remove_file(pf.path()).ok();
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let pf = PageFile::temp("big").unwrap();
+        let p = pf.allocate();
+        assert!(pf.write_page(p, &vec![0u8; PAGE_SIZE + 1]).is_err());
+        std::fs::remove_file(pf.path()).ok();
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let pf = PageFile::temp("free").unwrap();
+        let a = pf.allocate();
+        let _b = pf.allocate();
+        pf.free(a);
+        assert_eq!(pf.allocate(), a);
+        assert_eq!(pf.allocated_pages(), 2);
+        std::fs::remove_file(pf.path()).ok();
+    }
+}

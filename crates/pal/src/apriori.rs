@@ -1,0 +1,376 @@
+//! Apriori association-rule mining.
+//!
+//! §4.1 of the paper: "With the SAP predictive analysis library using the
+//! apriory algorithm thousands of association rules were discovered with
+//! confidence between 80% and 100%. The derived models then were used to
+//! classify new readouts as warranty candidates in real-time".
+//!
+//! Classic levelwise Apriori with prefix-based candidate generation and
+//! subset pruning; itemsets are sorted `Vec<String>`s.
+
+use std::collections::{HashMap, HashSet};
+
+use hana_types::{HanaError, Result};
+
+/// Mining parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AprioriParams {
+    /// Minimum support (fraction of transactions), `0..=1`.
+    pub min_support: f64,
+    /// Minimum rule confidence, `0..=1`.
+    pub min_confidence: f64,
+    /// Largest itemset size explored.
+    pub max_len: usize,
+}
+
+impl Default for AprioriParams {
+    fn default() -> Self {
+        AprioriParams {
+            min_support: 0.05,
+            min_confidence: 0.8,
+            max_len: 4,
+        }
+    }
+}
+
+/// One mined rule `antecedent => consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand side items (sorted).
+    pub antecedent: Vec<String>,
+    /// Right-hand side items (sorted).
+    pub consequent: Vec<String>,
+    /// Support of the full itemset.
+    pub support: f64,
+    /// `support(A ∪ C) / support(A)`.
+    pub confidence: f64,
+    /// `confidence / support(C)` — how much better than chance.
+    pub lift: f64,
+}
+
+/// Mine association rules from transactions (each a set of items).
+pub fn apriori(
+    transactions: &[Vec<String>],
+    params: AprioriParams,
+) -> Result<Vec<AssociationRule>> {
+    if !(0.0..=1.0).contains(&params.min_support) || !(0.0..=1.0).contains(&params.min_confidence)
+    {
+        return Err(HanaError::Config(
+            "apriori thresholds must be within [0, 1]".into(),
+        ));
+    }
+    let n = transactions.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let min_count = (params.min_support * n as f64).ceil().max(1.0) as usize;
+
+    // Normalize transactions to sorted, deduped item sets.
+    let txs: Vec<Vec<String>> = transactions
+        .iter()
+        .map(|t| {
+            let mut v = t.clone();
+            v.sort();
+            v.dedup();
+            v
+        })
+        .collect();
+
+    // L1.
+    let mut counts: HashMap<Vec<String>, usize> = HashMap::new();
+    for t in &txs {
+        for item in t {
+            *counts.entry(vec![item.clone()]).or_insert(0) += 1;
+        }
+    }
+    counts.retain(|_, c| *c >= min_count);
+
+    // All frequent itemsets with their counts.
+    let mut frequent: HashMap<Vec<String>, usize> = counts.clone();
+    let mut current: Vec<Vec<String>> = counts.keys().cloned().collect();
+    current.sort();
+
+    let mut k = 1usize;
+    while !current.is_empty() && k < params.max_len {
+        k += 1;
+        // Candidate generation: join itemsets sharing a (k-2)-prefix.
+        let mut candidates: Vec<Vec<String>> = Vec::new();
+        for i in 0..current.len() {
+            for j in (i + 1)..current.len() {
+                let (a, b) = (&current[i], &current[j]);
+                if a[..k - 2] == b[..k - 2] {
+                    let mut cand = a.clone();
+                    cand.push(b[k - 2].clone());
+                    // Subset pruning: all (k-1)-subsets must be frequent.
+                    let all_frequent = (0..cand.len()).all(|drop| {
+                        let mut sub = cand.clone();
+                        sub.remove(drop);
+                        frequent.contains_key(&sub)
+                    });
+                    if all_frequent {
+                        candidates.push(cand);
+                    }
+                } else {
+                    break; // sorted: no further shared prefixes for i
+                }
+            }
+        }
+        // Count candidates.
+        let mut cand_counts: HashMap<Vec<String>, usize> = HashMap::new();
+        for t in &txs {
+            if t.len() < k {
+                continue;
+            }
+            let set: HashSet<&String> = t.iter().collect();
+            for cand in &candidates {
+                if cand.iter().all(|i| set.contains(i)) {
+                    *cand_counts.entry(cand.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        cand_counts.retain(|_, c| *c >= min_count);
+        current = cand_counts.keys().cloned().collect();
+        current.sort();
+        frequent.extend(cand_counts);
+    }
+
+    // Rule generation: for each frequent itemset of size >= 2, split
+    // into antecedent/consequent.
+    let mut rules = Vec::new();
+    for (itemset, &count) in &frequent {
+        if itemset.len() < 2 {
+            continue;
+        }
+        let support = count as f64 / n as f64;
+        for mask in 1..(1u32 << itemset.len()) - 1 {
+            let mut ante = Vec::new();
+            let mut cons = Vec::new();
+            for (i, item) in itemset.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    ante.push(item.clone());
+                } else {
+                    cons.push(item.clone());
+                }
+            }
+            let Some(&ante_count) = frequent.get(&ante) else {
+                continue;
+            };
+            let confidence = count as f64 / ante_count as f64;
+            if confidence < params.min_confidence {
+                continue;
+            }
+            let cons_support = frequent
+                .get(&cons)
+                .map(|&c| c as f64 / n as f64)
+                .unwrap_or(support);
+            rules.push(AssociationRule {
+                antecedent: ante,
+                consequent: cons,
+                support,
+                confidence,
+                lift: confidence / cons_support.max(f64::MIN_POSITIVE),
+            });
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then(b.support.total_cmp(&a.support))
+            .then(a.antecedent.cmp(&b.antecedent))
+            .then(a.consequent.cmp(&b.consequent))
+    });
+    Ok(rules)
+}
+
+/// A rule-based classifier built from mined rules whose consequent
+/// contains `target_item` — the paper's "classify new readouts as
+/// warranty candidates in real-time".
+#[derive(Debug, Clone)]
+pub struct RuleClassifier {
+    rules: Vec<AssociationRule>,
+    target: String,
+}
+
+impl RuleClassifier {
+    /// Keep only rules predicting `target_item`.
+    pub fn new(rules: &[AssociationRule], target_item: &str) -> RuleClassifier {
+        RuleClassifier {
+            rules: rules
+                .iter()
+                .filter(|r| r.consequent.iter().any(|c| c == target_item))
+                .cloned()
+                .collect(),
+            target: target_item.to_string(),
+        }
+    }
+
+    /// Number of usable rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The predicted item.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Score an observation: the highest confidence among rules whose
+    /// antecedent is contained in the observation, or `None` if no rule
+    /// fires.
+    pub fn score(&self, observation: &[String]) -> Option<f64> {
+        let set: HashSet<&String> = observation.iter().collect();
+        self.rules
+            .iter()
+            .filter(|r| r.antecedent.iter().all(|i| set.contains(i)))
+            .map(|r| r.confidence)
+            .max_by(f64::total_cmp)
+    }
+
+    /// Classify with a confidence threshold.
+    pub fn classify(&self, observation: &[String], threshold: f64) -> bool {
+        self.score(observation).is_some_and(|s| s >= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn classic_dataset() -> Vec<Vec<String>> {
+        vec![
+            tx(&["bread", "milk"]),
+            tx(&["bread", "diapers", "beer", "eggs"]),
+            tx(&["milk", "diapers", "beer", "cola"]),
+            tx(&["bread", "milk", "diapers", "beer"]),
+            tx(&["bread", "milk", "diapers", "cola"]),
+        ]
+    }
+
+    #[test]
+    fn finds_classic_rules() {
+        let rules = apriori(
+            &classic_dataset(),
+            AprioriParams {
+                min_support: 0.4,
+                min_confidence: 0.7,
+                max_len: 3,
+            },
+        )
+        .unwrap();
+        assert!(!rules.is_empty());
+        // {beer} => {diapers} is the textbook rule: confidence 1.0.
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec!["beer".to_string()])
+            .expect("beer => diapers");
+        assert_eq!(rule.consequent, vec!["diapers".to_string()]);
+        assert!((rule.confidence - 1.0).abs() < 1e-9);
+        assert!(rule.lift > 1.0);
+        // All reported rules respect the thresholds.
+        for r in &rules {
+            assert!(r.confidence >= 0.7 - 1e-12);
+            assert!(r.support >= 0.4 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn support_counts_are_exact() {
+        let rules = apriori(
+            &classic_dataset(),
+            AprioriParams {
+                min_support: 0.6,
+                min_confidence: 0.1,
+                max_len: 2,
+            },
+        )
+        .unwrap();
+        // {bread, milk} appears in 3/5 transactions.
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec!["bread".to_string()])
+            .unwrap();
+        assert!((r.support - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs() {
+        assert!(apriori(&[], AprioriParams::default()).unwrap().is_empty());
+        assert!(apriori(
+            &classic_dataset(),
+            AprioriParams {
+                min_support: 1.5,
+                ..AprioriParams::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn duplicate_items_in_transaction_counted_once() {
+        let rules = apriori(
+            &[tx(&["a", "a", "b"]), tx(&["a", "b"]), tx(&["a", "b"])],
+            AprioriParams {
+                min_support: 0.9,
+                min_confidence: 0.9,
+                max_len: 2,
+            },
+        )
+        .unwrap();
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec!["a".to_string()])
+            .unwrap();
+        assert!((r.support - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classifier_scores_and_thresholds() {
+        let rules = apriori(
+            &[
+                tx(&["dtc_P0300", "hot_climate", "claim"]),
+                tx(&["dtc_P0300", "hot_climate", "claim"]),
+                tx(&["dtc_P0300", "hot_climate", "claim"]),
+                tx(&["dtc_P0300", "cold_climate"]),
+                tx(&["dtc_P0420", "hot_climate"]),
+            ],
+            AprioriParams {
+                min_support: 0.3,
+                min_confidence: 0.7,
+                max_len: 3,
+            },
+        )
+        .unwrap();
+        let clf = RuleClassifier::new(&rules, "claim");
+        assert!(clf.rule_count() > 0);
+        let hit = clf
+            .score(&tx(&["dtc_P0300", "hot_climate", "city_driving"]))
+            .expect("rule fires");
+        assert!(hit >= 0.7);
+        assert!(clf.classify(&tx(&["dtc_P0300", "hot_climate"]), 0.7));
+        assert!(!clf.classify(&tx(&["dtc_P0420"]), 0.7));
+        assert_eq!(clf.score(&tx(&["unrelated"])), None);
+    }
+
+    #[test]
+    fn max_len_bounds_exploration() {
+        let txs: Vec<Vec<String>> = (0..20)
+            .map(|_| tx(&["a", "b", "c", "d", "e"]))
+            .collect();
+        let rules = apriori(
+            &txs,
+            AprioriParams {
+                min_support: 0.5,
+                min_confidence: 0.5,
+                max_len: 2,
+            },
+        )
+        .unwrap();
+        assert!(rules
+            .iter()
+            .all(|r| r.antecedent.len() + r.consequent.len() <= 2));
+    }
+}

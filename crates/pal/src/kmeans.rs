@@ -1,0 +1,151 @@
+//! K-means clustering (Lloyd's algorithm with deterministic seeding).
+//!
+//! Part of the predictive-analysis toolbox (§4.1 mentions the SAP
+//! predictive analysis library; k-means is its second headline
+//! algorithm and is exercised by the telecom example for grouping cell
+//! towers by load profile).
+
+use hana_types::{HanaError, Result};
+
+/// Clustering outcome.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+/// Run k-means. Seeding is deterministic (evenly spaced points of the
+/// input), so results are reproducible without an RNG.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iter: usize) -> Result<KMeansModel> {
+    if k == 0 {
+        return Err(HanaError::Config("k must be positive".into()));
+    }
+    if points.len() < k {
+        return Err(HanaError::Config(format!(
+            "need at least k={k} points, got {}",
+            points.len()
+        )));
+    }
+    let dim = points[0].len();
+    if points.iter().any(|p| p.len() != dim) {
+        return Err(HanaError::Config("points have mixed dimensions".into()));
+    }
+
+    // Deterministic seeding: evenly spaced input points.
+    let mut centroids: Vec<Vec<f64>> = (0..k)
+        .map(|i| points[i * points.len() / k].clone())
+        .collect();
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for iter in 0..max_iter.max(1) {
+        iterations = iter + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| dist2(p, a).total_cmp(&dist2(p, b)))
+                .map(|(j, _)| j)
+                .expect("k >= 1");
+            if assignments[i] != nearest {
+                assignments[i] = nearest;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                *c = sum.iter().map(|s| s / *count as f64).collect();
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| dist2(p, &centroids[a]))
+        .sum();
+    Ok(KMeansModel {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeansModel {
+    /// Assign a new point to its nearest cluster.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        self.centroids
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| dist2(point, a).total_cmp(&dist2(point, b)))
+            .map(|(j, _)| j)
+            .expect("model has centroids")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_obvious_clusters() {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            pts.push(vec![0.0 + (i % 5) as f64 * 0.01, 0.0]);
+            pts.push(vec![10.0 + (i % 5) as f64 * 0.01, 10.0]);
+        }
+        let model = kmeans(&pts, 2, 50).unwrap();
+        // Points alternate; clusters must split them consistently.
+        let a = model.assignments[0];
+        let b = model.assignments[1];
+        assert_ne!(a, b);
+        assert!(model
+            .assignments
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c == if i % 2 == 0 { a } else { b }));
+        assert!(model.inertia < 1.0);
+        // Prediction follows the centroids.
+        assert_eq!(model.predict(&[0.1, 0.1]), a);
+        assert_eq!(model.predict(&[9.9, 9.8]), b);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(kmeans(&[], 1, 10).is_err());
+        assert!(kmeans(&[vec![1.0]], 0, 10).is_err());
+        assert!(kmeans(&[vec![1.0], vec![1.0, 2.0]], 1, 10).is_err());
+        assert!(kmeans(&[vec![1.0], vec![2.0]], 3, 10).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![1.0], vec![5.0], vec![9.0]];
+        let model = kmeans(&pts, 3, 20).unwrap();
+        assert!(model.inertia < 1e-12);
+    }
+}

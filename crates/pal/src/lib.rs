@@ -1,0 +1,25 @@
+//! # hana-pal
+//!
+//! The predictive analysis library (PAL) of the platform, reproducing
+//! the §4.1 warranty-claim scenario: **apriori** association-rule mining
+//! over diagnostic read-outs stored in Hadoop, a **rule classifier**
+//! applying the mined model to new read-outs "in real time in the SAP
+//! HANA database", and **k-means** clustering for profile grouping.
+//!
+//! ```
+//! use hana_pal::{apriori, AprioriParams, RuleClassifier};
+//!
+//! let txs: Vec<Vec<String>> = (0..10).map(|i| {
+//!     if i < 8 { vec!["dtc_123".into(), "claim".into()] }
+//!     else { vec!["dtc_999".into()] }
+//! }).collect();
+//! let rules = apriori(&txs, AprioriParams { min_support: 0.3, min_confidence: 0.8, max_len: 2 }).unwrap();
+//! let clf = RuleClassifier::new(&rules, "claim");
+//! assert!(clf.classify(&["dtc_123".to_string()], 0.8));
+//! ```
+
+mod apriori;
+mod kmeans;
+
+pub use apriori::{apriori, AprioriParams, AssociationRule, RuleClassifier};
+pub use kmeans::{kmeans, KMeansModel};

@@ -1,0 +1,190 @@
+//! The federated cost model.
+//!
+//! §3.1: "The query optimizer considers communication costs for the data
+//! access to the extended storage" and §4.2: "the plan generator attempts
+//! to minimize both the amount of transferred data and the response time
+//! of the query". Costs are unit-less; only their ratios matter for
+//! strategy choice.
+
+use crate::plan::FederationStrategy;
+
+/// Tunable cost constants.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Processing one local row.
+    pub local_row: f64,
+    /// Transferring one row from a remote source to HANA.
+    pub transfer_row: f64,
+    /// Shipping one row *to* a remote source (temp-table load).
+    pub ship_row: f64,
+    /// Fixed cost of one remote round trip.
+    pub remote_request: f64,
+    /// Executing one row remotely (scan/join work at the source).
+    pub remote_row: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            local_row: 1.0,
+            transfer_row: 20.0,
+            ship_row: 25.0,
+            remote_request: 500.0,
+            remote_row: 2.0,
+        }
+    }
+}
+
+/// Inputs to a remote-join strategy decision.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinSituation {
+    /// Estimated rows of the (already filtered) local side.
+    pub local_rows: f64,
+    /// Total rows of the remote table.
+    pub remote_total: f64,
+    /// Estimated rows of the remote table after pushed-down predicates.
+    pub remote_filtered: f64,
+    /// Estimated join output rows.
+    pub join_out: f64,
+    /// Column count of the local side (width proxy).
+    pub local_width: f64,
+    /// Column count of the remote side (width proxy).
+    pub remote_width: f64,
+}
+
+impl CostModel {
+    /// Cost of evaluating one strategy in the given situation.
+    pub fn strategy_cost(&self, s: FederationStrategy, j: &JoinSituation) -> f64 {
+        let width = |w: f64| (w / 4.0).max(0.25);
+        match s {
+            // Pull the filtered remote rows, join locally.
+            FederationStrategy::RemoteScan => {
+                self.remote_request
+                    + j.remote_filtered * self.remote_row
+                    + j.remote_filtered * self.transfer_row * width(j.remote_width)
+                    + (j.local_rows + j.remote_filtered) * self.local_row
+            }
+            // Ship local keys, remote reduces, pull reduced rows.
+            FederationStrategy::SemiJoin => {
+                let keys = j.local_rows; // distinct upper bound
+                let reduced = j.join_out.min(j.remote_filtered);
+                2.0 * self.remote_request
+                    + keys * self.ship_row * 0.25 // keys are narrow
+                    + j.remote_filtered * self.remote_row
+                    + reduced * self.transfer_row * width(j.remote_width)
+                    + (j.local_rows + reduced) * self.local_row
+            }
+            // Ship whole local rows; remote joins; pull wide results.
+            FederationStrategy::TableRelocation => {
+                2.0 * self.remote_request
+                    + j.local_rows * self.ship_row * width(j.local_width)
+                    + (j.remote_filtered + j.local_rows) * self.remote_row
+                    + j.join_out * self.transfer_row * width(j.local_width + j.remote_width)
+            }
+            // Hybrid scans: both partitions read with the same preds.
+            FederationStrategy::UnionPlan => {
+                self.remote_request
+                    + j.remote_filtered * (self.remote_row + self.transfer_row)
+                    + j.local_rows * self.local_row
+            }
+        }
+    }
+
+    /// Pick the cheapest of the given strategies; returns
+    /// `(strategy, cost)`.
+    pub fn pick(
+        &self,
+        options: &[FederationStrategy],
+        j: &JoinSituation,
+    ) -> (FederationStrategy, f64) {
+        options
+            .iter()
+            .map(|&s| (s, self.strategy_cost(s, j)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one strategy")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 7's scenario: a selective local predicate leaves one local
+    /// row; the remote table is large. The semijoin must win.
+    #[test]
+    fn selective_local_side_picks_semijoin() {
+        let m = CostModel::default();
+        let j = JoinSituation {
+            local_rows: 1.0,
+            remote_total: 1_000_000.0,
+            remote_filtered: 1_000_000.0,
+            join_out: 10.0,
+            local_width: 4.0,
+            remote_width: 8.0,
+        };
+        let (s, _) = m.pick(
+            &[
+                FederationStrategy::RemoteScan,
+                FederationStrategy::SemiJoin,
+                FederationStrategy::TableRelocation,
+            ],
+            &j,
+        );
+        assert_eq!(s, FederationStrategy::SemiJoin);
+    }
+
+    /// A heavily filtered remote side that is small after pushdown makes
+    /// the plain remote scan cheapest.
+    #[test]
+    fn small_filtered_remote_picks_remote_scan() {
+        let m = CostModel::default();
+        let j = JoinSituation {
+            local_rows: 100_000.0,
+            remote_total: 1_000_000.0,
+            remote_filtered: 50.0,
+            join_out: 50.0,
+            local_width: 4.0,
+            remote_width: 4.0,
+        };
+        let (s, _) = m.pick(
+            &[
+                FederationStrategy::RemoteScan,
+                FederationStrategy::SemiJoin,
+                FederationStrategy::TableRelocation,
+            ],
+            &j,
+        );
+        assert_eq!(s, FederationStrategy::RemoteScan);
+    }
+
+    /// With a moderately small local side, a huge unfiltered remote side
+    /// and a tiny join result, relocation beats pulling and key-shipping
+    /// when the reduced transfer dominates.
+    #[test]
+    fn costs_are_monotonic_in_transfer_volume() {
+        let m = CostModel::default();
+        let small = JoinSituation {
+            local_rows: 10.0,
+            remote_total: 10_000.0,
+            remote_filtered: 10_000.0,
+            join_out: 10.0,
+            local_width: 2.0,
+            remote_width: 4.0,
+        };
+        let big = JoinSituation {
+            remote_filtered: 1_000_000.0,
+            remote_total: 1_000_000.0,
+            ..small
+        };
+        for s in [
+            FederationStrategy::RemoteScan,
+            FederationStrategy::SemiJoin,
+            FederationStrategy::TableRelocation,
+        ] {
+            assert!(
+                m.strategy_cost(s, &big) > m.strategy_cost(s, &small),
+                "{s:?} must cost more with more remote rows"
+            );
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The plan executor.
+
+use std::collections::HashMap;
+
+use hana_sql::finish::finish_query;
+use hana_sql::{evaluate, evaluate_predicate, resolve_column, Expr, JoinKind, Query, TableRef};
+use hana_types::{HanaError, ResultSet, Result, Row, Schema, Value};
+
+use crate::catalog::{Catalog, TableSource};
+use crate::plan::{PlanNode, PlanOp};
+use crate::planner::Planner;
+
+/// Execute a SQL query against the catalog under snapshot `cid`.
+pub fn execute_query(q: &Query, catalog: &dyn Catalog, cid: u64) -> Result<ResultSet> {
+    let plan = Planner::new(catalog).plan(q)?;
+    execute_plan(&plan, catalog, cid)
+}
+
+/// Render the plan for a query (EXPLAIN).
+pub fn explain_query(q: &Query, catalog: &dyn Catalog, cid: u64) -> Result<String> {
+    let _ = cid;
+    let plan = Planner::new(catalog).plan(q)?;
+    Ok(plan.explain())
+}
+
+/// Execute a physical plan.
+pub fn execute_plan(plan: &PlanNode, catalog: &dyn Catalog, cid: u64) -> Result<ResultSet> {
+    match &plan.op {
+        PlanOp::ColumnScan { table, preds, .. } => {
+            let TableSource::Column(t) = catalog.resolve_table(table)? else {
+                return Err(HanaError::Plan(format!("'{table}' is not a column table")));
+            };
+            let t = t.read();
+            let resolved: Vec<(usize, hana_columnar::ColumnPredicate)> = preds
+                .iter()
+                .map(|(c, p)| t.schema().require(c).map(|i| (i, p.clone())))
+                .collect::<Result<_>>()?;
+            let hits = t.scan_all(&resolved, cid)?;
+            Ok(ResultSet::new(plan.schema.clone(), t.collect_rows(&hits, &[])))
+        }
+        PlanOp::RowScan { table, preds, .. } => {
+            let TableSource::Row(t) = catalog.resolve_table(table)? else {
+                return Err(HanaError::Plan(format!("'{table}' is not a row table")));
+            };
+            let t = t.read();
+            let resolved: Vec<(usize, hana_columnar::ColumnPredicate)> = preds
+                .iter()
+                .map(|(c, p)| t.schema().require(c).map(|i| (i, p.clone())))
+                .collect::<Result<_>>()?;
+            let rows = t.scan_filtered(hana_txn::Snapshot::at(cid), |row| {
+                resolved.iter().all(|(i, p)| p.matches(&row[*i]))
+            });
+            Ok(ResultSet::new(plan.schema.clone(), rows))
+        }
+        PlanOp::HybridScan { table, preds, .. } => {
+            let TableSource::Hybrid {
+                hot,
+                source,
+                cold_table,
+                ..
+            } = catalog.resolve_table(table)?
+            else {
+                return Err(HanaError::Plan(format!("'{table}' is not a hybrid table")));
+            };
+            // Hot partition: local column scan.
+            let hot = hot.read();
+            let resolved: Vec<(usize, hana_columnar::ColumnPredicate)> = preds
+                .iter()
+                .map(|(c, p)| hot.schema().require(c).map(|i| (i, p.clone())))
+                .collect::<Result<_>>()?;
+            let hits = hot.scan_all(&resolved, cid)?;
+            let mut rows = hot.collect_rows(&hits, &[]);
+            // Cold partition: pushdown scan at the extended store.
+            let iq = catalog.iq_engine(&source)?;
+            let named: Vec<(String, hana_columnar::ColumnPredicate)> = preds.to_vec();
+            let cold = iq.scan(&cold_table, &named, None, cid)?;
+            rows.extend(cold.rows);
+            Ok(ResultSet::new(plan.schema.clone(), rows))
+        }
+        PlanOp::RemoteQuery { source, query, .. } => {
+            let (rs, _) = catalog.sda().execute_remote(source, query, cid)?;
+            // Positional alignment: trust the planner's schema when the
+            // arity matches (names may differ between engines).
+            if rs.schema.len() == plan.schema.len() {
+                Ok(ResultSet::new(plan.schema.clone(), rs.rows))
+            } else {
+                Ok(rs)
+            }
+        }
+        PlanOp::FunctionScan { function, args, .. } => {
+            let f = catalog.resolve_function(function)?;
+            let empty = Schema::default();
+            let arg_vals: Vec<Value> = args
+                .iter()
+                .map(|a| evaluate(a, &empty, &Row::new()))
+                .collect::<Result<_>>()?;
+            let rs = f.invoke(&arg_vals)?;
+            if rs.schema.len() == plan.schema.len() {
+                Ok(ResultSet::new(plan.schema.clone(), rs.rows))
+            } else {
+                Ok(rs)
+            }
+        }
+        PlanOp::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+        } => {
+            let l = execute_plan(left, catalog, cid)?;
+            let r = execute_plan(right, catalog, cid)?;
+            hash_join(&l, &r, left_key, right_key, *kind, &plan.schema)
+        }
+        PlanOp::NestedLoopJoin { left, right, on } => {
+            let l = execute_plan(left, catalog, cid)?;
+            let r = execute_plan(right, catalog, cid)?;
+            let mut rows = Vec::new();
+            for lr in &l.rows {
+                for rr in &r.rows {
+                    let joined = lr.clone().concat(rr.clone());
+                    if evaluate_predicate(on, &plan.schema, &joined)? {
+                        rows.push(joined);
+                    }
+                }
+            }
+            Ok(ResultSet::new(plan.schema.clone(), rows))
+        }
+        PlanOp::SemiJoin {
+            local,
+            local_key,
+            source,
+            remote_table,
+            remote_preds,
+            remote_key,
+            remote_binding,
+        } => {
+            let l = execute_plan(local, catalog, cid)?;
+            // Distinct non-null local join keys.
+            let ki = resolve_key(&l.schema, local_key)?;
+            let mut keys: Vec<Value> = l
+                .rows
+                .iter()
+                .map(|r| r[ki].clone())
+                .filter(|v| !v.is_null())
+                .collect();
+            keys.sort();
+            keys.dedup();
+            if keys.is_empty() {
+                return Ok(ResultSet::empty(plan.schema.clone()));
+            }
+            // Remote reduction: the IN-clause variant of §3.1.
+            let in_pred = Expr::InList {
+                expr: Box::new(col_expr(remote_key)),
+                list: keys.into_iter().map(Expr::Literal).collect(),
+                negated: false,
+            };
+            let filter = remote_preds
+                .iter()
+                .cloned()
+                .fold(in_pred, |acc, p| acc.and(p));
+            let sub = Query {
+                from: Some(TableRef::Named {
+                    name: remote_table.clone(),
+                    alias: Some(remote_binding.clone()),
+                }),
+                filter: Some(filter),
+                ..Query::default()
+            };
+            let (reduced, _) = catalog.sda().execute_remote(source, &sub, cid)?;
+            hash_join(&l, &reduced, local_key, remote_key, JoinKind::Inner, &plan.schema)
+        }
+        PlanOp::RelocateJoin {
+            local,
+            local_key,
+            source,
+            remote_table,
+            remote_preds,
+            remote_key,
+            remote_binding,
+        } => {
+            let l = execute_plan(local, catalog, cid)?;
+            // Ship the local rows with bare column names.
+            let bare: Vec<hana_types::ColumnDef> = l
+                .schema
+                .columns()
+                .iter()
+                .map(|c| hana_types::ColumnDef {
+                    name: c.name.rsplit('.').next().unwrap_or(&c.name).to_string(),
+                    data_type: c.data_type,
+                    nullable: true,
+                })
+                .collect();
+            let ship_schema = Schema::new(bare)?;
+            let adapter = catalog.sda().source(source)?.adapter;
+            let temp = adapter.create_temp_table(ship_schema, &l.rows, cid)?;
+            let bare_key = local_key.rsplit('.').next().unwrap_or(local_key);
+            let sub = Query {
+                from: Some(TableRef::Named {
+                    name: temp.clone(),
+                    alias: None,
+                }),
+                joins: vec![hana_sql::JoinClause {
+                    kind: JoinKind::Inner,
+                    table: TableRef::Named {
+                        name: remote_table.clone(),
+                        alias: Some(remote_binding.clone()),
+                    },
+                    on: Expr::Binary {
+                        left: Box::new(Expr::col(bare_key)),
+                        op: hana_sql::BinOp::Eq,
+                        right: Box::new(col_expr(remote_key)),
+                    },
+                }],
+                filter: remote_preds.iter().cloned().reduce(|a, b| a.and(b)),
+                ..Query::default()
+            };
+            let (rs, _) = catalog.sda().execute_remote(source, &sub, cid)?;
+            let _ = adapter.drop_remote_table(&temp);
+            // Positional alignment: temp columns then remote columns.
+            if rs.schema.len() == plan.schema.len() {
+                Ok(ResultSet::new(plan.schema.clone(), rs.rows))
+            } else {
+                Err(HanaError::Plan(format!(
+                    "relocated join returned {} columns, expected {}",
+                    rs.schema.len(),
+                    plan.schema.len()
+                )))
+            }
+        }
+        PlanOp::Filter { input, pred } => {
+            let inp = execute_plan(input, catalog, cid)?;
+            let mut rows = Vec::with_capacity(inp.rows.len());
+            for r in inp.rows {
+                if evaluate_predicate(pred, &inp.schema, &r)? {
+                    rows.push(r);
+                }
+            }
+            Ok(ResultSet::new(plan.schema.clone(), rows))
+        }
+        PlanOp::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let inp = execute_plan(input, catalog, cid)?;
+            let mut groups: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> = HashMap::new();
+            for r in &inp.rows {
+                let mut key = Vec::with_capacity(group_by.len());
+                for g in group_by {
+                    key.push(evaluate(g, &inp.schema, r)?);
+                }
+                let accs = groups
+                    .entry(key)
+                    .or_insert_with(|| aggs.iter().map(|(f, _)| f.accumulator()).collect());
+                for (acc, (_, arg)) in accs.iter_mut().zip(aggs) {
+                    match arg {
+                        Some(e) => acc.add(&evaluate(e, &inp.schema, r)?),
+                        None => acc.add(&Value::Null), // COUNT(*)
+                    }
+                }
+            }
+            if groups.is_empty() && group_by.is_empty() {
+                groups.insert(
+                    Vec::new(),
+                    aggs.iter().map(|(f, _)| f.accumulator()).collect(),
+                );
+            }
+            let mut rows: Vec<Row> = groups
+                .into_iter()
+                .map(|(mut key, accs)| {
+                    key.extend(accs.iter().map(|a| a.finish()));
+                    Row(key)
+                })
+                .collect();
+            rows.sort();
+            Ok(ResultSet::new(plan.schema.clone(), rows))
+        }
+        PlanOp::Finish { input, query } => {
+            let inp = execute_plan(input, catalog, cid)?;
+            // When the child already satisfied the whole query remotely,
+            // the planner does not emit Finish; here the epilogue runs.
+            let (rows, schema) = finish_query(inp.rows, &inp.schema, query)?;
+            Ok(ResultSet::new(schema, rows))
+        }
+    }
+}
+
+/// Build a column expression from a possibly qualified key name.
+fn col_expr(key: &str) -> Expr {
+    match key.split_once('.') {
+        Some((q, n)) => Expr::Column {
+            qualifier: Some(q.to_string()),
+            name: n.to_string(),
+        },
+        None => Expr::col(key),
+    }
+}
+
+fn resolve_key(schema: &Schema, key: &str) -> Result<usize> {
+    let (q, n) = match key.split_once('.') {
+        Some((q, n)) => (Some(q), n),
+        None => (None, key),
+    };
+    resolve_column(schema, q, n)
+}
+
+fn hash_join(
+    l: &ResultSet,
+    r: &ResultSet,
+    left_key: &str,
+    right_key: &str,
+    kind: JoinKind,
+    out_schema: &Schema,
+) -> Result<ResultSet> {
+    let li = resolve_key(&l.schema, left_key)?;
+    let ri = resolve_key(&r.schema, right_key)?;
+    let mut build: HashMap<&Value, Vec<usize>> = HashMap::new();
+    for (i, row) in r.rows.iter().enumerate() {
+        if !row[ri].is_null() {
+            build.entry(&row[ri]).or_default().push(i);
+        }
+    }
+    let mut rows = Vec::new();
+    let null_row = Row(vec![Value::Null; r.schema.len()]);
+    for lr in &l.rows {
+        match build.get(&lr[li]) {
+            Some(matches) => {
+                for &i in matches {
+                    rows.push(lr.clone().concat(r.rows[i].clone()));
+                }
+            }
+            None => {
+                if kind == JoinKind::LeftOuter {
+                    rows.push(lr.clone().concat(null_row.clone()));
+                }
+            }
+        }
+    }
+    Ok(ResultSet::new(out_schema.clone(), rows))
+}

@@ -1,0 +1,35 @@
+//! # hana-query
+//!
+//! The federated query processor of the platform (§3.1 "Query
+//! Processing" + §4.2): a cost-based planner with q-error-bounded
+//! histograms, placement analysis over local / extended / remote
+//! sources, the four federation strategies of the paper (remote scan,
+//! semijoin, table relocation, union plan), whole-query and
+//! remote-prefix shipping below the distributed exchange operator, and a
+//! row-at-a-time executor with hash joins and hash aggregation.
+//!
+//! The entry points are [`execute_query`] and [`explain_query`]; the
+//! platform facade (`hana-core`) implements [`Catalog`] and routes SQL
+//! here.
+
+mod catalog;
+mod cost;
+mod executor;
+mod histogram;
+mod plan;
+mod planner;
+
+pub use catalog::{Catalog, TableFunction, TableSource};
+pub use cost::{CostModel, JoinSituation};
+pub use executor::{execute_plan, execute_query, explain_query};
+pub use histogram::{Bucket, QHistogram};
+pub use plan::{FederationStrategy, PlanNode, PlanOp};
+pub use planner::Planner;
+
+/// Lower a conjunct into a pushable column predicate (re-exported from
+/// SDA so the planner and external callers share one definition).
+pub fn pushdown_expr(
+    e: &hana_sql::Expr,
+) -> Option<(String, hana_columnar::ColumnPredicate)> {
+    hana_sda::expr_to_column_predicate(e)
+}

@@ -1,0 +1,375 @@
+//! Physical plans and EXPLAIN rendering.
+
+use hana_columnar::ColumnPredicate;
+use hana_sql::{Expr, JoinKind, Query};
+use hana_types::{AggFunc, Schema};
+
+/// A physical plan node with its output schema and cardinality estimate.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    /// The operator.
+    pub op: PlanOp,
+    /// Output schema (column names qualified by binding where needed).
+    pub schema: Schema,
+    /// Estimated output rows.
+    pub est_rows: f64,
+}
+
+/// Federation strategy chosen for a remote join input (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FederationStrategy {
+    /// Pull the (filtered) remote table and join locally.
+    RemoteScan,
+    /// Ship local join keys; the remote filters and returns the
+    /// reduced table.
+    SemiJoin,
+    /// Ship the local rows; the remote executes the join.
+    TableRelocation,
+    /// Hybrid table: local hot partition unioned with remote cold.
+    UnionPlan,
+}
+
+impl FederationStrategy {
+    /// Display name used in EXPLAIN and the benches.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FederationStrategy::RemoteScan => "Remote Scan",
+            FederationStrategy::SemiJoin => "Semijoin",
+            FederationStrategy::TableRelocation => "Table Relocation",
+            FederationStrategy::UnionPlan => "Union Plan",
+        }
+    }
+}
+
+/// Physical operators.
+#[derive(Debug, Clone)]
+pub enum PlanOp {
+    /// Scan of a local column table.
+    ColumnScan {
+        /// Binding name in the query.
+        binding: String,
+        /// Catalog table name.
+        table: String,
+        /// Pushed-down predicates.
+        preds: Vec<(String, ColumnPredicate)>,
+    },
+    /// Scan of a local row table.
+    RowScan {
+        /// Binding name in the query.
+        binding: String,
+        /// Catalog table name.
+        table: String,
+        /// Pushed-down predicates.
+        preds: Vec<(String, ColumnPredicate)>,
+    },
+    /// Hybrid table scan: hot partition locally, cold partition at the
+    /// extended store, unioned (the §3.1 "Union Plan" at scan level).
+    HybridScan {
+        /// Binding name in the query.
+        binding: String,
+        /// Catalog table name.
+        table: String,
+        /// Pushed-down predicates (applied to both partitions).
+        preds: Vec<(String, ColumnPredicate)>,
+    },
+    /// A shipped sub-query executed at a remote source (below the
+    /// distributed exchange operator), via SDA with the remote cache.
+    RemoteQuery {
+        /// SDA source name.
+        source: String,
+        /// The shipped query.
+        query: Query,
+        /// Human-readable role ("whole query", "remote prefix",
+        /// "remote scan").
+        label: String,
+    },
+    /// Table-function invocation (virtual MR function, ESP window).
+    FunctionScan {
+        /// Binding name.
+        binding: String,
+        /// Function name.
+        function: String,
+        /// Arguments (must be literal-foldable).
+        args: Vec<Expr>,
+    },
+    /// In-memory hash join (equi).
+    HashJoin {
+        /// Build side.
+        left: Box<PlanNode>,
+        /// Probe side.
+        right: Box<PlanNode>,
+        /// Join key column in the left schema.
+        left_key: String,
+        /// Join key column in the right schema.
+        right_key: String,
+        /// Join kind.
+        kind: JoinKind,
+    },
+    /// Nested-loop join with an arbitrary ON condition (fallback).
+    NestedLoopJoin {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// ON condition (`true` = cross join).
+        on: Expr,
+    },
+    /// Semi-join reduction: execute `local`, ship its distinct join
+    /// keys to the remote source as a temp table, join there to reduce
+    /// the remote table, then hash-join locally.
+    SemiJoin {
+        /// Local input (already planned).
+        local: Box<PlanNode>,
+        /// Join key in the local schema.
+        local_key: String,
+        /// SDA source of the remote side.
+        source: String,
+        /// Remote table.
+        remote_table: String,
+        /// Predicates pushed to the remote side (as SQL expressions).
+        remote_preds: Vec<Expr>,
+        /// Join key in the remote table.
+        remote_key: String,
+        /// Remote binding name (for schema qualification).
+        remote_binding: String,
+    },
+    /// Table relocation: ship the local rows to the remote source and
+    /// execute the join there.
+    RelocateJoin {
+        /// Local input (already planned).
+        local: Box<PlanNode>,
+        /// Join key in the local schema.
+        local_key: String,
+        /// SDA source of the remote side.
+        source: String,
+        /// Remote table.
+        remote_table: String,
+        /// Predicates pushed to the remote side (as SQL expressions).
+        remote_preds: Vec<Expr>,
+        /// Join key in the remote table.
+        remote_key: String,
+        /// Remote binding name.
+        remote_binding: String,
+    },
+    /// Residual filter.
+    Filter {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Predicate.
+        pred: Expr,
+    },
+    /// Hash aggregation producing `_g0.._gN, _a0.._aM`.
+    Aggregate {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Group-by expressions.
+        group_by: Vec<Expr>,
+        /// Aggregates (canonical order).
+        aggs: Vec<(AggFunc, Option<Expr>)>,
+    },
+    /// Driver epilogue: HAVING, final projection, DISTINCT, ORDER BY,
+    /// LIMIT — applied from the original query.
+    Finish {
+        /// Input.
+        input: Box<PlanNode>,
+        /// The original query.
+        query: Query,
+    },
+}
+
+impl PlanNode {
+    /// Render the plan tree as indented text (the Figure 12/13 style).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.render(0, &mut out);
+        out
+    }
+
+    fn line(indent: usize, out: &mut String, text: &str) {
+        out.push_str(&"  ".repeat(indent));
+        out.push_str(text);
+        out.push('\n');
+    }
+
+    fn render(&self, indent: usize, out: &mut String) {
+        match &self.op {
+            PlanOp::ColumnScan {
+                binding,
+                table,
+                preds,
+            } => Self::line(
+                indent,
+                out,
+                &format!(
+                    "Column Scan {table} [{binding}] ({} preds, est {:.0} rows)",
+                    preds.len(),
+                    self.est_rows
+                ),
+            ),
+            PlanOp::RowScan {
+                binding,
+                table,
+                preds,
+            } => Self::line(
+                indent,
+                out,
+                &format!(
+                    "Row Scan {table} [{binding}] ({} preds, est {:.0} rows)",
+                    preds.len(),
+                    self.est_rows
+                ),
+            ),
+            PlanOp::HybridScan {
+                binding, table, ..
+            } => Self::line(
+                indent,
+                out,
+                &format!(
+                    "Union Plan: Hybrid Scan {table} [{binding}] (hot in-memory + cold extended, est {:.0} rows)",
+                    self.est_rows
+                ),
+            ),
+            PlanOp::RemoteQuery {
+                source,
+                query,
+                label,
+            } => {
+                Self::line(
+                    indent,
+                    out,
+                    &format!("Remote Row Scan [{label}] @ {source} (est {:.0} rows)", self.est_rows),
+                );
+                Self::line(indent + 1, out, &format!("Shipped: {query}"));
+            }
+            PlanOp::FunctionScan {
+                binding, function, ..
+            } => Self::line(
+                indent,
+                out,
+                &format!("Table Function {function}() [{binding}]"),
+            ),
+            PlanOp::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                kind,
+            } => {
+                let k = match kind {
+                    JoinKind::Inner => "Inner",
+                    JoinKind::LeftOuter => "Left Outer",
+                };
+                Self::line(
+                    indent,
+                    out,
+                    &format!(
+                        "Hash Join ({k}) ON {left_key} = {right_key} (est {:.0} rows)",
+                        self.est_rows
+                    ),
+                );
+                left.render(indent + 1, out);
+                right.render(indent + 1, out);
+            }
+            PlanOp::NestedLoopJoin { left, right, on } => {
+                Self::line(
+                    indent,
+                    out,
+                    &format!("Nested Loop Join ON {on} (est {:.0} rows)", self.est_rows),
+                );
+                left.render(indent + 1, out);
+                right.render(indent + 1, out);
+            }
+            PlanOp::SemiJoin {
+                local,
+                local_key,
+                source,
+                remote_table,
+                remote_key,
+                ..
+            } => {
+                Self::line(
+                    indent,
+                    out,
+                    &format!(
+                        "Semijoin: ship {local_key} keys -> {source}.{remote_table}.{remote_key} (est {:.0} rows)",
+                        self.est_rows
+                    ),
+                );
+                local.render(indent + 1, out);
+            }
+            PlanOp::RelocateJoin {
+                local,
+                source,
+                remote_table,
+                ..
+            } => {
+                Self::line(
+                    indent,
+                    out,
+                    &format!(
+                        "Table Relocation: ship local rows -> join @ {source}.{remote_table} (est {:.0} rows)",
+                        self.est_rows
+                    ),
+                );
+                local.render(indent + 1, out);
+            }
+            PlanOp::Filter { input, pred } => {
+                Self::line(indent, out, &format!("Filter {pred} (est {:.0} rows)", self.est_rows));
+                input.render(indent + 1, out);
+            }
+            PlanOp::Aggregate {
+                input, group_by, aggs,
+            } => {
+                Self::line(
+                    indent,
+                    out,
+                    &format!(
+                        "Hash Aggregate ({} groups, {} aggs, est {:.0} rows)",
+                        group_by.len(),
+                        aggs.len(),
+                        self.est_rows
+                    ),
+                );
+                input.render(indent + 1, out);
+            }
+            PlanOp::Finish { input, .. } => {
+                Self::line(indent, out, "Project / Order / Limit");
+                input.render(indent + 1, out);
+            }
+        }
+    }
+
+    /// The federation strategies used anywhere in the tree (tests).
+    pub fn strategies(&self) -> Vec<FederationStrategy> {
+        let mut out = Vec::new();
+        self.collect_strategies(&mut out);
+        out
+    }
+
+    fn collect_strategies(&self, out: &mut Vec<FederationStrategy>) {
+        match &self.op {
+            PlanOp::RemoteQuery { .. } => out.push(FederationStrategy::RemoteScan),
+            PlanOp::HybridScan { .. } => out.push(FederationStrategy::UnionPlan),
+            PlanOp::SemiJoin { local, .. } => {
+                out.push(FederationStrategy::SemiJoin);
+                local.collect_strategies(out);
+            }
+            PlanOp::RelocateJoin { local, .. } => {
+                out.push(FederationStrategy::TableRelocation);
+                local.collect_strategies(out);
+            }
+            PlanOp::HashJoin { left, right, .. } => {
+                left.collect_strategies(out);
+                right.collect_strategies(out);
+            }
+            PlanOp::NestedLoopJoin { left, right, .. } => {
+                left.collect_strategies(out);
+                right.collect_strategies(out);
+            }
+            PlanOp::Filter { input, .. }
+            | PlanOp::Aggregate { input, .. }
+            | PlanOp::Finish { input, .. } => input.collect_strategies(out),
+            _ => {}
+        }
+    }
+}

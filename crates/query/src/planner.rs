@@ -1,0 +1,793 @@
+//! The federated, cost-based planner.
+//!
+//! Implements the placement logic of §3.1 and §4.2:
+//!
+//! 1. **Whole-query shipping** — if every source lives at one remote
+//!    source whose capabilities cover the query shape, the entire query
+//!    is pushed below the distributed exchange operator (the Figure 12
+//!    plan), letting the remote cache of §4.4 apply.
+//! 2. **Remote-prefix shipping** — otherwise, the maximal prefix of the
+//!    left-deep join chain that lives at one source is shipped as a
+//!    sub-query ("parts of a query may even be shipped to Hive"); its
+//!    result joins with local tables in HANA (the Figure 13 situation
+//!    for queries mixing federated and local tables).
+//! 3. **Strategy selection** — each remaining remote table entering a
+//!    join is accessed via the cheapest of *remote scan*, *semijoin* and
+//!    *table relocation* (§3.1, Figure 7); hybrid tables always use the
+//!    *union plan* at scan level.
+
+use hana_sql::finish::{aggregate_output_schema, collect_aggregates, infer_type};
+use hana_sql::{BinOp, Expr, JoinKind, Query, SelectItem, TableRef};
+use hana_types::{ColumnDef, HanaError, Result, Schema};
+
+use crate::catalog::{Catalog, TableSource};
+use crate::cost::{CostModel, JoinSituation};
+use crate::histogram::QHistogram;
+use crate::plan::{FederationStrategy, PlanNode, PlanOp};
+
+/// The planner.
+pub struct Planner<'a> {
+    catalog: &'a dyn Catalog,
+    cost: CostModel,
+}
+
+/// One resolved FROM/JOIN binding.
+struct Binding {
+    name: String,
+    table: String,
+    source: BindingKind,
+    /// Schema qualified with the binding name.
+    schema: Schema,
+    /// Conjuncts assigned to this binding.
+    preds: Vec<Expr>,
+}
+
+enum BindingKind {
+    Table(TableSource),
+    Function { function: String, args: Vec<Expr> },
+}
+
+impl<'a> Planner<'a> {
+    /// A planner over `catalog` with the default cost model.
+    pub fn new(catalog: &'a dyn Catalog) -> Planner<'a> {
+        Planner {
+            catalog,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Override the cost model (ablation benches).
+    pub fn with_cost_model(catalog: &'a dyn Catalog, cost: CostModel) -> Planner<'a> {
+        Planner { catalog, cost }
+    }
+
+    /// Compile a query into a physical plan.
+    pub fn plan(&self, q: &Query) -> Result<PlanNode> {
+        let mut bindings = self.resolve_bindings(q)?;
+
+        // Partition WHERE conjuncts: per-binding vs residual.
+        let mut residual: Vec<Expr> = Vec::new();
+        if let Some(f) = &q.filter {
+            for c in f.conjuncts() {
+                match self.owning_binding(&bindings, c) {
+                    Some(i) => bindings[i].preds.push(c.clone()),
+                    None => residual.push(c.clone()),
+                }
+            }
+        }
+
+        // 1. Whole-query shipping.
+        if let Some(node) = self.try_whole_ship(q, &bindings)? {
+            return Ok(node);
+        }
+
+        // 2. Left-deep chain with remote-prefix shipping.
+        let prefix_len = self.remote_prefix_len(q, &bindings);
+        let mut acc = if prefix_len >= 2 {
+            self.ship_prefix(q, &bindings, prefix_len)?
+        } else {
+            self.leaf(&bindings[0], &q.hints)?
+        };
+        let consumed = if prefix_len >= 2 { prefix_len } else { 1 };
+
+        // 3. Fold remaining joins.
+        for (idx, join) in q.joins.iter().enumerate().skip(consumed.saturating_sub(1)) {
+            let b = &bindings[idx + 1];
+            let keys = equi_keys(&join.on, &acc.schema, &b.schema);
+            match (&b.source, keys) {
+                // Remote single table with an equi join: strategy choice.
+                (BindingKind::Table(ts), Ok((lk, rk)))
+                    if ts.remote_source().is_some()
+                        && !matches!(ts, TableSource::Hybrid { .. })
+                        && join.kind == JoinKind::Inner =>
+                {
+                    acc = self.plan_remote_join(acc, b, ts, &lk, &rk, &q.hints)?;
+                }
+                (_, Ok((lk, rk))) => {
+                    let right = self.leaf(b, &q.hints)?;
+                    acc = join_node(acc, right, lk, rk, join.kind)?;
+                }
+                (_, Err(_)) => {
+                    let right = self.leaf(b, &q.hints)?;
+                    acc = nested_loop_node(acc, right, join.on.clone())?;
+                }
+            }
+        }
+
+        // 4. Residual filter.
+        for pred in residual {
+            let est = acc.est_rows * 0.5;
+            let schema = acc.schema.clone();
+            acc = PlanNode {
+                op: PlanOp::Filter {
+                    input: Box::new(acc),
+                    pred,
+                },
+                schema,
+                est_rows: est.max(1.0),
+            };
+        }
+
+        // 5. Aggregation.
+        let aggs = collect_aggregates(q);
+        if !q.group_by.is_empty() || !aggs.is_empty() {
+            let schema = aggregate_output_schema(q, &acc.schema)?;
+            let est = if q.group_by.is_empty() {
+                1.0
+            } else {
+                (acc.est_rows / 10.0).max(1.0)
+            };
+            acc = PlanNode {
+                op: PlanOp::Aggregate {
+                    input: Box::new(acc),
+                    group_by: q.group_by.clone(),
+                    aggs,
+                },
+                schema,
+                est_rows: est,
+            };
+        }
+
+        // 6. Epilogue.
+        let est = q.limit.map(|n| n as f64).unwrap_or(acc.est_rows);
+        let schema = acc.schema.clone();
+        Ok(PlanNode {
+            op: PlanOp::Finish {
+                input: Box::new(acc),
+                query: q.clone(),
+            },
+            schema,
+            est_rows: est,
+        })
+    }
+
+    // ---- binding resolution ----
+
+    fn resolve_bindings(&self, q: &Query) -> Result<Vec<Binding>> {
+        let from = q
+            .from
+            .as_ref()
+            .ok_or_else(|| HanaError::Plan("query without FROM clause".into()))?;
+        let mut bindings = vec![self.resolve_ref(from)?];
+        for j in &q.joins {
+            bindings.push(self.resolve_ref(&j.table)?);
+        }
+        Ok(bindings)
+    }
+
+    fn resolve_ref(&self, t: &TableRef) -> Result<Binding> {
+        match t {
+            TableRef::Named { name, alias } => {
+                let source = self.catalog.resolve_table(name)?;
+                let binding = alias.clone().unwrap_or_else(|| name.clone());
+                let schema = source.schema().qualified(&binding);
+                Ok(Binding {
+                    name: binding,
+                    table: name.clone(),
+                    source: BindingKind::Table(source),
+                    schema,
+                    preds: Vec::new(),
+                })
+            }
+            TableRef::Function { name, args, alias } => {
+                let f = self.catalog.resolve_function(name)?;
+                let binding = alias.clone().unwrap_or_else(|| name.clone());
+                let schema = f.schema().qualified(&binding);
+                Ok(Binding {
+                    name: binding,
+                    table: name.clone(),
+                    source: BindingKind::Function {
+                        function: name.clone(),
+                        args: args.clone(),
+                    },
+                    schema,
+                    preds: Vec::new(),
+                })
+            }
+            TableRef::Subquery { .. } => Err(HanaError::Unsupported(
+                "derived tables are not supported by the federated planner yet".into(),
+            )),
+        }
+    }
+
+    /// The unique binding that owns every column of `e`, if any.
+    fn owning_binding(&self, bindings: &[Binding], e: &Expr) -> Option<usize> {
+        let cols = e.columns();
+        if cols.is_empty() {
+            return None;
+        }
+        let mut owner = None;
+        for (q, name) in cols {
+            let idx = binding_of_column(bindings, q.as_deref(), name)?;
+            match owner {
+                None => owner = Some(idx),
+                Some(o) if o == idx => {}
+                _ => return None,
+            }
+        }
+        owner
+    }
+
+    // ---- whole-query shipping ----
+
+    fn try_whole_ship(&self, q: &Query, bindings: &[Binding]) -> Result<Option<PlanNode>> {
+        let mut source: Option<&str> = None;
+        for b in bindings {
+            let BindingKind::Table(ts) = &b.source else {
+                return Ok(None);
+            };
+            if matches!(ts, TableSource::Hybrid { .. }) {
+                return Ok(None);
+            }
+            match (source, ts.remote_source()) {
+                (_, None) => return Ok(None),
+                (None, Some(s)) => source = Some(s),
+                (Some(a), Some(b)) if a == b => {}
+                _ => return Ok(None),
+            }
+        }
+        let Some(source) = source else {
+            return Ok(None);
+        };
+        let caps = self.catalog.sda().source(source)?.adapter.capabilities();
+        if !caps.supports_query(q) {
+            return Ok(None);
+        }
+        // Rewrite local virtual-table names to their remote names,
+        // keeping the binding names as aliases.
+        let mut shipped = q.clone();
+        shipped.from = Some(TableRef::Named {
+            name: bindings[0].remote_table_name(),
+            alias: Some(bindings[0].name.clone()),
+        });
+        for (i, j) in shipped.joins.iter_mut().enumerate() {
+            j.table = TableRef::Named {
+                name: bindings[i + 1].remote_table_name(),
+                alias: Some(bindings[i + 1].name.clone()),
+            };
+        }
+        // Estimate: first table after filters (rough but monotone).
+        let est = self.binding_estimate(&bindings[0]);
+        let schema = output_schema_guess(q, bindings)?;
+        Ok(Some(PlanNode {
+            op: PlanOp::RemoteQuery {
+                source: source.to_string(),
+                query: shipped,
+                label: "whole query".into(),
+            },
+            schema,
+            est_rows: est,
+        }))
+    }
+
+    /// Length of the initial run of bindings on one shared remote
+    /// source whose joins are source-internal equi joins.
+    fn remote_prefix_len(&self, q: &Query, bindings: &[Binding]) -> usize {
+        let first_source = match &bindings[0].source {
+            BindingKind::Table(ts) => match ts.remote_source() {
+                Some(s) if !matches!(ts, TableSource::Hybrid { .. }) => s.to_string(),
+                _ => return 0,
+            },
+            _ => return 0,
+        };
+        let caps = match self.catalog.sda().source(&first_source) {
+            Ok(s) => s.adapter.capabilities(),
+            Err(_) => return 0,
+        };
+        if !caps.cap_joins {
+            return 1;
+        }
+        let mut len = 1;
+        for (i, j) in q.joins.iter().enumerate() {
+            let b = &bindings[i + 1];
+            let same_source = matches!(&b.source, BindingKind::Table(ts)
+                if ts.remote_source() == Some(first_source.as_str())
+                    && !matches!(ts, TableSource::Hybrid { .. }));
+            if !same_source || j.kind != JoinKind::Inner {
+                break;
+            }
+            // The ON must resolve entirely within the prefix.
+            let prefix_schema = join_schemas(&bindings[..=i + 1]);
+            if equi_keys_within(&j.on, &prefix_schema).is_none() {
+                break;
+            }
+            len = i + 2;
+        }
+        len
+    }
+
+    /// Build the shipped prefix sub-query and its plan node.
+    fn ship_prefix(&self, q: &Query, bindings: &[Binding], len: usize) -> Result<PlanNode> {
+        let source = match &bindings[0].source {
+            BindingKind::Table(ts) => ts.remote_source().expect("checked").to_string(),
+            _ => unreachable!("prefix starts with a table"),
+        };
+        // Needed columns: every column of the query owned by a prefix
+        // binding (dedup by output name).
+        let mut needed: Vec<(Option<String>, String)> = Vec::new();
+        let mut push_cols = |e: &Expr| {
+            for (qual, name) in e.columns() {
+                if let Some(i) = binding_of_column(bindings, qual.as_deref(), name) {
+                    if i < len && !needed.iter().any(|(_, n)| n == name) {
+                        needed.push((qual.clone(), name.to_string()));
+                    }
+                }
+            }
+        };
+        for item in &q.select {
+            push_cols(&item.expr);
+        }
+        for j in &q.joins {
+            push_cols(&j.on);
+        }
+        if let Some(f) = &q.filter {
+            push_cols(f);
+        }
+        for g in &q.group_by {
+            push_cols(g);
+        }
+        if let Some(h) = &q.having {
+            push_cols(h);
+        }
+        for (e, _) in &q.order_by {
+            push_cols(e);
+        }
+
+        let remote_table_name = |b: &Binding| b.remote_table_name();
+        let sub = Query {
+            select: needed
+                .iter()
+                .map(|(qual, name)| SelectItem {
+                    expr: Expr::Column {
+                        qualifier: qual.clone(),
+                        name: name.clone(),
+                    },
+                    alias: None,
+                })
+                .collect(),
+            from: Some(TableRef::Named {
+                name: remote_table_name(&bindings[0]),
+                alias: Some(bindings[0].name.clone()),
+            }),
+            joins: q.joins[..len - 1]
+                .iter()
+                .enumerate()
+                .map(|(i, j)| hana_sql::JoinClause {
+                    kind: j.kind,
+                    table: TableRef::Named {
+                        name: remote_table_name(&bindings[i + 1]),
+                        alias: Some(bindings[i + 1].name.clone()),
+                    },
+                    on: j.on.clone(),
+                })
+                .collect(),
+            filter: bindings[..len]
+                .iter()
+                .flat_map(|b| b.preds.iter().cloned())
+                .reduce(|a, b| a.and(b)),
+            hints: q.hints.clone(),
+            ..Query::default()
+        };
+        // Output schema: bare column names typed from the bindings.
+        let joined = join_schemas(&bindings[..len]);
+        let cols: Vec<ColumnDef> = needed
+            .iter()
+            .map(|(qual, name)| {
+                let e = Expr::Column {
+                    qualifier: qual.clone(),
+                    name: name.clone(),
+                };
+                ColumnDef::new(name, infer_type(&e, &joined))
+            })
+            .collect();
+        let est = bindings[..len]
+            .iter()
+            .map(|b| self.binding_estimate(b))
+            .fold(f64::MAX, f64::min)
+            .max(1.0);
+        Ok(PlanNode {
+            op: PlanOp::RemoteQuery {
+                source,
+                query: sub,
+                label: "remote prefix".into(),
+            },
+            schema: Schema::new(cols)?,
+            est_rows: est,
+        })
+    }
+
+    // ---- leaves ----
+
+    fn leaf(&self, b: &Binding, hints: &[String]) -> Result<PlanNode> {
+        let est = self.binding_estimate(b);
+        let lowered = lower_preds(&b.preds);
+        match &b.source {
+            BindingKind::Function { function, args } => Ok(PlanNode {
+                op: PlanOp::FunctionScan {
+                    binding: b.name.clone(),
+                    function: function.clone(),
+                    args: args.clone(),
+                },
+                schema: b.schema.clone(),
+                est_rows: est,
+            }),
+            BindingKind::Table(ts) => match ts {
+                TableSource::Column(_) => Ok(PlanNode {
+                    op: PlanOp::ColumnScan {
+                        binding: b.name.clone(),
+                        table: b.table.clone(),
+                        preds: lowered,
+                    },
+                    schema: b.schema.clone(),
+                    est_rows: est,
+                }),
+                TableSource::Row(_) => Ok(PlanNode {
+                    op: PlanOp::RowScan {
+                        binding: b.name.clone(),
+                        table: b.table.clone(),
+                        preds: lowered,
+                    },
+                    schema: b.schema.clone(),
+                    est_rows: est,
+                }),
+                TableSource::Hybrid { .. } => Ok(PlanNode {
+                    op: PlanOp::HybridScan {
+                        binding: b.name.clone(),
+                        table: b.table.clone(),
+                        preds: lowered,
+                    },
+                    schema: b.schema.clone(),
+                    est_rows: est,
+                }),
+                TableSource::Extended { source, .. } | TableSource::Virtual { source, .. } => {
+                    // A single remote table accessed without a join
+                    // strategy: ship a remote scan sub-query.
+                    let sub = Query {
+                        from: Some(TableRef::Named {
+                            name: b.remote_table_name(),
+                            alias: Some(b.name.clone()),
+                        }),
+                        filter: b.preds.iter().cloned().reduce(|a, c| a.and(c)),
+                        hints: hints.to_vec(),
+                        ..Query::default()
+                    };
+                    Ok(PlanNode {
+                        op: PlanOp::RemoteQuery {
+                            source: source.clone(),
+                            query: sub,
+                            label: "remote scan".into(),
+                        },
+                        schema: b.schema.clone(),
+                        est_rows: est,
+                    })
+                }
+            },
+        }
+    }
+
+    // ---- remote join strategies ----
+
+    fn plan_remote_join(
+        &self,
+        acc: PlanNode,
+        b: &Binding,
+        ts: &TableSource,
+        left_key: &str,
+        right_key: &str,
+        hints: &[String],
+    ) -> Result<PlanNode> {
+        let source = ts.remote_source().expect("remote binding").to_string();
+        let adapter = self.catalog.sda().source(&source)?.adapter;
+        let caps = adapter.capabilities();
+        let remote_table = b.remote_table_name();
+        let remote_total = self.remote_rows(&source, &remote_table);
+        let sel: f64 = lower_preds(&b.preds)
+            .iter()
+            .map(|(col, p)| {
+                adapter
+                    .estimate_selectivity(&remote_table, col, p)
+                    .unwrap_or_else(|| p.default_selectivity())
+            })
+            .product();
+        let remote_filtered = (remote_total * sel).max(1.0);
+        let situation = JoinSituation {
+            local_rows: acc.est_rows,
+            remote_total,
+            remote_filtered,
+            join_out: acc.est_rows.min(remote_filtered).max(1.0),
+            local_width: acc.schema.len() as f64,
+            remote_width: b.schema.len() as f64,
+        };
+        let mut options = vec![FederationStrategy::RemoteScan];
+        if caps.cap_semi_join {
+            options.push(FederationStrategy::SemiJoin);
+        }
+        if caps.cap_joins {
+            options.push(FederationStrategy::TableRelocation);
+        }
+        let (strategy, _) = self.cost.pick(&options, &situation);
+        let schema = acc.schema.join(&b.schema)?;
+        let est = situation.join_out;
+        match strategy {
+            FederationStrategy::RemoteScan => {
+                let right = self.leaf(b, hints)?;
+                join_node(acc, right, left_key.to_string(), right_key.to_string(), JoinKind::Inner)
+            }
+            FederationStrategy::SemiJoin => Ok(PlanNode {
+                op: PlanOp::SemiJoin {
+                    local: Box::new(acc),
+                    local_key: left_key.to_string(),
+                    source,
+                    remote_table: b.remote_table_name(),
+                    remote_preds: b.preds.clone(),
+                    remote_key: right_key.to_string(),
+                    remote_binding: b.name.clone(),
+                },
+                schema,
+                est_rows: est,
+            }),
+            FederationStrategy::TableRelocation => Ok(PlanNode {
+                op: PlanOp::RelocateJoin {
+                    local: Box::new(acc),
+                    local_key: left_key.to_string(),
+                    source,
+                    remote_table: b.remote_table_name(),
+                    remote_preds: b.preds.clone(),
+                    remote_key: right_key.to_string(),
+                    remote_binding: b.name.clone(),
+                },
+                schema,
+                est_rows: est,
+            }),
+            FederationStrategy::UnionPlan => unreachable!("not offered here"),
+        }
+    }
+
+    // ---- estimation ----
+
+    fn binding_estimate(&self, b: &Binding) -> f64 {
+        let lowered = lower_preds(&b.preds);
+        match &b.source {
+            BindingKind::Function { .. } => 100.0,
+            BindingKind::Table(ts) => match ts {
+                TableSource::Column(t) => {
+                    let t = t.read();
+                    let mut est = t.row_count() as f64;
+                    for (col, pred) in &lowered {
+                        // Histogram over the ordered dictionary ([16]).
+                        if let Some(idx) = t.schema().index_of(col) {
+                            let hist =
+                                QHistogram::build(&t.value_frequencies(idx), 0, 2.0);
+                            est *= hist.selectivity(pred);
+                        } else {
+                            est *= pred.default_selectivity();
+                        }
+                    }
+                    est.max(if lowered.is_empty() { 1.0 } else { 0.0 })
+                }
+                TableSource::Row(t) => {
+                    let rows = t.read().version_count() as f64;
+                    lowered
+                        .iter()
+                        .fold(rows, |e, (_, p)| e * p.default_selectivity())
+                }
+                TableSource::Hybrid { hot, source, cold_table, .. } => {
+                    let hot_rows = hot.read().row_count() as f64;
+                    let cold_rows = self.remote_rows(source, cold_table);
+                    let sel: f64 = lowered
+                        .iter()
+                        .map(|(_, p)| p.default_selectivity())
+                        .product();
+                    (hot_rows + cold_rows) * sel
+                }
+                TableSource::Extended { source, remote_table, .. }
+                | TableSource::Virtual { source, remote_table, .. } => {
+                    let total = self.remote_rows(source, remote_table);
+                    let sel: f64 = lowered
+                        .iter()
+                        .map(|(_, p)| p.default_selectivity())
+                        .product();
+                    (total * sel).max(1.0)
+                }
+            },
+        }
+    }
+
+    fn remote_rows(&self, source: &str, table: &str) -> f64 {
+        self.catalog
+            .sda()
+            .source(source)
+            .and_then(|s| s.adapter.table_stats(table))
+            .map(|s| s.row_count as f64)
+            .unwrap_or(10_000.0)
+    }
+}
+
+impl Binding {
+    /// The table name to use in a shipped sub-query (the *remote* name
+    /// for virtual/extended tables).
+    fn remote_table_name(&self) -> String {
+        match &self.source {
+            BindingKind::Table(TableSource::Virtual { remote_table, .. })
+            | BindingKind::Table(TableSource::Extended { remote_table, .. }) => {
+                remote_table.clone()
+            }
+            _ => self.table.clone(),
+        }
+    }
+}
+
+/// Lower assigned conjuncts to column predicates, dropping the ones that
+/// cannot be lowered (they are still shipped/evaluated as expressions).
+fn lower_preds(preds: &[Expr]) -> Vec<(String, hana_columnar::ColumnPredicate)> {
+    preds
+        .iter()
+        .filter_map(crate::pushdown_expr)
+        .collect()
+}
+
+/// Which binding owns column `(qualifier, name)`? `None` if ambiguous or
+/// unknown.
+fn binding_of_column(bindings: &[Binding], qualifier: Option<&str>, name: &str) -> Option<usize> {
+    let mut found = None;
+    for (i, b) in bindings.iter().enumerate() {
+        let hit = match qualifier {
+            Some(q) => {
+                q == b.name && b.schema.index_of(&format!("{q}.{name}")).is_some()
+            }
+            None => b.schema.index_of(&format!("{}.{name}", b.name)).is_some(),
+        };
+        if hit {
+            if found.is_some() {
+                return None; // ambiguous
+            }
+            found = Some(i);
+        }
+    }
+    found
+}
+
+fn join_schemas(bindings: &[Binding]) -> Schema {
+    let mut schema = Schema::default();
+    for b in bindings {
+        schema = schema.join(&b.schema).unwrap_or_else(|_| schema.clone());
+    }
+    schema
+}
+
+/// Extract equi-join keys: one side in `left`, the other in `right`.
+fn equi_keys(on: &Expr, left: &Schema, right: &Schema) -> Result<(String, String)> {
+    if let Expr::Binary {
+        left: l,
+        op: BinOp::Eq,
+        right: r,
+    } = on
+    {
+        if let (Expr::Column { qualifier: lq, name: ln }, Expr::Column { qualifier: rq, name: rn }) =
+            (l.as_ref(), r.as_ref())
+        {
+            let lref = |q: &Option<String>, n: &str| {
+                q.as_ref()
+                    .map(|q| format!("{q}.{n}"))
+                    .unwrap_or_else(|| n.to_string())
+            };
+            let (a, b) = (lref(lq, ln), lref(rq, rn));
+            if resolves(left, &a) && resolves(right, &b) {
+                return Ok((a, b));
+            }
+            if resolves(left, &b) && resolves(right, &a) {
+                return Ok((b, a));
+            }
+        }
+    }
+    Err(HanaError::Plan(format!("not an equi join: {on}")))
+}
+
+/// Both keys within one (prefix) schema?
+fn equi_keys_within(on: &Expr, schema: &Schema) -> Option<()> {
+    if let Expr::Binary {
+        left,
+        op: BinOp::Eq,
+        right,
+    } = on
+    {
+        if let (Expr::Column { qualifier: lq, name: ln }, Expr::Column { qualifier: rq, name: rn }) =
+            (left.as_ref(), right.as_ref())
+        {
+            let ok = |q: &Option<String>, n: &str| {
+                hana_sql::resolve_column(schema, q.as_deref(), n).is_ok()
+            };
+            if ok(lq, ln) && ok(rq, rn) {
+                return Some(());
+            }
+        }
+    }
+    None
+}
+
+fn resolves(schema: &Schema, key: &str) -> bool {
+    let (q, n) = match key.split_once('.') {
+        Some((q, n)) => (Some(q), n),
+        None => (None, key),
+    };
+    hana_sql::resolve_column(schema, q, n).is_ok()
+}
+
+fn join_node(
+    left: PlanNode,
+    right: PlanNode,
+    left_key: String,
+    right_key: String,
+    kind: JoinKind,
+) -> Result<PlanNode> {
+    let schema = left.schema.join(&right.schema)?;
+    let est = left.est_rows.min(right.est_rows).max(1.0);
+    Ok(PlanNode {
+        op: PlanOp::HashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_key,
+            right_key,
+            kind,
+        },
+        schema,
+        est_rows: est,
+    })
+}
+
+fn nested_loop_node(left: PlanNode, right: PlanNode, on: Expr) -> Result<PlanNode> {
+    let schema = left.schema.join(&right.schema)?;
+    let est = (left.est_rows * right.est_rows * 0.1).max(1.0);
+    Ok(PlanNode {
+        op: PlanOp::NestedLoopJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            on,
+        },
+        schema,
+        est_rows: est,
+    })
+}
+
+/// Rough output schema for a whole-shipped query: reuse the finishing
+/// logic's naming over the joined binding schemas.
+fn output_schema_guess(q: &Query, bindings: &[Binding]) -> Result<Schema> {
+    let joined = join_schemas(bindings);
+    if q.select.is_empty() {
+        return Ok(joined);
+    }
+    let mut cols = Vec::with_capacity(q.select.len());
+    let mut seen = std::collections::HashSet::new();
+    for item in &q.select {
+        let mut name = item
+            .alias
+            .clone()
+            .unwrap_or_else(|| item.expr.default_name());
+        if !seen.insert(name.clone()) {
+            name = format!("{name}_{}", cols.len());
+            seen.insert(name.clone());
+        }
+        cols.push(ColumnDef::new(&name, infer_type(&item.expr, &joined)));
+    }
+    Schema::new(cols)
+}

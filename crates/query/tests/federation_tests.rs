@@ -1,0 +1,430 @@
+//! End-to-end federation tests: local execution, strategy selection
+//! (Figure 7), whole-query and prefix shipping, hybrid scans.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use hana_columnar::ColumnTable;
+use hana_hadoop::{Hdfs, Hive, MrCluster, MrConfig};
+use hana_iq::IqEngine;
+use hana_query::{
+    execute_query, explain_query, Catalog, FederationStrategy, Planner, TableSource,
+};
+use hana_rowstore::RowTable;
+use hana_sda::{HiveOdbcAdapter, IqAdapter, SdaAdapter, SdaRegistry};
+use hana_sql::{parse_statement, Statement};
+use hana_types::{DataType, HanaError, Result, Row, Schema, Value};
+
+/// A catalog assembling every storage kind for the tests.
+struct TestCatalog {
+    tables: HashMap<String, TableSource>,
+    sda: SdaRegistry,
+    iq: Arc<IqEngine>,
+}
+
+impl Catalog for TestCatalog {
+    fn resolve_table(&self, name: &str) -> Result<TableSource> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| HanaError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    fn sda(&self) -> &SdaRegistry {
+        &self.sda
+    }
+
+    fn iq_engine(&self, _source: &str) -> Result<Arc<IqEngine>> {
+        Ok(Arc::clone(&self.iq))
+    }
+}
+
+fn query(sql: &str) -> hana_sql::Query {
+    let Statement::Query(q) = parse_statement(sql).unwrap() else {
+        panic!("not a query: {sql}")
+    };
+    q
+}
+
+/// Build a world:
+/// * local column table `dim` (100 rows) and row table `codes`,
+/// * extended (IQ) table `fact` (20k rows),
+/// * Hive virtual tables `ev_orders` (2k rows) and `ev_customer` (100),
+/// * hybrid table `sales` (50 hot + 5000 cold rows).
+fn world() -> TestCatalog {
+    let sda = SdaRegistry::new();
+
+    // Local column table.
+    let mut dim = ColumnTable::new(
+        "dim",
+        Schema::of(&[("d_id", DataType::Int), ("d_name", DataType::Varchar)]),
+    );
+    for i in 0..100i64 {
+        dim.insert(&[Value::Int(i), Value::from(format!("dim-{i}"))], 1)
+            .unwrap();
+    }
+    dim.merge_delta();
+
+    // Local row table.
+    let mut codes = RowTable::new(
+        "codes",
+        Schema::of(&[("code", DataType::Int), ("label", DataType::Varchar)]),
+        Some("code"),
+    )
+    .unwrap();
+    for i in 0..10i64 {
+        codes
+            .insert(&[Value::Int(i), Value::from(format!("label-{i}"))], 1)
+            .unwrap();
+    }
+
+    // Extended storage with a big fact table.
+    let iq = Arc::new(IqEngine::new("iq-fed", 512).unwrap());
+    iq.create_table(
+        "fact",
+        Schema::of(&[
+            ("f_dim", DataType::Int),
+            ("f_val", DataType::Double),
+            ("f_flag", DataType::Varchar),
+        ]),
+    )
+    .unwrap();
+    let fact_rows: Vec<Row> = (0..20_000)
+        .map(|i| {
+            Row::from_values([
+                Value::Int((i % 100) as i64),
+                Value::Double(i as f64),
+                Value::from(if i % 5 == 0 { "A" } else { "B" }),
+            ])
+        })
+        .collect();
+    iq.direct_load("fact", &fact_rows, 1).unwrap();
+    let iq_adapter: Arc<dyn SdaAdapter> = Arc::new(IqAdapter::new(Arc::clone(&iq)));
+    sda.create_remote_source("iqstore", iq_adapter, "internal", None)
+        .unwrap();
+
+    // Hive with two tables.
+    let mr = Arc::new(MrCluster::new(
+        Arc::new(Hdfs::new(4)),
+        MrConfig {
+            worker_slots: 4,
+            job_startup: Duration::from_micros(300),
+            task_startup: Duration::from_micros(30),
+        },
+    ));
+    let hive = Arc::new(Hive::new(mr));
+    hive.create_table(
+        "ev_orders",
+        Schema::of(&[
+            ("o_id", DataType::Int),
+            ("o_cust", DataType::Int),
+            ("o_total", DataType::Double),
+        ]),
+    )
+    .unwrap();
+    hive.load(
+        "ev_orders",
+        &(0..2000)
+            .map(|i| {
+                Row::from_values([
+                    Value::Int(i),
+                    Value::Int(i % 100),
+                    Value::Double(i as f64),
+                ])
+            })
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    hive.create_table(
+        "ev_customer",
+        Schema::of(&[
+            ("c_id", DataType::Int),
+            ("c_seg", DataType::Varchar),
+        ]),
+    )
+    .unwrap();
+    hive.load(
+        "ev_customer",
+        &(0..100)
+            .map(|i| {
+                Row::from_values([
+                    Value::Int(i),
+                    Value::from(if i % 4 == 0 { "HOUSEHOLD" } else { "OTHER" }),
+                ])
+            })
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let hive_adapter: Arc<dyn SdaAdapter> = Arc::new(HiveOdbcAdapter::new(hive, "DSN=hive1"));
+    sda.create_remote_source("hive1", hive_adapter, "DSN=hive1", None)
+        .unwrap();
+
+    // Hybrid table: hot in-memory + cold in IQ.
+    let mut hot = ColumnTable::new(
+        "sales",
+        Schema::of(&[
+            ("s_id", DataType::Int),
+            ("s_amt", DataType::Double),
+            ("s_cold", DataType::Bool),
+        ]),
+    );
+    for i in 0..50i64 {
+        hot.insert(
+            &[Value::Int(i), Value::Double(i as f64), Value::Bool(false)],
+            1,
+        )
+        .unwrap();
+    }
+    iq.create_table(
+        "sales_cold",
+        Schema::of(&[
+            ("s_id", DataType::Int),
+            ("s_amt", DataType::Double),
+            ("s_cold", DataType::Bool),
+        ]),
+    )
+    .unwrap();
+    let cold_rows: Vec<Row> = (1000..6000)
+        .map(|i| Row::from_values([Value::Int(i), Value::Double(i as f64), Value::Bool(true)]))
+        .collect();
+    iq.direct_load("sales_cold", &cold_rows, 1).unwrap();
+
+    let mut tables = HashMap::new();
+    tables.insert(
+        "dim".to_string(),
+        TableSource::Column(Arc::new(RwLock::new(dim))),
+    );
+    tables.insert(
+        "codes".to_string(),
+        TableSource::Row(Arc::new(RwLock::new(codes))),
+    );
+    tables.insert(
+        "fact".to_string(),
+        TableSource::Extended {
+            source: "iqstore".into(),
+            remote_table: "fact".into(),
+            schema: iq.table_schema("fact").unwrap(),
+        },
+    );
+    tables.insert(
+        "orders_v".to_string(),
+        TableSource::Virtual {
+            source: "hive1".into(),
+            remote_table: "ev_orders".into(),
+            schema: Schema::of(&[
+                ("o_id", DataType::Int),
+                ("o_cust", DataType::Int),
+                ("o_total", DataType::Double),
+            ]),
+        },
+    );
+    tables.insert(
+        "customer_v".to_string(),
+        TableSource::Virtual {
+            source: "hive1".into(),
+            remote_table: "ev_customer".into(),
+            schema: Schema::of(&[("c_id", DataType::Int), ("c_seg", DataType::Varchar)]),
+        },
+    );
+    tables.insert(
+        "sales".to_string(),
+        TableSource::Hybrid {
+            hot: Arc::new(RwLock::new(hot)),
+            source: "iqstore".into(),
+            cold_table: "sales_cold".into(),
+            aging_column: "s_cold".into(),
+        },
+    );
+
+    TestCatalog { tables, sda, iq }
+}
+
+#[test]
+fn local_scan_filter_project() {
+    let cat = world();
+    let rs = execute_query(
+        &query("SELECT d_name FROM dim WHERE d_id BETWEEN 10 AND 12"),
+        &cat,
+        1,
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 3);
+    assert_eq!(rs.schema.index_of("d_name"), Some(0));
+}
+
+#[test]
+fn local_aggregation_with_having_and_order() {
+    let cat = world();
+    let rs = execute_query(
+        &query(
+            "SELECT label, COUNT(*) AS n FROM codes WHERE code < 8 \
+             GROUP BY label HAVING COUNT(*) > 0 ORDER BY label DESC LIMIT 3",
+        ),
+        &cat,
+        1,
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 3);
+    assert_eq!(rs.rows[0][0], Value::from("label-7"));
+}
+
+#[test]
+fn local_join_column_and_row_tables() {
+    let cat = world();
+    let rs = execute_query(
+        &query(
+            "SELECT d.d_name, c.label FROM dim d JOIN codes c ON d.d_id = c.code \
+             WHERE c.code >= 5",
+        ),
+        &cat,
+        1,
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 5);
+}
+
+/// Figure 7: selective local predicate -> the optimizer must pick the
+/// semijoin against the big extended table, and results must be correct.
+#[test]
+fn figure7_semijoin_selected_and_correct() {
+    let cat = world();
+    let q = query(
+        "SELECT d.d_name, f.f_val FROM dim d JOIN fact f ON d.d_id = f.f_dim \
+         WHERE d.d_id = 42",
+    );
+    let plan = Planner::new(&cat).plan(&q).unwrap();
+    assert!(
+        plan.strategies().contains(&FederationStrategy::SemiJoin),
+        "expected semijoin, plan:\n{}",
+        plan.explain()
+    );
+    let rs = execute_query(&q, &cat, 1).unwrap();
+    assert_eq!(rs.len(), 200, "20000 rows / 100 dims = 200 matches");
+    assert!(rs.rows.iter().all(|r| r[0] == Value::from("dim-42")));
+}
+
+/// With no selective local predicate but a highly selective remote one,
+/// the remote scan strategy wins.
+#[test]
+fn remote_scan_when_remote_filter_is_selective() {
+    let cat = world();
+    let q = query(
+        "SELECT d.d_name, f.f_val FROM dim d JOIN fact f ON d.d_id = f.f_dim \
+         WHERE f.f_val < 3",
+    );
+    let plan = Planner::new(&cat).plan(&q).unwrap();
+    assert!(
+        plan.strategies().contains(&FederationStrategy::RemoteScan),
+        "plan:\n{}",
+        plan.explain()
+    );
+    let rs = execute_query(&q, &cat, 1).unwrap();
+    assert_eq!(rs.len(), 3);
+}
+
+/// All tables at one Hive source with supported shapes: the whole query
+/// ships (Figure 12) — including the aggregation.
+#[test]
+fn whole_query_ships_to_hive() {
+    let cat = world();
+    let q = query(
+        "SELECT c.c_seg, COUNT(*) AS n FROM customer_v c JOIN orders_v o \
+         ON c.c_id = o.o_cust GROUP BY c.c_seg ORDER BY c.c_seg",
+    );
+    let plan = Planner::new(&cat).plan(&q).unwrap();
+    let text = plan.explain();
+    assert!(
+        text.contains("whole query"),
+        "expected whole-query shipping:\n{text}"
+    );
+    let rs = execute_query(&q, &cat, 1).unwrap();
+    assert_eq!(rs.len(), 2);
+    // 25 HOUSEHOLD customers x 20 orders each = 500.
+    let household = rs
+        .rows
+        .iter()
+        .find(|r| r[0] == Value::from("HOUSEHOLD"))
+        .unwrap();
+    assert_eq!(household[1], Value::Int(500));
+}
+
+/// Hive prefix + local table: the prefix ships as one sub-query, the
+/// local join runs in HANA (Figure 13's mixed situation).
+#[test]
+fn remote_prefix_then_local_join() {
+    let cat = world();
+    let q = query(
+        "SELECT d.d_name, o.o_total FROM orders_v o JOIN customer_v c ON o.o_cust = c.c_id \
+         JOIN dim d ON o.o_cust = d.d_id \
+         WHERE c.c_seg = 'HOUSEHOLD' AND o.o_total < 100",
+    );
+    let plan = Planner::new(&cat).plan(&q).unwrap();
+    let text = plan.explain();
+    assert!(
+        text.contains("remote prefix"),
+        "expected prefix shipping:\n{text}"
+    );
+    let rs = execute_query(&q, &cat, 1).unwrap();
+    // Orders 0..100 with o_cust % 4 == 0: o_cust in {0,4,...} -> o_id
+    // multiples matching; count: o_id 0..100 where (o_id%100)%4==0 -> 25.
+    assert_eq!(rs.len(), 25);
+}
+
+#[test]
+fn hybrid_scan_unions_hot_and_cold() {
+    let cat = world();
+    let q = query("SELECT COUNT(*) FROM sales WHERE s_amt >= 0");
+    let plan = Planner::new(&cat).plan(&q).unwrap();
+    assert!(
+        plan.strategies().contains(&FederationStrategy::UnionPlan),
+        "plan:\n{}",
+        plan.explain()
+    );
+    let rs = execute_query(&q, &cat, 1).unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(5050));
+    // Predicates prune on both sides.
+    let rs = execute_query(
+        &query("SELECT COUNT(*) FROM sales WHERE s_id < 1005"),
+        &cat,
+        1,
+    )
+    .unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(55));
+}
+
+#[test]
+fn explain_shows_shipped_sql_and_exchange_boundary() {
+    let cat = world();
+    let text = explain_query(
+        &query("SELECT o_id FROM orders_v WHERE o_total > 1990"),
+        &cat,
+        1,
+    )
+    .unwrap();
+    assert!(text.contains("Remote Row Scan"), "{text}");
+    assert!(text.contains("Shipped: SELECT"), "{text}");
+}
+
+#[test]
+fn snapshot_isolation_respected_locally() {
+    let cat = world();
+    // dim rows were inserted with cid 1; a snapshot at 0 sees nothing.
+    let rs = execute_query(&query("SELECT COUNT(*) FROM dim"), &cat, 0).unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(0));
+    let rs = execute_query(&query("SELECT COUNT(*) FROM dim"), &cat, 1).unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(100));
+}
+
+#[test]
+fn errors_surface() {
+    let cat = world();
+    assert!(execute_query(&query("SELECT * FROM missing"), &cat, 1).is_err());
+    assert!(execute_query(&query("SELECT nope FROM dim"), &cat, 1).is_err());
+    // Failure of the extended store aborts the query (§3.1).
+    cat.iq.set_failing(true);
+    let err = execute_query(&query("SELECT COUNT(*) FROM fact"), &cat, 1).unwrap_err();
+    assert_eq!(err.kind(), "remote");
+}

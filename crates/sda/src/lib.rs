@@ -1,0 +1,23 @@
+//! # hana-sda
+//!
+//! **Smart Data Access** — the capability-based adapter framework of
+//! §4.2–4.4: remote sources with capability property files, virtual
+//! tables and virtual functions, predicate-pushdown lowering, and the
+//! **remote materialization** cache that rewrites repeated federated
+//! queries to read a CTAS-materialized temp table at the remote source
+//! instead of re-running its MapReduce DAG.
+//!
+//! Adapters provided: `hiveodbc` (Hive over simulated ODBC), `hadoop`
+//! (raw MR driver-class invocation), `iq` (the extended storage).
+
+mod adapter;
+mod capability;
+mod cache;
+mod pushdown;
+mod registry;
+
+pub use adapter::{HadoopMrAdapter, HiveOdbcAdapter, IqAdapter, RemoteStats, SdaAdapter};
+pub use capability::CapabilitySet;
+pub use cache::{CacheOutcome, RemoteCache, RemoteCacheConfig};
+pub use pushdown::{expr_to_column_predicate, split_pushdown};
+pub use registry::{RemoteSource, SdaRegistry, VirtualFunction, VirtualTable};

@@ -1,0 +1,237 @@
+//! The SDA registry: remote sources, virtual tables, virtual functions.
+//!
+//! Backs the DDL of §4.2/§4.3: `CREATE REMOTE SOURCE` registers an
+//! adapter instance, `CREATE VIRTUAL TABLE` wraps a remote table so it
+//! "can be referenced like tables or views in SAP HANA queries", and
+//! `CREATE VIRTUAL FUNCTION` exposes a registered MR program as a table
+//! function.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use hana_types::{HanaError, ResultSet, Result, Schema};
+
+use crate::adapter::SdaAdapter;
+use crate::cache::{CacheOutcome, RemoteCache, RemoteCacheConfig};
+
+/// A registered remote source.
+#[derive(Clone)]
+pub struct RemoteSource {
+    /// Source name (from `CREATE REMOTE SOURCE`).
+    pub name: String,
+    /// The adapter instance.
+    pub adapter: Arc<dyn SdaAdapter>,
+    /// The raw configuration string.
+    pub configuration: String,
+    /// Credential payload, if any (single credential control, §2).
+    pub credentials: Option<String>,
+}
+
+/// A virtual table: local name -> (source, remote table).
+#[derive(Debug, Clone)]
+pub struct VirtualTable {
+    /// Local name.
+    pub name: String,
+    /// Remote source name.
+    pub source: String,
+    /// Table name at the remote source.
+    pub remote_table: String,
+    /// Cached remote schema.
+    pub schema: Schema,
+}
+
+/// A virtual function: local name -> (source, configuration, schema).
+#[derive(Debug, Clone)]
+pub struct VirtualFunction {
+    /// Local name.
+    pub name: String,
+    /// Remote source name.
+    pub source: String,
+    /// Configuration (driver class, jars, reducer count …).
+    pub configuration: String,
+    /// Declared output schema.
+    pub schema: Schema,
+}
+
+/// The registry owned by the platform.
+pub struct SdaRegistry {
+    sources: RwLock<HashMap<String, RemoteSource>>,
+    virtual_tables: RwLock<HashMap<String, VirtualTable>>,
+    virtual_functions: RwLock<HashMap<String, VirtualFunction>>,
+    /// The remote materialization cache (shared across sources; keys
+    /// include the host).
+    pub cache: RemoteCache,
+}
+
+impl SdaRegistry {
+    /// An empty registry with the default (disabled) cache config.
+    pub fn new() -> SdaRegistry {
+        SdaRegistry {
+            sources: RwLock::new(HashMap::new()),
+            virtual_tables: RwLock::new(HashMap::new()),
+            virtual_functions: RwLock::new(HashMap::new()),
+            cache: RemoteCache::default(),
+        }
+    }
+
+    /// Register a remote source.
+    pub fn create_remote_source(
+        &self,
+        name: &str,
+        adapter: Arc<dyn SdaAdapter>,
+        configuration: &str,
+        credentials: Option<&str>,
+    ) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut sources = self.sources.write();
+        if sources.contains_key(&key) {
+            return Err(HanaError::Catalog(format!(
+                "remote source '{name}' already exists"
+            )));
+        }
+        sources.insert(
+            key.clone(),
+            RemoteSource {
+                name: key,
+                adapter,
+                configuration: configuration.to_string(),
+                credentials: credentials.map(|c| c.to_string()),
+            },
+        );
+        Ok(())
+    }
+
+    /// Look up a remote source.
+    pub fn source(&self, name: &str) -> Result<RemoteSource> {
+        self.sources
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| HanaError::Catalog(format!("unknown remote source '{name}'")))
+    }
+
+    /// Registered source names.
+    pub fn list_sources(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.sources.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Create a virtual table over `source_name`.`remote_table`,
+    /// importing (and caching) the remote schema.
+    pub fn create_virtual_table(
+        &self,
+        local_name: &str,
+        source_name: &str,
+        remote_table: &str,
+    ) -> Result<()> {
+        let source = self.source(source_name)?;
+        let schema = source.adapter.remote_schema(remote_table)?;
+        let key = local_name.to_ascii_lowercase();
+        let mut vts = self.virtual_tables.write();
+        if vts.contains_key(&key) {
+            return Err(HanaError::Catalog(format!(
+                "virtual table '{local_name}' already exists"
+            )));
+        }
+        vts.insert(
+            key.clone(),
+            VirtualTable {
+                name: key,
+                source: source.name.clone(),
+                remote_table: remote_table.to_string(),
+                schema,
+            },
+        );
+        Ok(())
+    }
+
+    /// Look up a virtual table by local name.
+    pub fn virtual_table(&self, name: &str) -> Option<VirtualTable> {
+        self.virtual_tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// Register a virtual function.
+    pub fn create_virtual_function(
+        &self,
+        name: &str,
+        source_name: &str,
+        configuration: &str,
+        schema: Schema,
+    ) -> Result<()> {
+        // Validate the source exists up front.
+        let source = self.source(source_name)?;
+        let key = name.to_ascii_lowercase();
+        let mut vfs = self.virtual_functions.write();
+        if vfs.contains_key(&key) {
+            return Err(HanaError::Catalog(format!(
+                "virtual function '{name}' already exists"
+            )));
+        }
+        vfs.insert(
+            key.clone(),
+            VirtualFunction {
+                name: key,
+                source: source.name.clone(),
+                configuration: configuration.to_string(),
+                schema,
+            },
+        );
+        Ok(())
+    }
+
+    /// Look up a virtual function by name.
+    pub fn virtual_function(&self, name: &str) -> Option<VirtualFunction> {
+        self.virtual_functions
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// Invoke a virtual function, validating the declared schema against
+    /// what the job produced.
+    pub fn invoke_virtual_function(&self, name: &str) -> Result<ResultSet> {
+        let vf = self.virtual_function(name).ok_or_else(|| {
+            HanaError::Catalog(format!("unknown virtual function '{name}'"))
+        })?;
+        let source = self.source(&vf.source)?;
+        let rs = source.adapter.invoke_function(&vf.configuration)?;
+        if rs.schema.len() != vf.schema.len() {
+            return Err(HanaError::Remote(format!(
+                "virtual function '{name}' returned {} columns, declared {}",
+                rs.schema.len(),
+                vf.schema.len()
+            )));
+        }
+        // Present rows under the *declared* schema (SDA applies the
+        // data-type mapping).
+        Ok(ResultSet::new(vf.schema.clone(), rs.rows))
+    }
+
+    /// Execute a query against a source through the remote cache.
+    pub fn execute_remote(
+        &self,
+        source_name: &str,
+        q: &hana_sql::Query,
+        cid: u64,
+    ) -> Result<(ResultSet, CacheOutcome)> {
+        let source = self.source(source_name)?;
+        self.cache.execute(&source.adapter, q, cid)
+    }
+
+    /// Set the cache configuration.
+    pub fn set_cache_config(&self, config: RemoteCacheConfig) {
+        self.cache.set_config(config);
+    }
+}
+
+impl Default for SdaRegistry {
+    fn default() -> Self {
+        SdaRegistry::new()
+    }
+}

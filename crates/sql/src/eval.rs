@@ -1,0 +1,460 @@
+//! Row-level expression evaluation.
+//!
+//! A single evaluator is shared by every engine that executes predicates
+//! or scalar expressions over rows: the vectorized executor in
+//! `hana-query`, the Hive compiler's map tasks in `hana-hadoop`, and the
+//! CCL filters of `hana-esp`. Aggregate calls are *not* evaluated here —
+//! executors replace them with pre-computed columns before calling in.
+
+use hana_types::{HanaError, Result, Row, Schema, Value};
+
+use crate::ast::{BinOp, Expr, UnaryOp};
+
+/// Evaluate `expr` against one row of `schema`.
+///
+/// Column references resolve by name; a qualified reference `t.c` first
+/// tries `t.c` verbatim (join outputs use qualified column names), then
+/// bare `c`.
+pub fn evaluate(expr: &Expr, schema: &Schema, row: &Row) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { qualifier, name } => {
+            let idx = resolve_column(schema, qualifier.as_deref(), name)?;
+            Ok(row[idx].clone())
+        }
+        Expr::Wildcard => Err(HanaError::Plan(
+            "'*' is only valid inside COUNT(*)".into(),
+        )),
+        Expr::Unary { op, expr } => {
+            let v = evaluate(expr, schema, row)?;
+            match op {
+                UnaryOp::Neg => Value::Int(0).sub(&v),
+                UnaryOp::Not => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Bool(b) => Ok(Value::Bool(!b)),
+                    other => Err(HanaError::Execution(format!(
+                        "NOT applied to non-boolean {other}"
+                    ))),
+                },
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            let l = evaluate(left, schema, row)?;
+            match op {
+                // Short-circuit three-valued logic.
+                BinOp::And => match l {
+                    Value::Bool(false) => Ok(Value::Bool(false)),
+                    _ => {
+                        let r = evaluate(right, schema, row)?;
+                        tvl_and(&l, &r)
+                    }
+                },
+                BinOp::Or => match l {
+                    Value::Bool(true) => Ok(Value::Bool(true)),
+                    _ => {
+                        let r = evaluate(right, schema, row)?;
+                        tvl_or(&l, &r)
+                    }
+                },
+                _ => {
+                    let r = evaluate(right, schema, row)?;
+                    apply_binop(*op, &l, &r)
+                }
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = evaluate(expr, schema, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut found = false;
+            for item in list {
+                let w = evaluate(item, schema, row)?;
+                if v.sql_cmp(&w) == Some(std::cmp::Ordering::Equal) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            let v = evaluate(expr, schema, row)?;
+            let l = evaluate(lo, schema, row)?;
+            let h = evaluate(hi, schema, row)?;
+            if v.is_null() || l.is_null() || h.is_null() {
+                return Ok(Value::Null);
+            }
+            let inside = v >= l && v <= h;
+            Ok(Value::Bool(inside != *negated))
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = evaluate(expr, schema, row)?;
+            match v.sql_like(pattern) {
+                None => Ok(Value::Null),
+                Some(m) => Ok(Value::Bool(m != *negated)),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = evaluate(expr, schema, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Func { name, args } => eval_scalar_function(name, args, schema, row),
+        Expr::Case { whens, else_expr } => {
+            for (cond, val) in whens {
+                if evaluate(cond, schema, row)? == Value::Bool(true) {
+                    return evaluate(val, schema, row);
+                }
+            }
+            match else_expr {
+                Some(e) => evaluate(e, schema, row),
+                None => Ok(Value::Null),
+            }
+        }
+    }
+}
+
+/// Evaluate a predicate expression; SQL semantics collapse NULL to false.
+pub fn evaluate_predicate(expr: &Expr, schema: &Schema, row: &Row) -> Result<bool> {
+    match evaluate(expr, schema, row)? {
+        Value::Bool(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(HanaError::Execution(format!(
+            "predicate evaluated to non-boolean {other}"
+        ))),
+    }
+}
+
+/// Resolve a possibly-qualified column against a schema.
+pub fn resolve_column(schema: &Schema, qualifier: Option<&str>, name: &str) -> Result<usize> {
+    if let Some(q) = qualifier {
+        let qualified = format!("{q}.{name}");
+        if let Some(i) = schema.index_of(&qualified) {
+            return Ok(i);
+        }
+    }
+    if let Some(i) = schema.index_of(name) {
+        return Ok(i);
+    }
+    // Fall back to a suffix match: `c` finds `t.c` if unambiguous.
+    let suffix = format!(".{name}");
+    let matches: Vec<usize> = schema
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.name.ends_with(&suffix))
+        .map(|(i, _)| i)
+        .collect();
+    match matches.as_slice() {
+        [one] => Ok(*one),
+        [] => Err(HanaError::Plan(format!(
+            "unknown column '{}{name}' in schema {schema}",
+            qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+        ))),
+        _ => Err(HanaError::Plan(format!("ambiguous column '{name}'"))),
+    }
+}
+
+fn tvl_and(l: &Value, r: &Value) -> Result<Value> {
+    Ok(match (l.as_bool(), r.as_bool()) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        (Some(true), Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    })
+}
+
+fn tvl_or(l: &Value, r: &Value) -> Result<Value> {
+    Ok(match (l.as_bool(), r.as_bool()) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        (Some(false), Some(false)) => Value::Bool(false),
+        _ => Value::Null,
+    })
+}
+
+fn apply_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    use std::cmp::Ordering::*;
+    match op {
+        BinOp::Add => l.add(r),
+        BinOp::Sub => l.sub(r),
+        BinOp::Mul => l.mul(r),
+        BinOp::Div => l.div(r),
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let Some(ord) = l.sql_cmp(r) else {
+                return Ok(Value::Null);
+            };
+            let b = match op {
+                BinOp::Eq => ord == Equal,
+                BinOp::Ne => ord != Equal,
+                BinOp::Lt => ord == Less,
+                BinOp::Le => ord != Greater,
+                BinOp::Gt => ord == Greater,
+                BinOp::Ge => ord != Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled by evaluate"),
+    }
+}
+
+/// Scalar (non-aggregate) SQL functions.
+fn eval_scalar_function(
+    name: &str,
+    args: &[Expr],
+    schema: &Schema,
+    row: &Row,
+) -> Result<Value> {
+    let eval_arg = |i: usize| evaluate(&args[i], schema, row);
+    let need = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(HanaError::Plan(format!(
+                "{name} expects {n} argument(s), got {}",
+                args.len()
+            )))
+        }
+    };
+    match name {
+        "YEAR" => {
+            need(1)?;
+            Ok(match eval_arg(0)? {
+                Value::Date(d) => Value::Int(d.year() as i64),
+                Value::Null => Value::Null,
+                other => {
+                    return Err(HanaError::Execution(format!("YEAR of non-date {other}")))
+                }
+            })
+        }
+        "MONTH" => {
+            need(1)?;
+            Ok(match eval_arg(0)? {
+                Value::Date(d) => Value::Int(d.month() as i64),
+                Value::Null => Value::Null,
+                other => {
+                    return Err(HanaError::Execution(format!("MONTH of non-date {other}")))
+                }
+            })
+        }
+        "ADD_MONTHS" => {
+            need(2)?;
+            match (eval_arg(0)?, eval_arg(1)?) {
+                (Value::Date(d), Value::Int(m)) => Ok(Value::Date(d.add_months(m as i32))),
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (a, b) => Err(HanaError::Execution(format!("ADD_MONTHS({a}, {b})"))),
+            }
+        }
+        "ABS" => {
+            need(1)?;
+            Ok(match eval_arg(0)? {
+                Value::Int(i) => Value::Int(i.abs()),
+                Value::Double(d) => Value::Double(d.abs()),
+                Value::Null => Value::Null,
+                other => return Err(HanaError::Execution(format!("ABS of {other}"))),
+            })
+        }
+        "UPPER" => {
+            need(1)?;
+            Ok(match eval_arg(0)? {
+                Value::Varchar(s) => Value::Varchar(s.to_uppercase()),
+                Value::Null => Value::Null,
+                other => return Err(HanaError::Execution(format!("UPPER of {other}"))),
+            })
+        }
+        "LOWER" => {
+            need(1)?;
+            Ok(match eval_arg(0)? {
+                Value::Varchar(s) => Value::Varchar(s.to_lowercase()),
+                Value::Null => Value::Null,
+                other => return Err(HanaError::Execution(format!("LOWER of {other}"))),
+            })
+        }
+        "LENGTH" => {
+            need(1)?;
+            Ok(match eval_arg(0)? {
+                Value::Varchar(s) => Value::Int(s.chars().count() as i64),
+                Value::Null => Value::Null,
+                other => return Err(HanaError::Execution(format!("LENGTH of {other}"))),
+            })
+        }
+        "SUBSTR" | "SUBSTRING" => {
+            // SUBSTR(s, start[, len]) with 1-based start.
+            if args.len() != 2 && args.len() != 3 {
+                return Err(HanaError::Plan("SUBSTR expects 2 or 3 arguments".into()));
+            }
+            let s = match eval_arg(0)? {
+                Value::Varchar(s) => s,
+                Value::Null => return Ok(Value::Null),
+                other => return Err(HanaError::Execution(format!("SUBSTR of {other}"))),
+            };
+            let start = eval_arg(1)?
+                .as_i64()
+                .ok_or_else(|| HanaError::Execution("SUBSTR start must be integer".into()))?
+                .max(1) as usize;
+            let chars: Vec<char> = s.chars().collect();
+            let from = (start - 1).min(chars.len());
+            let to = if args.len() == 3 {
+                let len = eval_arg(2)?
+                    .as_i64()
+                    .ok_or_else(|| HanaError::Execution("SUBSTR len must be integer".into()))?
+                    .max(0) as usize;
+                (from + len).min(chars.len())
+            } else {
+                chars.len()
+            };
+            Ok(Value::Varchar(chars[from..to].iter().collect()))
+        }
+        "COALESCE" | "IFNULL" => {
+            for a in args {
+                let v = evaluate(a, schema, row)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        other => Err(HanaError::Unsupported(format!(
+            "unknown scalar function '{other}'"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use crate::Statement;
+    use hana_types::{DataType, Date};
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Varchar),
+            ("ship", DataType::Date),
+            ("disc", DataType::Double),
+        ])
+    }
+
+    fn row() -> Row {
+        Row::from_values([
+            Value::Int(7),
+            Value::from("PROMO BRUSHED"),
+            Value::Date(Date::parse("1995-06-17").unwrap()),
+            Value::Double(0.05),
+        ])
+    }
+
+    /// Parse the WHERE clause of a probe query.
+    fn where_expr(sql: &str) -> Expr {
+        let Statement::Query(q) = parse_statement(&format!("SELECT * FROM t WHERE {sql}")).unwrap()
+        else {
+            panic!()
+        };
+        q.filter.unwrap()
+    }
+
+    fn check(pred: &str, expected: bool) {
+        let e = where_expr(pred);
+        assert_eq!(
+            evaluate_predicate(&e, &schema(), &row()).unwrap(),
+            expected,
+            "{pred}"
+        );
+    }
+
+    #[test]
+    fn predicates() {
+        check("id = 7", true);
+        check("id <> 7", false);
+        check("id + 1 >= 8", true);
+        check("name LIKE 'PROMO%'", true);
+        check("name NOT LIKE '%X%'", true);
+        check("ship BETWEEN DATE '1995-01-01' AND DATE '1995-12-31'", true);
+        check("id IN (1, 2, 7)", true);
+        check("id NOT IN (1, 2)", true);
+        check("disc IS NULL", false);
+        check("disc IS NOT NULL", true);
+        check("id = 7 AND disc < 0.01", false);
+        check("id = 7 OR disc < 0.01", true);
+        check("NOT id = 7", false);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let s = Schema::of(&[("x", DataType::Int)]);
+        let null_row = Row::from_values([Value::Null]);
+        // NULL comparisons are not true.
+        for pred in ["x = 1", "x <> 1", "x IN (1)", "x BETWEEN 1 AND 2", "x LIKE 'a'"] {
+            let e = where_expr(pred);
+            assert!(!evaluate_predicate(&e, &s, &null_row).unwrap(), "{pred}");
+        }
+        // ... but OR TRUE short-circuits.
+        let e = where_expr("x = 1 OR 1 = 1");
+        assert!(evaluate_predicate(&e, &s, &null_row).unwrap());
+        let e = where_expr("x = 1 AND 1 = 1");
+        assert!(!evaluate_predicate(&e, &s, &null_row).unwrap());
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let sch = schema();
+        let r = row();
+        let eval = |src: &str| {
+            let Statement::Query(q) = parse_statement(&format!("SELECT {src}")).unwrap() else {
+                panic!()
+            };
+            evaluate(&q.select[0].expr, &sch, &r).unwrap()
+        };
+        assert_eq!(eval("YEAR(ship)"), Value::Int(1995));
+        assert_eq!(eval("MONTH(ship)"), Value::Int(6));
+        assert_eq!(eval("UPPER('ab')"), Value::from("AB"));
+        assert_eq!(eval("LENGTH(name)"), Value::Int(13));
+        assert_eq!(eval("SUBSTR(name, 1, 5)"), Value::from("PROMO"));
+        assert_eq!(eval("SUBSTR(name, 7)"), Value::from("BRUSHED"));
+        assert_eq!(eval("COALESCE(NULL, NULL, 3)"), Value::Int(3));
+        assert_eq!(eval("ABS(0 - 4)"), Value::Int(4));
+        assert_eq!(
+            eval("ADD_MONTHS(DATE '1995-01-31', 1)"),
+            Value::Date(Date::parse("1995-02-28").unwrap())
+        );
+        assert_eq!(
+            eval("CASE WHEN 1 = 2 THEN 'a' WHEN 1 = 1 THEN 'b' ELSE 'c' END"),
+            Value::from("b")
+        );
+        assert_eq!(eval("CASE WHEN 1 = 2 THEN 'a' END"), Value::Null);
+    }
+
+    #[test]
+    fn qualified_and_suffix_resolution() {
+        let s = Schema::of(&[("t.id", DataType::Int), ("u.id", DataType::Int)]);
+        assert_eq!(resolve_column(&s, Some("t"), "id").unwrap(), 0);
+        assert_eq!(resolve_column(&s, Some("u"), "id").unwrap(), 1);
+        assert!(resolve_column(&s, None, "id").is_err(), "ambiguous");
+        let s2 = Schema::of(&[("t.id", DataType::Int), ("u.other", DataType::Int)]);
+        assert_eq!(resolve_column(&s2, None, "id").unwrap(), 0, "suffix match");
+        assert!(resolve_column(&s2, None, "missing").is_err());
+    }
+
+    #[test]
+    fn errors() {
+        let e = where_expr("id = 7");
+        let wrong = Schema::of(&[("other", DataType::Int)]);
+        assert!(evaluate(&e, &wrong, &Row::from_values([Value::Int(1)])).is_err());
+        let Statement::Query(q) = parse_statement("SELECT NOSUCHFN(1)").unwrap() else {
+            panic!()
+        };
+        assert!(evaluate(&q.select[0].expr, &schema(), &row()).is_err());
+    }
+}

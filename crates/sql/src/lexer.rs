@@ -1,0 +1,281 @@
+//! SQL tokenizer.
+
+use hana_types::{HanaError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (kept as written; keyword matching is
+    /// case-insensitive in the parser).
+    Ident(String),
+    /// `"quoted"` identifier (never a keyword).
+    QuotedIdent(String),
+    /// `'string'` literal with `''` escapes resolved.
+    StringLit(String),
+    /// Numeric literal (integer or decimal).
+    Number(String),
+    /// Punctuation / operator.
+    Symbol(Symbol),
+}
+
+/// Punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Token {
+    /// Whether the token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize `input`, skipping whitespace and `--` comments.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::Symbol(Symbol::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(Symbol::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Symbol(Symbol::Comma));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Symbol(Symbol::Dot));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(Symbol::Semicolon));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol(Symbol::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Symbol(Symbol::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Symbol(Symbol::Minus));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Symbol(Symbol::Slash));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Symbol(Symbol::Eq));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Symbol(Symbol::Ne));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        out.push(Token::Symbol(Symbol::Le));
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        out.push(Token::Symbol(Symbol::Ne));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Symbol(Symbol::Lt));
+                        i += 1;
+                    }
+                };
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Symbol::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Symbol::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = read_quoted(input, i, '\'')?;
+                out.push(Token::StringLit(s));
+                i = next;
+            }
+            '"' => {
+                let (s, next) = read_quoted(input, i, '"')?;
+                out.push(Token::QuotedIdent(s));
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    // Don't swallow a dot that isn't part of a decimal.
+                    if bytes[i] == b'.'
+                        && !bytes
+                            .get(i + 1)
+                            .is_some_and(|b| (*b as char).is_ascii_digit())
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Token::Number(input[start..i].to_string()));
+            }
+            c if c.is_alphabetic() || c == '_' || c == '#' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_alphanumeric() || ch == '_' || ch == '#' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(HanaError::Parse(format!(
+                    "unexpected character '{other}' at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Read a quoted run starting at `start` (which holds the quote char);
+/// doubled quotes escape. Returns the content and the index after the
+/// closing quote.
+fn read_quoted(input: &str, start: usize, quote: char) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let q = quote as u8;
+    let mut s = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == q {
+            if bytes.get(i + 1) == Some(&q) {
+                s.push(quote);
+                i += 2;
+            } else {
+                return Ok((s, i + 1));
+            }
+        } else {
+            // Multi-byte characters are copied as-is.
+            let ch_len = utf8_len(bytes[i]);
+            s.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(HanaError::Parse(format!(
+        "unterminated {quote}-quoted literal starting at byte {start}"
+    )))
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_numbers_symbols() {
+        let toks = tokenize("SELECT a, b*2 FROM t WHERE x >= 1.5 AND y <> 'it''s'").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Token::Symbol(Symbol::Star)));
+        assert!(toks.contains(&Token::Number("1.5".into())));
+        assert!(toks.contains(&Token::Symbol(Symbol::Ge)));
+        assert!(toks.contains(&Token::Symbol(Symbol::Ne)));
+        assert!(toks.contains(&Token::StringLit("it's".into())));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize(r#"SELECT "Weird Col" FROM "HIVE1"."dflo"."product""#).unwrap();
+        assert_eq!(toks[1], Token::QuotedIdent("Weird Col".into()));
+        assert!(toks.contains(&Token::QuotedIdent("HIVE1".into())));
+        assert!(toks.contains(&Token::Symbol(Symbol::Dot)));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT 1 -- the answer\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Number("1".into()),
+                Token::Symbol(Symbol::Comma),
+                Token::Number("2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("SELECT 'open").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn decimal_vs_qualified_name() {
+        let toks = tokenize("t.c 1.5 2.").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t".into()),
+                Token::Symbol(Symbol::Dot),
+                Token::Ident("c".into()),
+                Token::Number("1.5".into()),
+                Token::Number("2".into()),
+                Token::Symbol(Symbol::Dot),
+            ]
+        );
+    }
+
+    #[test]
+    fn temp_table_names() {
+        let toks = tokenize("SELECT * FROM #tmp_1").unwrap();
+        assert!(toks.contains(&Token::Ident("#tmp_1".into())));
+    }
+}

@@ -1,0 +1,391 @@
+//! Deterministic TPC-H data generation (dbgen in miniature).
+//!
+//! Row counts follow the official multipliers (customer 150k·SF,
+//! orders 1.5M·SF, lineitem ≈ 4·orders, …); the experiments run at small
+//! scale factors (the paper itself used SF 1 and calls it "ridiculously
+//! small for a typical Hive and Hadoop setup" — conservative in the same
+//! way). All values derive from a seeded RNG, so every run regenerates
+//! identical data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hana_types::{DataType, Date, Row, Schema, Value};
+
+/// One generated table.
+pub struct TpchTable {
+    /// Table name (lower case).
+    pub name: &'static str,
+    /// Schema.
+    pub schema: Schema,
+    /// Rows.
+    pub rows: Vec<Row>,
+}
+
+/// The eight TPC-H tables.
+pub struct TpchData {
+    /// region, nation, supplier, customer, part, partsupp, orders,
+    /// lineitem — in load order.
+    pub tables: Vec<TpchTable>,
+}
+
+impl TpchData {
+    /// Find a table by name.
+    pub fn table(&self, name: &str) -> &TpchTable {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+            .unwrap_or_else(|| panic!("no such TPC-H table '{name}'"))
+    }
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("CHINA", 2),
+];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const INSTRUCTS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+const BRANDS: [&str; 5] = ["Brand#11", "Brand#12", "Brand#23", "Brand#34", "Brand#45"];
+const TYPES: [&str; 6] = [
+    "PROMO BRUSHED COPPER",
+    "PROMO PLATED STEEL",
+    "STANDARD POLISHED BRASS",
+    "ECONOMY ANODIZED TIN",
+    "MEDIUM BURNISHED NICKEL",
+    "SMALL PLATED COPPER",
+];
+const CONTAINERS: [&str; 8] = [
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX", "LG CASE", "LG BOX",
+];
+
+/// Generate all tables at `scale` (SF; 0.01 ≈ 1500 customers) with a
+/// fixed `seed`.
+pub fn generate(scale: f64, seed: u64) -> TpchData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_supplier = ((10_000.0 * scale) as usize).max(10);
+    let n_customer = ((150_000.0 * scale) as usize).max(30);
+    let n_part = ((200_000.0 * scale) as usize).max(40);
+    let n_orders = ((1_500_000.0 * scale) as usize).max(150);
+
+    let region = TpchTable {
+        name: "region",
+        schema: Schema::of(&[
+            ("r_regionkey", DataType::Int),
+            ("r_name", DataType::Varchar),
+        ]),
+        rows: REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Row::from_values([Value::Int(i as i64), Value::from(*r)]))
+            .collect(),
+    };
+
+    let nation = TpchTable {
+        name: "nation",
+        schema: Schema::of(&[
+            ("n_nationkey", DataType::Int),
+            ("n_name", DataType::Varchar),
+            ("n_regionkey", DataType::Int),
+        ]),
+        rows: NATIONS
+            .iter()
+            .enumerate()
+            .map(|(i, (n, r))| {
+                Row::from_values([Value::Int(i as i64), Value::from(*n), Value::Int(*r)])
+            })
+            .collect(),
+    };
+
+    let supplier = TpchTable {
+        name: "supplier",
+        schema: Schema::of(&[
+            ("s_suppkey", DataType::Int),
+            ("s_name", DataType::Varchar),
+            ("s_nationkey", DataType::Int),
+            ("s_acctbal", DataType::Double),
+        ]),
+        rows: (0..n_supplier)
+            .map(|i| {
+                Row::from_values([
+                    Value::Int(i as i64 + 1),
+                    Value::from(format!("Supplier#{:09}", i + 1)),
+                    Value::Int(rng.random_range(0..25)),
+                    Value::Double(round2(rng.random_range(-999.99..9999.99))),
+                ])
+            })
+            .collect(),
+    };
+
+    let customer = TpchTable {
+        name: "customer",
+        schema: Schema::of(&[
+            ("c_custkey", DataType::Int),
+            ("c_name", DataType::Varchar),
+            ("c_nationkey", DataType::Int),
+            ("c_mktsegment", DataType::Varchar),
+            ("c_acctbal", DataType::Double),
+            ("c_phone", DataType::Varchar),
+        ]),
+        rows: (0..n_customer)
+            .map(|i| {
+                let nation = rng.random_range(0..25i64);
+                Row::from_values([
+                    Value::Int(i as i64 + 1),
+                    Value::from(format!("Customer#{:09}", i + 1)),
+                    Value::Int(nation),
+                    Value::from(SEGMENTS[rng.random_range(0..SEGMENTS.len())]),
+                    Value::Double(round2(rng.random_range(-999.99..9999.99))),
+                    Value::from(format!(
+                        "{}-{:03}-{:03}-{:04}",
+                        nation + 10,
+                        rng.random_range(100..1000),
+                        rng.random_range(100..1000),
+                        rng.random_range(1000..10000)
+                    )),
+                ])
+            })
+            .collect(),
+    };
+
+    let part = TpchTable {
+        name: "part",
+        schema: Schema::of(&[
+            ("p_partkey", DataType::Int),
+            ("p_name", DataType::Varchar),
+            ("p_brand", DataType::Varchar),
+            ("p_type", DataType::Varchar),
+            ("p_size", DataType::Int),
+            ("p_container", DataType::Varchar),
+            ("p_retailprice", DataType::Double),
+        ]),
+        rows: (0..n_part)
+            .map(|i| {
+                Row::from_values([
+                    Value::Int(i as i64 + 1),
+                    Value::from(format!("part {:07}", i + 1)),
+                    Value::from(BRANDS[rng.random_range(0..BRANDS.len())]),
+                    Value::from(TYPES[rng.random_range(0..TYPES.len())]),
+                    Value::Int(rng.random_range(1..51)),
+                    Value::from(CONTAINERS[rng.random_range(0..CONTAINERS.len())]),
+                    Value::Double(round2(900.0 + (i % 200) as f64 + rng.random_range(0.0..100.0))),
+                ])
+            })
+            .collect(),
+    };
+
+    let partsupp = TpchTable {
+        name: "partsupp",
+        schema: Schema::of(&[
+            ("ps_partkey", DataType::Int),
+            ("ps_suppkey", DataType::Int),
+            ("ps_availqty", DataType::Int),
+            ("ps_supplycost", DataType::Double),
+        ]),
+        rows: (0..n_part)
+            .flat_map(|p| {
+                let mut rows = Vec::with_capacity(2);
+                for s in 0..2 {
+                    rows.push(Row::from_values([
+                        Value::Int(p as i64 + 1),
+                        Value::Int(((p * 7 + s * 13) % n_supplier) as i64 + 1),
+                        Value::Int(rng.random_range(1..10_000)),
+                        Value::Double(round2(rng.random_range(1.0..1000.0))),
+                    ]));
+                }
+                rows
+            })
+            .collect(),
+    };
+
+    let start = Date::parse("1992-01-01").unwrap();
+    let mut orders_rows = Vec::with_capacity(n_orders);
+    let mut lineitem_rows = Vec::with_capacity(n_orders * 4);
+    for i in 0..n_orders {
+        let orderkey = i as i64 + 1;
+        let custkey = rng.random_range(0..n_customer as i64) + 1;
+        let orderdate = start.add_days(rng.random_range(0..2405)); // ..1998-08-02
+        let priority = PRIORITIES[rng.random_range(0..PRIORITIES.len())];
+        let nlines = rng.random_range(1..8usize);
+        let mut total = 0.0;
+        let mut any_open = false;
+        for line in 0..nlines {
+            let qty = rng.random_range(1..51i64);
+            let partkey = rng.random_range(0..n_part as i64) + 1;
+            let extended = round2(qty as f64 * (900.0 + (partkey % 200) as f64));
+            let discount = round2(rng.random_range(0.0..0.11));
+            let tax = round2(rng.random_range(0.0..0.09));
+            let shipdate = orderdate.add_days(rng.random_range(1..122));
+            let commitdate = orderdate.add_days(rng.random_range(30..91));
+            let receiptdate = shipdate.add_days(rng.random_range(1..31));
+            let today = Date::parse("1995-06-17").unwrap();
+            let (returnflag, linestatus) = if shipdate > today {
+                any_open = true;
+                ("N", "O")
+            } else if rng.random_range(0..2) == 0 {
+                ("R", "F")
+            } else {
+                ("A", "F")
+            };
+            total += extended * (1.0 - discount) * (1.0 + tax);
+            lineitem_rows.push(Row::from_values([
+                Value::Int(orderkey),
+                Value::Int(partkey),
+                Value::Int(((partkey * 3) % n_supplier as i64) + 1),
+                Value::Int(line as i64 + 1),
+                Value::Double(qty as f64),
+                Value::Double(extended),
+                Value::Double(discount),
+                Value::Double(tax),
+                Value::from(returnflag),
+                Value::from(linestatus),
+                Value::Date(shipdate),
+                Value::Date(commitdate),
+                Value::Date(receiptdate),
+                Value::from(INSTRUCTS[rng.random_range(0..INSTRUCTS.len())]),
+                Value::from(SHIPMODES[rng.random_range(0..SHIPMODES.len())]),
+            ]));
+        }
+        orders_rows.push(Row::from_values([
+            Value::Int(orderkey),
+            Value::Int(custkey),
+            Value::from(if any_open { "O" } else { "F" }),
+            Value::Double(round2(total)),
+            Value::Date(orderdate),
+            Value::from(priority),
+            Value::Int(0),
+        ]));
+    }
+
+    let orders = TpchTable {
+        name: "orders",
+        schema: Schema::of(&[
+            ("o_orderkey", DataType::Int),
+            ("o_custkey", DataType::Int),
+            ("o_orderstatus", DataType::Varchar),
+            ("o_totalprice", DataType::Double),
+            ("o_orderdate", DataType::Date),
+            ("o_orderpriority", DataType::Varchar),
+            ("o_shippriority", DataType::Int),
+        ]),
+        rows: orders_rows,
+    };
+    let lineitem = TpchTable {
+        name: "lineitem",
+        schema: Schema::of(&[
+            ("l_orderkey", DataType::Int),
+            ("l_partkey", DataType::Int),
+            ("l_suppkey", DataType::Int),
+            ("l_linenumber", DataType::Int),
+            ("l_quantity", DataType::Double),
+            ("l_extendedprice", DataType::Double),
+            ("l_discount", DataType::Double),
+            ("l_tax", DataType::Double),
+            ("l_returnflag", DataType::Varchar),
+            ("l_linestatus", DataType::Varchar),
+            ("l_shipdate", DataType::Date),
+            ("l_commitdate", DataType::Date),
+            ("l_receiptdate", DataType::Date),
+            ("l_shipinstruct", DataType::Varchar),
+            ("l_shipmode", DataType::Varchar),
+        ]),
+        rows: lineitem_rows,
+    };
+
+    TpchData {
+        tables: vec![
+            region, nation, supplier, customer, part, partsupp, orders, lineitem,
+        ],
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(0.001, 42);
+        let b = generate(0.001, 42);
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta.rows, tb.rows, "{} must be deterministic", ta.name);
+        }
+        let c = generate(0.001, 43);
+        assert_ne!(
+            a.table("orders").rows,
+            c.table("orders").rows,
+            "different seeds differ"
+        );
+    }
+
+    #[test]
+    fn row_count_proportions() {
+        let d = generate(0.002, 7);
+        assert_eq!(d.table("region").rows.len(), 5);
+        assert_eq!(d.table("nation").rows.len(), 25);
+        assert_eq!(d.table("customer").rows.len(), 300);
+        assert_eq!(d.table("orders").rows.len(), 3000);
+        let li = d.table("lineitem").rows.len();
+        assert!((3000..=21_000).contains(&li), "lineitem = {li}");
+        assert_eq!(d.table("partsupp").rows.len(), 2 * d.table("part").rows.len());
+    }
+
+    #[test]
+    fn rows_satisfy_schemas_and_invariants() {
+        let d = generate(0.001, 9);
+        for t in &d.tables {
+            for r in &t.rows {
+                t.schema.check_row(r.values()).unwrap();
+            }
+        }
+        // Foreign keys: every order's customer exists.
+        let customers = d.table("customer").rows.len() as i64;
+        for o in &d.table("orders").rows {
+            let ck = o[1].as_i64().unwrap();
+            assert!(ck >= 1 && ck <= customers);
+        }
+        // Dates ordered: ship < receipt.
+        for l in &d.table("lineitem").rows {
+            assert!(l[10] < l[12], "shipdate before receiptdate");
+        }
+        // Discounts within range.
+        for l in &d.table("lineitem").rows {
+            let disc = l[6].as_f64().unwrap();
+            assert!((0.0..=0.11).contains(&disc));
+        }
+    }
+}

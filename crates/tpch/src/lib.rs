@@ -1,0 +1,12 @@
+//! # hana-tpch
+//!
+//! Deterministic TPC-H data generation and the twelve benchmark queries
+//! of the paper's remote-materialization experiment (Figures 14/15):
+//! data at configurable scale factor, the paper's federated/local table
+//! placement, and the modified query texts.
+
+mod gen;
+mod queries;
+
+pub use gen::{generate, TpchData, TpchTable};
+pub use queries::{federated_tables, local_tables, queries, TpchQuery};

@@ -1,0 +1,29 @@
+//! # hana-txn
+//!
+//! Transaction, snapshot and distributed-commit management — the §3.1
+//! "Transactions" machinery of the paper: the coordinator generates
+//! transaction IDs and commit IDs, drives an improved two-phase commit
+//! across the in-memory store and extended (IQ) stores, recovers jointly
+//! from a shared write-ahead log (including point-in-time recovery), and
+//! surfaces **in-doubt** transactions for manual abortion after a crash
+//! of the extended store.
+//!
+//! ```
+//! use hana_txn::TransactionManager;
+//!
+//! let tm = TransactionManager::new();
+//! let txn = tm.begin();
+//! // ... buffer writes, then commit across participants ...
+//! let receipt = tm.commit(txn, &[]).unwrap();
+//! assert!(tm.current_snapshot().sees(receipt.cid));
+//! ```
+
+mod manager;
+mod participant;
+mod snapshot;
+mod wal;
+
+pub use manager::{CommitReceipt, TransactionManager, TxnHandle};
+pub use participant::{TwoPhaseParticipant, Vote};
+pub use snapshot::Snapshot;
+pub use wal::{LogRecord, RecoveryReport, Wal};

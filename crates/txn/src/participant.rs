@@ -1,0 +1,34 @@
+//! Two-phase-commit participants.
+
+use hana_types::Result;
+
+/// A participant's phase-1 vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vote {
+    /// The participant wrote data and is prepared to commit.
+    Prepared,
+    /// The participant only read — the improved protocol of the paper's
+    /// reference \[14\] skips phase 2 for read-only participants.
+    ReadOnly,
+}
+
+/// An engine taking part in a distributed transaction coordinated by
+/// SAP HANA (§3.1 "Transactions"): the in-memory store, an extended
+/// (IQ) store, or — in tests — a failure-injecting mock.
+pub trait TwoPhaseParticipant: Send + Sync {
+    /// Stable participant name (appears in WAL prepare records and
+    /// in-doubt listings).
+    fn name(&self) -> &str;
+
+    /// Phase 1: make the transaction's effects durable enough to survive
+    /// a crash, then vote. An `Err` vote aborts the whole transaction.
+    fn prepare(&self, tid: u64) -> Result<Vote>;
+
+    /// Phase 2: make the effects visible under commit ID `cid`.
+    /// Called only after the coordinator's commit record is durable, and
+    /// never for `ReadOnly` voters.
+    fn commit(&self, tid: u64, cid: u64) -> Result<()>;
+
+    /// Roll the transaction's effects back (any phase).
+    fn abort(&self, tid: u64) -> Result<()>;
+}

@@ -1,0 +1,55 @@
+//! MVCC snapshots.
+
+/// A consistent read view: everything committed with `cid <= self.cid`
+/// is visible.
+///
+/// The column/row stores tag each row version with creation and deletion
+/// commit IDs; [`Snapshot::visible`] is the single visibility rule shared
+/// by every engine in the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Snapshot {
+    cid: u64,
+}
+
+impl Snapshot {
+    /// Snapshot as of commit ID `cid`.
+    pub fn at(cid: u64) -> Snapshot {
+        Snapshot { cid }
+    }
+
+    /// The snapshot's commit ID.
+    pub fn cid(&self) -> u64 {
+        self.cid
+    }
+
+    /// Whether a commit with `cid` is included in this snapshot.
+    pub fn sees(&self, cid: u64) -> bool {
+        cid <= self.cid
+    }
+
+    /// Visibility of a row version `(created_cid, deleted_cid)`.
+    pub fn visible(&self, created: u64, deleted: u64) -> bool {
+        self.sees(created) && !self.sees(deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visibility_rule() {
+        let s = Snapshot::at(10);
+        assert!(s.sees(10));
+        assert!(!s.sees(11));
+        assert!(s.visible(5, u64::MAX));
+        assert!(s.visible(10, 11));
+        assert!(!s.visible(5, 10), "deleted at 10 is gone at snapshot 10");
+        assert!(!s.visible(11, u64::MAX));
+    }
+
+    #[test]
+    fn snapshots_order_by_cid() {
+        assert!(Snapshot::at(1) < Snapshot::at(2));
+    }
+}

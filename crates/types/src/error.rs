@@ -1,0 +1,140 @@
+//! The platform-wide error type.
+//!
+//! A single error enum is shared across the workspace so that errors can
+//! flow from the extended storage, the stream processor or a remote Hadoop
+//! source up through the federated query processor without lossy
+//! conversions. Each variant corresponds to one subsystem of the paper's
+//! architecture (Figure 1).
+
+use std::fmt;
+
+/// Convenience alias used by every crate in the workspace.
+pub type Result<T> = std::result::Result<T, HanaError>;
+
+/// Errors raised anywhere in the data platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HanaError {
+    /// Catalog-level problems: unknown/duplicate tables, schema mismatches.
+    Catalog(String),
+    /// SQL or CCL lexing/parsing failures, with a human-readable position.
+    Parse(String),
+    /// Query planning/optimization failures (unresolved columns, …).
+    Plan(String),
+    /// Runtime failures during (local) query execution.
+    Execution(String),
+    /// Failures in the in-memory column/row stores.
+    Storage(String),
+    /// Transaction manager failures: conflicts, aborted transactions,
+    /// two-phase-commit participants voting no.
+    Transaction(String),
+    /// Failures reported by a remote source reached through SDA
+    /// (extended storage, Hive, MapReduce). Per §3.1 of the paper, any
+    /// query touching a failed extended store aborts with this error.
+    Remote(String),
+    /// Event-stream-processor failures (bad CCL, closed streams).
+    Stream(String),
+    /// Underlying I/O problems (page files, HDFS simulator, WAL).
+    Io(String),
+    /// Invalid configuration (remote sources, cache validity, adapters).
+    Config(String),
+    /// Feature outside the supported SQL/CCL/HiveQL subset.
+    Unsupported(String),
+    /// Authentication / authorization failures from the platform's single
+    /// credential control (§2 "Value").
+    Security(String),
+}
+
+impl HanaError {
+    /// Short subsystem tag, used by log output and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HanaError::Catalog(_) => "catalog",
+            HanaError::Parse(_) => "parse",
+            HanaError::Plan(_) => "plan",
+            HanaError::Execution(_) => "execution",
+            HanaError::Storage(_) => "storage",
+            HanaError::Transaction(_) => "transaction",
+            HanaError::Remote(_) => "remote",
+            HanaError::Stream(_) => "stream",
+            HanaError::Io(_) => "io",
+            HanaError::Config(_) => "config",
+            HanaError::Unsupported(_) => "unsupported",
+            HanaError::Security(_) => "security",
+        }
+    }
+
+    /// The error message without the subsystem tag.
+    pub fn message(&self) -> &str {
+        match self {
+            HanaError::Catalog(m)
+            | HanaError::Parse(m)
+            | HanaError::Plan(m)
+            | HanaError::Execution(m)
+            | HanaError::Storage(m)
+            | HanaError::Transaction(m)
+            | HanaError::Remote(m)
+            | HanaError::Stream(m)
+            | HanaError::Io(m)
+            | HanaError::Config(m)
+            | HanaError::Unsupported(m)
+            | HanaError::Security(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for HanaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for HanaError {}
+
+impl From<std::io::Error> for HanaError {
+    fn from(e: std::io::Error) -> Self {
+        HanaError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = HanaError::Remote("hive connection refused".into());
+        assert_eq!(e.to_string(), "[remote] hive connection refused");
+        assert_eq!(e.kind(), "remote");
+        assert_eq!(e.message(), "hive connection refused");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: HanaError = io.into();
+        assert_eq!(e.kind(), "io");
+        assert!(e.message().contains("gone"));
+    }
+
+    #[test]
+    fn all_kinds_are_distinct() {
+        let errs = [
+            HanaError::Catalog(String::new()),
+            HanaError::Parse(String::new()),
+            HanaError::Plan(String::new()),
+            HanaError::Execution(String::new()),
+            HanaError::Storage(String::new()),
+            HanaError::Transaction(String::new()),
+            HanaError::Remote(String::new()),
+            HanaError::Stream(String::new()),
+            HanaError::Io(String::new()),
+            HanaError::Config(String::new()),
+            HanaError::Unsupported(String::new()),
+            HanaError::Security(String::new()),
+        ];
+        let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), errs.len());
+    }
+}

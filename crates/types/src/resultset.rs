@@ -1,0 +1,169 @@
+//! Query result sets.
+
+use std::fmt;
+
+use crate::error::{HanaError, Result};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// The materialized result of a query: an output schema plus rows.
+///
+/// This is what `HanaPlatform::execute_sql` hands back to applications —
+/// whether the rows came from the in-memory store, the extended storage,
+/// an ESP window or a federated Hive subquery.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResultSet {
+    /// Output schema (column names may be expression aliases).
+    pub schema: Schema,
+    /// The result rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// An empty result with the given schema.
+    pub fn empty(schema: Schema) -> ResultSet {
+        ResultSet {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build from a schema and rows.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> ResultSet {
+        ResultSet { schema, rows }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single scalar of a one-row, one-column result (aggregates).
+    pub fn scalar(&self) -> Result<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Ok(&self.rows[0][0])
+        } else {
+            Err(HanaError::Execution(format!(
+                "expected scalar result, got {} rows x {} cols",
+                self.rows.len(),
+                self.schema.len()
+            )))
+        }
+    }
+
+    /// All values of the named column.
+    pub fn column(&self, name: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.require(name)?;
+        Ok(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Sort rows by the given column indices ascending (test helper —
+    /// makes unordered results comparable).
+    pub fn sorted_by(mut self, cols: &[usize]) -> ResultSet {
+        self.rows.sort_by(|a, b| {
+            cols.iter()
+                .map(|&c| a[c].cmp(&b[c]))
+                .find(|o| !o.is_eq())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self
+    }
+}
+
+impl fmt::Display for ResultSet {
+    /// Pretty-print as an aligned ASCII table, the way SAP HANA Studio
+    /// would render a result grid.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.to_ascii_uppercase())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.values().iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        sep(f)?;
+        write!(f, "|")?;
+        for (h, w) in headers.iter().zip(&widths) {
+            write!(f, " {h:w$} |")?;
+        }
+        writeln!(f)?;
+        sep(f)?;
+        for row in &cells {
+            write!(f, "|")?;
+            for (c, w) in row.iter().zip(&widths) {
+                write!(f, " {c:w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        sep(f)?;
+        write!(f, "{} row(s)", self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+
+    fn rs() -> ResultSet {
+        ResultSet::new(
+            Schema::of(&[("id", DataType::Int), ("name", DataType::Varchar)]),
+            vec![
+                Row::from_values([Value::Int(2), Value::from("beta")]),
+                Row::from_values([Value::Int(1), Value::from("alpha")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn scalar_accessor() {
+        let one = ResultSet::new(
+            Schema::of(&[("cnt", DataType::BigInt)]),
+            vec![Row::from_values([Value::Int(7)])],
+        );
+        assert_eq!(one.scalar().unwrap(), &Value::Int(7));
+        assert!(rs().scalar().is_err());
+    }
+
+    #[test]
+    fn column_extraction_and_sorting() {
+        let sorted = rs().sorted_by(&[0]);
+        assert_eq!(
+            sorted.column("name").unwrap(),
+            vec![Value::from("alpha"), Value::from("beta")]
+        );
+        assert!(sorted.column("nope").is_err());
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let out = rs().to_string();
+        assert!(out.contains("| ID | NAME"), "got:\n{out}");
+        assert!(out.contains("2 row(s)"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # hana-data-platform
+//!
+//! Umbrella crate for the reproduction of *"SAP HANA — From Relational
+//! OLAP Database to Big Data Infrastructure"* (EDBT 2015).
+//!
+//! The facade lives in [`hana_core`]; this crate re-exports it together
+//! with the individual subsystem crates so examples and integration tests
+//! can reach everything through one dependency.
+//!
+//! ```
+//! use hana_data_platform::platform::HanaPlatform;
+//!
+//! let hana = HanaPlatform::new_in_memory();
+//! let session = hana.connect("SYSTEM", "manager").unwrap();
+//! hana.execute_sql(&session, "CREATE COLUMN TABLE t (a INTEGER, b VARCHAR(10))").unwrap();
+//! hana.execute_sql(&session, "INSERT INTO t VALUES (1, 'x')").unwrap();
+//! let rs = hana.execute_sql(&session, "SELECT a, b FROM t").unwrap();
+//! assert_eq!(rs.len(), 1);
+//! ```
+
+pub use hana_core as platform;
+
+pub use hana_columnar as columnar;
+pub use hana_esp as esp;
+pub use hana_hadoop as hadoop;
+pub use hana_iq as iq;
+pub use hana_pal as pal;
+pub use hana_query as query;
+pub use hana_rowstore as rowstore;
+pub use hana_sda as sda;
+pub use hana_sql as sql;
+pub use hana_tpch as tpch;
+pub use hana_txn as txn;
+pub use hana_types as types;
+
+pub use hana_core::HanaPlatform;
+pub use hana_types::{DataType, Date, HanaError, ResultSet, Result, Row, Schema, Value};

@@ -1,0 +1,161 @@
+//! E10 — distributed transactions across the in-memory store and the
+//! extended storage: atomicity under failure, in-doubt handling,
+//! snapshot isolation across engines.
+
+use std::sync::Arc;
+
+use hana_data_platform::platform::HanaPlatform;
+use hana_data_platform::txn::TwoPhaseParticipant;
+use hana_data_platform::Value;
+
+fn setup() -> (HanaPlatform, hana_data_platform::platform::Session) {
+    let hana = HanaPlatform::new_in_memory();
+    let s = hana.connect("SYSTEM", "manager").unwrap();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE hot (a INTEGER)").unwrap();
+    hana.execute_sql(&s, "CREATE TABLE cold (a INTEGER) USING EXTENDED STORAGE")
+        .unwrap();
+    (hana, s)
+}
+
+#[test]
+fn atomic_commit_across_engines() {
+    let (hana, s) = setup();
+    hana.execute_sql(&s, "BEGIN").unwrap();
+    for i in 0..10 {
+        hana.execute_sql(&s, &format!("INSERT INTO hot VALUES ({i})")).unwrap();
+        hana.execute_sql(&s, &format!("INSERT INTO cold VALUES ({i})")).unwrap();
+    }
+    // Another session sees nothing before commit.
+    let other = hana.connect("SYSTEM", "manager").unwrap();
+    let rs = hana.execute_sql(&other, "SELECT COUNT(*) FROM cold").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(0));
+    hana.execute_sql(&s, "COMMIT").unwrap();
+    for table in ["hot", "cold"] {
+        let rs = hana
+            .execute_sql(&other, &format!("SELECT COUNT(*) FROM {table}"))
+            .unwrap();
+        assert_eq!(rs.scalar().unwrap(), &Value::Int(10), "{table}");
+    }
+}
+
+#[test]
+fn extended_store_failure_aborts_whole_transaction() {
+    let (hana, s) = setup();
+    hana.execute_sql(&s, "BEGIN").unwrap();
+    hana.execute_sql(&s, "INSERT INTO hot VALUES (1)").unwrap();
+    hana.execute_sql(&s, "INSERT INTO cold VALUES (1)").unwrap();
+    hana.iq().set_failing(true);
+    let err = hana.execute_sql(&s, "COMMIT").unwrap_err();
+    assert_eq!(err.kind(), "transaction");
+    hana.iq().set_failing(false);
+    // §3.1: "the entire transaction will be aborted" — both sides empty.
+    for table in ["hot", "cold"] {
+        let rs = hana
+            .execute_sql(&s, &format!("SELECT COUNT(*) FROM {table}"))
+            .unwrap();
+        assert_eq!(rs.scalar().unwrap(), &Value::Int(0), "{table}");
+    }
+    // The platform is fully usable afterwards.
+    hana.execute_sql(&s, "INSERT INTO cold VALUES (7)").unwrap();
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM cold").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(1));
+}
+
+#[test]
+fn failure_during_access_aborts_query() {
+    let (hana, s) = setup();
+    hana.execute_sql(&s, "INSERT INTO cold VALUES (1)").unwrap();
+    hana.iq().set_failing(true);
+    // "every access to a SAP HANA table may throw a runtime error" —
+    // queries touching the extended store abort.
+    let err = hana.execute_sql(&s, "SELECT COUNT(*) FROM cold").unwrap_err();
+    assert_eq!(err.kind(), "remote");
+    // Local tables keep working through the outage.
+    assert!(hana.execute_sql(&s, "SELECT COUNT(*) FROM hot").is_ok());
+    hana.iq().set_failing(false);
+}
+
+#[test]
+fn in_doubt_transactions_surface_and_can_be_aborted() {
+    // Drive the coordinator directly: prepare succeeds, then the
+    // commit notification to the extended store is lost.
+    let hana = HanaPlatform::new_in_memory();
+    let s = hana.connect("SYSTEM", "manager").unwrap();
+    hana.execute_sql(&s, "CREATE TABLE cold (a INTEGER) USING EXTENDED STORAGE")
+        .unwrap();
+    let tm = hana.transaction_manager();
+    let iq = Arc::clone(hana.iq());
+    let txn = tm.begin();
+    iq.buffer_insert(
+        txn.tid,
+        "cold",
+        vec![hana_data_platform::Row::from_values([Value::Int(1)])],
+    )
+    .unwrap();
+    // A participant whose phase-2 notification is lost: prepare durably
+    // stages the chunk, then the connection drops before commit arrives.
+    struct LostCommit(Arc<hana_data_platform::iq::IqEngine>);
+    impl TwoPhaseParticipant for LostCommit {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn prepare(&self, tid: u64) -> hana_data_platform::Result<hana_data_platform::txn::Vote> {
+            self.0.prepare(tid)
+        }
+        fn commit(&self, _tid: u64, _cid: u64) -> hana_data_platform::Result<()> {
+            Err(hana_data_platform::HanaError::Remote(
+                "connection lost during phase 2".into(),
+            ))
+        }
+        fn abort(&self, tid: u64) -> hana_data_platform::Result<()> {
+            self.0.abort(tid)
+        }
+    }
+    let flaky: Vec<Arc<dyn TwoPhaseParticipant>> =
+        vec![Arc::new(LostCommit(Arc::clone(&iq)))];
+    let tid = txn.tid;
+    // The coordinator's decision is durable; commit succeeds (early
+    // ack) and the unreachable participant becomes in-doubt.
+    tm.commit(txn, &flaky).unwrap();
+    let in_doubt = tm.in_doubt();
+    assert_eq!(in_doubt.len(), 1);
+    assert_eq!(in_doubt[0].0, tid);
+    // "Clients will have the ability to manually abort these in-doubt
+    // transactions."
+    let healthy: Vec<Arc<dyn TwoPhaseParticipant>> = vec![iq.clone()];
+    tm.abort_in_doubt(tid, &healthy).unwrap();
+    assert!(tm.in_doubt().is_empty());
+    assert_eq!(iq.row_count("cold", u64::MAX - 1).unwrap(), 0);
+}
+
+#[test]
+fn snapshot_isolation_across_engines() {
+    let (hana, s) = setup();
+    hana.execute_sql(&s, "INSERT INTO cold VALUES (1)").unwrap();
+    // A long-running reader pins its snapshot.
+    let reader = hana.connect("SYSTEM", "manager").unwrap();
+    hana.execute_sql(&reader, "BEGIN").unwrap();
+    let rs = hana.execute_sql(&reader, "SELECT COUNT(*) FROM cold").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(1));
+    // A concurrent writer commits more rows.
+    hana.execute_sql(&s, "INSERT INTO cold VALUES (2), (3)").unwrap();
+    // The reader still sees its snapshot…
+    let rs = hana.execute_sql(&reader, "SELECT COUNT(*) FROM cold").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(1), "repeatable read");
+    hana.execute_sql(&reader, "COMMIT").unwrap();
+    // …and the new data afterwards.
+    let rs = hana.execute_sql(&reader, "SELECT COUNT(*) FROM cold").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(3));
+}
+
+#[test]
+fn read_only_transactions_skip_phase_two() {
+    let (hana, s) = setup();
+    hana.execute_sql(&s, "INSERT INTO hot VALUES (1)").unwrap();
+    hana.execute_sql(&s, "BEGIN").unwrap();
+    hana.execute_sql(&s, "SELECT COUNT(*) FROM hot").unwrap();
+    // A pure read commits fine even while the extended store is down —
+    // the read-only optimization of the improved 2PC skips it.
+    hana.iq().set_failing(false);
+    hana.execute_sql(&s, "COMMIT").unwrap();
+}

@@ -1,0 +1,138 @@
+//! E7 — hybrid tables and the built-in aging mechanism (§3.1).
+
+use hana_data_platform::platform::HanaPlatform;
+use hana_data_platform::Value;
+
+fn setup() -> (HanaPlatform, hana_data_platform::platform::Session) {
+    let hana = HanaPlatform::new_in_memory();
+    let s = hana.connect("SYSTEM", "manager").unwrap();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE orders \
+         (id INTEGER, year INTEGER, total DOUBLE, aged BOOLEAN) \
+         USING HYBRID EXTENDED STORAGE AGING ON aged",
+    )
+    .unwrap();
+    (hana, s)
+}
+
+#[test]
+fn aging_moves_rows_and_preserves_query_results() {
+    let (hana, s) = setup();
+    let rows: Vec<hana_data_platform::Row> = (0..2000)
+        .map(|i| {
+            let year = 2010 + (i % 4);
+            hana_data_platform::Row::from_values([
+                Value::Int(i),
+                Value::Int(year),
+                Value::Double(i as f64),
+                Value::Bool(year <= 2011),
+            ])
+        })
+        .collect();
+    hana.load_rows(&s, "orders", &rows).unwrap();
+
+    let q = "SELECT year, COUNT(*) AS n, SUM(total) AS t FROM orders \
+             GROUP BY year ORDER BY year";
+    let before = hana.execute_sql(&s, q).unwrap();
+
+    let moved = hana.run_aging(&s, "orders").unwrap();
+    assert_eq!(moved, 1000, "half the rows carried the flag");
+    assert_eq!(hana.iq().row_count("orders__cold", u64::MAX - 1).unwrap(), 1000);
+
+    let after = hana.execute_sql(&s, q).unwrap();
+    assert_eq!(before, after, "the logical table is unchanged by aging");
+
+    // Predicates prune into both partitions.
+    let rs = hana
+        .execute_sql(&s, "SELECT COUNT(*) FROM orders WHERE year = 2010")
+        .unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(500));
+    // The plan uses the union strategy.
+    let plan = hana
+        .execute_sql(&s, "EXPLAIN SELECT COUNT(*) FROM orders WHERE year = 2010")
+        .unwrap();
+    let text: String = plan.rows.iter().map(|r| r[0].to_string()).collect();
+    assert!(text.contains("Union Plan"), "{text}");
+}
+
+#[test]
+fn inserts_after_aging_land_hot_and_age_later() {
+    let (hana, s) = setup();
+    hana.execute_sql(&s, "INSERT INTO orders VALUES (1, 2010, 5.0, true)")
+        .unwrap();
+    assert_eq!(hana.run_aging(&s, "orders").unwrap(), 1);
+    // New data lands hot again.
+    hana.execute_sql(&s, "INSERT INTO orders VALUES (2, 2024, 7.0, false)")
+        .unwrap();
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM orders").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(2));
+    // Flip the flag via UPDATE, age again.
+    hana.execute_sql(&s, "UPDATE orders SET aged = true WHERE id = 2")
+        .unwrap();
+    assert_eq!(hana.run_aging(&s, "orders").unwrap(), 1);
+    assert_eq!(hana.iq().row_count("orders__cold", u64::MAX - 1).unwrap(), 2);
+    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM orders").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(2), "still one logical table");
+}
+
+#[test]
+fn hybrid_tables_join_with_local_tables() {
+    let (hana, s) = setup();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE years (y INTEGER, label VARCHAR(10))")
+        .unwrap();
+    for y in 2010..2014 {
+        hana.execute_sql(&s, &format!("INSERT INTO years VALUES ({y}, 'Y{y}')"))
+            .unwrap();
+    }
+    for i in 0..100 {
+        hana.execute_sql(
+            &s,
+            &format!(
+                "INSERT INTO orders VALUES ({i}, {}, {i}.0, {})",
+                2010 + i % 4,
+                i % 2 == 0
+            ),
+        )
+        .unwrap();
+    }
+    hana.run_aging(&s, "orders").unwrap();
+    let rs = hana
+        .execute_sql(
+            &s,
+            "SELECT y.label, COUNT(*) AS n FROM orders o JOIN years y ON o.year = y.y \
+             GROUP BY y.label ORDER BY y.label",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 4);
+    assert!(rs.rows.iter().all(|r| r[1] == Value::Int(25)));
+}
+
+#[test]
+fn ddl_validation() {
+    let hana = HanaPlatform::new_in_memory();
+    let s = hana.connect("SYSTEM", "manager").unwrap();
+    // Hybrid requires an aging clause.
+    assert!(hana
+        .execute_sql(
+            &s,
+            "CREATE COLUMN TABLE t (a INTEGER) USING HYBRID EXTENDED STORAGE"
+        )
+        .is_err());
+    // The aging column must exist and be boolean.
+    assert!(hana
+        .execute_sql(
+            &s,
+            "CREATE COLUMN TABLE t (a INTEGER) USING HYBRID EXTENDED STORAGE AGING ON missing"
+        )
+        .is_err());
+    assert!(hana
+        .execute_sql(
+            &s,
+            "CREATE COLUMN TABLE t (a INTEGER) USING HYBRID EXTENDED STORAGE AGING ON a"
+        )
+        .is_err());
+    // Aging a non-hybrid table fails.
+    hana.execute_sql(&s, "CREATE COLUMN TABLE plain (a INTEGER)").unwrap();
+    assert!(hana.run_aging(&s, "plain").is_err());
+}

@@ -1,0 +1,62 @@
+//! E4/E5 — the Figure 14/15 shape, asserted end to end at a small scale
+//! factor: every query returns identical results in normal, first-cached
+//! and steady-cached mode (checked inside the harness); every cache hit
+//! is faster than normal execution; the all-remote group benefits more
+//! than the mixed group; and materialization overhead stays bounded.
+
+use std::time::Duration;
+
+use hana_bench::{run_materialization_experiment, WorldConfig};
+
+#[test]
+fn figure_14_15_shape_reproduced() {
+    let config = WorldConfig {
+        scale: 0.002,
+        seed: 7,
+        job_startup: Duration::from_millis(4),
+        task_startup: Duration::from_micros(500),
+        worker_slots: 4,
+        block_size: 1024 * 1024,
+        odbc_row_cost_us: 60,
+    };
+    let rows = run_materialization_experiment(&config).expect("experiment");
+    assert_eq!(rows.len(), 12, "all twelve paper queries ran");
+
+    // Figure 14: every query benefits from remote materialization.
+    for r in &rows {
+        assert!(
+            r.benefit_percent() > 0.0,
+            "{} must benefit, got {:.1}%",
+            r.name,
+            r.benefit_percent()
+        );
+    }
+    // The paper's grouping: the all-remote queries gain more than the
+    // queries joined with local HANA tables.
+    let avg = |all_remote: bool| {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.all_remote == all_remote)
+            .map(|r| r.benefit_percent())
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    assert!(
+        avg(true) > avg(false),
+        "all-remote avg {:.1}% must exceed mixed avg {:.1}%",
+        avg(true),
+        avg(false)
+    );
+    assert!(avg(true) > 75.0, "paper: top group gains >75%");
+
+    // Figure 15: the one-time overhead is bounded (the paper's worst
+    // case is ~63%; leave generous headroom for timing noise).
+    for r in &rows {
+        assert!(
+            r.overhead_percent() < 150.0,
+            "{} overhead {:.1}% looks pathological",
+            r.name,
+            r.overhead_percent()
+        );
+    }
+}
