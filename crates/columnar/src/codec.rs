@@ -217,6 +217,80 @@ impl VidCodec {
         }
     }
 
+    /// Range-restricted [`VidCodec::scan_into`]: set bits at
+    /// `offset + row` for matching rows with `start <= row < end`.
+    ///
+    /// Equivalent to a full scan masked to `[start, end)`; used by
+    /// morsel-parallel scans where each task owns one disjoint range.
+    /// RLE seeks to the first overlapping run; Sparse binary-searches
+    /// the exception positions.
+    pub fn scan_range_into(
+        &self,
+        m: &VidMatch,
+        out: &mut RowIdBitmap,
+        offset: usize,
+        start: usize,
+        end: usize,
+    ) {
+        let end = end.min(self.len());
+        if m.is_empty() || start >= end {
+            return;
+        }
+        match self {
+            VidCodec::Rle { run_vids, run_ends } => {
+                let first = run_ends.partition_point(|&e| e as usize <= start);
+                let mut run_start = if first == 0 {
+                    0
+                } else {
+                    run_ends[first - 1] as usize
+                };
+                for (&vid, &run_end) in run_vids[first..].iter().zip(&run_ends[first..]) {
+                    let run_end = run_end as usize;
+                    if run_start >= end {
+                        break;
+                    }
+                    if m.test(vid) {
+                        out.set_range(
+                            offset + run_start.max(start),
+                            offset + run_end.min(end),
+                        );
+                    }
+                    run_start = run_end;
+                }
+            }
+            VidCodec::Sparse {
+                dominant,
+                positions,
+                vids,
+                ..
+            } => {
+                let lo = positions.partition_point(|&p| (p as usize) < start);
+                let hi = positions.partition_point(|&p| (p as usize) < end);
+                if m.test(*dominant) {
+                    out.set_range(offset + start, offset + end);
+                    for (i, &p) in positions[lo..hi].iter().enumerate() {
+                        if !m.test(vids.get(lo + i) as u32) {
+                            out.unset(offset + p as usize);
+                        }
+                    }
+                } else {
+                    for (i, &p) in positions[lo..hi].iter().enumerate() {
+                        if m.test(vids.get(lo + i) as u32) {
+                            out.set(offset + p as usize);
+                        }
+                    }
+                }
+            }
+            VidCodec::Plain(v) => {
+                for row in start..end {
+                    if m.test(v.get(row) as u32) {
+                        out.set(offset + row);
+                    }
+                }
+            }
+        }
+    }
+
     /// Compressed payload size in bytes (what codec selection minimizes).
     pub fn payload_bytes(&self) -> usize {
         match self {

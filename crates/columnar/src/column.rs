@@ -68,6 +68,20 @@ impl MainColumn {
         self.codec.scan_into(&m, out, offset);
     }
 
+    /// Scan restricted to fragment rows `start..end` (morsel-parallel
+    /// path); equivalent to `scan_into` masked to that range.
+    pub fn scan_range_into(
+        &self,
+        pred: &ColumnPredicate,
+        out: &mut RowIdBitmap,
+        offset: usize,
+        start: usize,
+        end: usize,
+    ) {
+        let m = pred.compile_ordered(&self.dict);
+        self.codec.scan_range_into(&m, out, offset, start, end);
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn payload_bytes(&self) -> usize {
         self.dict.payload_bytes() + self.codec.payload_bytes()
@@ -132,6 +146,28 @@ impl DeltaColumn {
         for (row, &vid) in self.vids.iter().enumerate() {
             if m.test(vid) {
                 out.set(offset + row);
+            }
+        }
+    }
+
+    /// Scan restricted to fragment rows `start..end` (morsel-parallel
+    /// path); equivalent to `scan_into` masked to that range.
+    pub fn scan_range_into(
+        &self,
+        pred: &ColumnPredicate,
+        out: &mut RowIdBitmap,
+        offset: usize,
+        start: usize,
+        end: usize,
+    ) {
+        let m = pred.compile_delta(&self.dict);
+        let end = end.min(self.vids.len());
+        if m.is_empty() || start >= end {
+            return;
+        }
+        for (row, &vid) in self.vids[start..end].iter().enumerate() {
+            if m.test(vid) {
+                out.set(offset + start + row);
             }
         }
     }

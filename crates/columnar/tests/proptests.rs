@@ -4,6 +4,7 @@ use hana_columnar::{
     BitPackedVec, ColumnPredicate, ColumnTable, CompressedDoubles, MainColumn, RowIdBitmap,
     VidCodec,
 };
+use hana_exec::{ExecConfig, ExecContext};
 use hana_types::{DataType, Schema, Value};
 use proptest::prelude::*;
 
@@ -108,6 +109,69 @@ proptest! {
         prop_assert_eq!(before, after);
     }
 
+    /// Morsel-parallel scans return the exact bitmap of the serial scan
+    /// for any table shape: delta-only, merged main, deletions, and any
+    /// worker count. Tiny morsels force multi-morsel coverage.
+    #[test]
+    fn par_scan_matches_serial(
+        rows in prop::collection::vec((0i64..40, 0u8..3), 1..400),
+        lo in 0i64..40,
+        span in 0i64..10,
+        merge in any::<bool>(),
+        workers in 1usize..5,
+    ) {
+        let mut t = ColumnTable::new("p", Schema::of(&[("v", DataType::Int)]));
+        for (i, &(v, action)) in rows.iter().enumerate() {
+            t.insert(&[Value::Int(v)], 1).unwrap();
+            if action == 2 {
+                t.delete(i, 2).unwrap();
+            }
+        }
+        if merge {
+            t.merge_delta();
+        }
+        let pred = ColumnPredicate::Between(Value::Int(lo), Value::Int(lo + span));
+        let serial = t.scan(0, &pred, 5).unwrap();
+        let exec = ExecContext::new(
+            ExecConfig::default().with_workers(workers).with_morsel_rows(64),
+        );
+        let parallel = t.par_scan(&exec, 0, &pred, 5).unwrap();
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// Conjunctive parallel scans match the serial intersection scan.
+    #[test]
+    fn par_scan_all_matches_serial(
+        rows in prop::collection::vec((0i64..20, 0i64..20, 0u8..3), 1..300),
+        a_lo in 0i64..20,
+        b_lo in 0i64..20,
+        merge in any::<bool>(),
+    ) {
+        let mut t = ColumnTable::new(
+            "p",
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+        );
+        for (i, &(a, b, action)) in rows.iter().enumerate() {
+            t.insert(&[Value::Int(a), Value::Int(b)], 1).unwrap();
+            if action == 2 {
+                t.delete(i, 2).unwrap();
+            }
+        }
+        if merge {
+            t.merge_delta();
+        }
+        let preds = vec![
+            (0, ColumnPredicate::Between(Value::Int(a_lo), Value::Int(a_lo + 6))),
+            (1, ColumnPredicate::Between(Value::Int(b_lo), Value::Int(b_lo + 6))),
+        ];
+        let serial = t.scan_all(&preds, 5).unwrap();
+        let exec = ExecContext::new(
+            ExecConfig::default().with_workers(3).with_morsel_rows(64),
+        );
+        let parallel = t.par_scan_all(&exec, &preds, 5).unwrap();
+        prop_assert_eq!(parallel, serial);
+    }
+
     /// MainColumn::build + materialize is the identity (nulls included).
     #[test]
     fn main_column_identity(values in prop::collection::vec(
@@ -120,5 +184,28 @@ proptest! {
     )) {
         let m = MainColumn::build(&values);
         prop_assert_eq!(m.materialize(), values);
+    }
+}
+
+/// With a single worker every morsel runs on the same thread in queue
+/// order, so repeated parallel scans must be bit-identical — and equal
+/// to the serial scan.
+#[test]
+fn single_worker_par_scan_is_deterministic() {
+    let mut t = ColumnTable::new("p", Schema::of(&[("v", DataType::Int)]));
+    for i in 0..1_000i64 {
+        t.insert(&[Value::Int(i % 97)], 1).unwrap();
+    }
+    t.merge_delta();
+    for i in 1_000..1_300i64 {
+        t.insert(&[Value::Int(i % 97)], 1).unwrap();
+    }
+    let pred = ColumnPredicate::Between(Value::Int(10), Value::Int(40));
+    let serial = t.scan(0, &pred, 5).unwrap();
+    let exec = ExecContext::new(ExecConfig::default().with_workers(1).with_morsel_rows(64));
+    let first = t.par_scan(&exec, 0, &pred, 5).unwrap();
+    assert_eq!(first, serial);
+    for _ in 0..10 {
+        assert_eq!(t.par_scan(&exec, 0, &pred, 5).unwrap(), first);
     }
 }

@@ -14,9 +14,10 @@ use parking_lot::{Mutex, RwLock};
 
 use hana_columnar::ColumnTable;
 use hana_esp::{EspEngine, Sink};
+use hana_exec::ExecContext;
 use hana_hadoop::{Hive, MrFunctionRegistry};
 use hana_iq::IqEngine;
-use hana_query::{execute_query, Catalog as _, Planner, TableFunction, TableSource};
+use hana_query::{execute_query_with, Catalog as _, Planner, TableFunction, TableSource};
 use hana_rowstore::RowTable;
 use hana_sda::{
     HadoopMrAdapter, HiveOdbcAdapter, IqAdapter, RemoteCacheConfig, SdaAdapter,
@@ -80,6 +81,7 @@ pub struct HanaPlatform {
     catalog: Arc<PlatformCatalog>,
     tm: Arc<TransactionManager>,
     iq: Arc<IqEngine>,
+    exec: Arc<ExecContext>,
     esp: Arc<EspEngine>,
     security: SecurityManager,
     repository: Mutex<Repository>,
@@ -114,6 +116,7 @@ impl HanaPlatform {
             catalog,
             tm: Arc::new(tm),
             iq,
+            exec: Arc::clone(ExecContext::global()),
             esp: Arc::new(EspEngine::new()),
             security: SecurityManager::new(),
             repository: Mutex::new(Repository::new()),
@@ -139,6 +142,13 @@ impl HanaPlatform {
     /// through SQL).
     pub fn iq(&self) -> &Arc<IqEngine> {
         &self.iq
+    }
+
+    /// The parallel execution engine (worker pool, morsel config and
+    /// per-query metrics). Shared with the query layer; sized from
+    /// `HANA_EXEC_WORKERS` or the machine's available parallelism.
+    pub fn exec(&self) -> &Arc<ExecContext> {
+        &self.exec
     }
 
     /// The integrated event stream processor.
@@ -235,7 +245,7 @@ impl HanaPlatform {
             Statement::Query(q) => {
                 self.security.check(session, Privilege::Select)?;
                 let cid = self.snapshot_cid(session);
-                execute_query(&q, self.catalog.as_ref(), cid)
+                execute_query_with(&self.exec, &q, self.catalog.as_ref(), cid)
             }
             Statement::Explain(q) => {
                 self.security.check(session, Privilege::Select)?;

@@ -1,0 +1,106 @@
+//! The execution context: configuration + worker pool + metrics.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::config::ExecConfig;
+use crate::metrics::{MetricsRegistry, QueryGuard};
+use crate::morsel::{morsels, Morsel};
+use crate::pool::{PoolMetricsSnapshot, WorkerPool};
+
+static GLOBAL: OnceLock<Arc<ExecContext>> = OnceLock::new();
+
+/// One execution engine instance: a [`WorkerPool`], the [`ExecConfig`]
+/// it was built from, and a [`MetricsRegistry`] for per-query counters.
+///
+/// Components normally share the process-wide [`ExecContext::global`]
+/// (configured from the environment); tests build private contexts with
+/// [`ExecContext::new`] to pin worker counts.
+pub struct ExecContext {
+    config: ExecConfig,
+    pool: Arc<WorkerPool>,
+    registry: MetricsRegistry,
+}
+
+impl ExecContext {
+    /// Build a context (and start its worker pool) from a config.
+    pub fn new(config: ExecConfig) -> Arc<ExecContext> {
+        Arc::new(ExecContext {
+            pool: WorkerPool::new(config.workers),
+            registry: MetricsRegistry::new(),
+            config,
+        })
+    }
+
+    /// The process-wide context, created on first use from
+    /// [`ExecConfig::from_env`].
+    pub fn global() -> &'static Arc<ExecContext> {
+        GLOBAL.get_or_init(|| ExecContext::new(ExecConfig::from_env()))
+    }
+
+    /// The configuration this context was built with.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The per-query metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Begin tracking a named query (see [`MetricsRegistry::begin_query`]).
+    pub fn begin_query(&self, name: &str) -> QueryGuard {
+        self.registry.begin_query(name)
+    }
+
+    /// Slice `[0, total_rows)` into morsels of the configured size.
+    pub fn morsels(&self, total_rows: usize) -> Vec<Morsel> {
+        morsels(total_rows, self.config.morsel_rows)
+    }
+
+    /// Fork-join over items on the pool (see [`WorkerPool::scatter`]).
+    pub fn scatter<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        self.pool.scatter(items, f)
+    }
+
+    /// Pool utilization/load counters.
+    pub fn pool_metrics(&self) -> PoolMetricsSnapshot {
+        self.pool.metrics_snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_runs_scatter_with_metrics() {
+        let ctx = ExecContext::new(ExecConfig::default().with_workers(2).with_morsel_rows(64));
+        let guard = ctx.begin_query("sum");
+        let ms = ctx.morsels(1000);
+        guard.metrics().add_morsels(ms.len() as u64);
+        let parts = ctx.scatter(ms, |m| (m.start..m.end).sum::<usize>());
+        drop(guard);
+        assert_eq!(parts.iter().sum::<usize>(), (0..1000).sum::<usize>());
+        let snap = ctx.metrics().snapshot("sum").unwrap();
+        assert_eq!(snap.morsels, 16);
+        assert!(snap.wall_nanos > 0);
+    }
+
+    #[test]
+    fn global_context_is_singleton() {
+        let a = Arc::as_ptr(ExecContext::global());
+        let b = Arc::as_ptr(ExecContext::global());
+        assert_eq!(a, b);
+        assert!(ExecContext::global().config().workers >= 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-query execution metrics.
+//!
+//! The [`MetricsRegistry`] tracks one [`QueryMetrics`] record per named
+//! query. A query is bracketed with [`MetricsRegistry::begin_query`],
+//! which installs the record as the calling thread's *current* query;
+//! parallel scans launched from that thread attribute their morsel and
+//! task counts to it. Everything is exposed as plain snapshot structs —
+//! no sampling threads, no global sinks.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+thread_local! {
+    static CURRENT_QUERY: RefCell<Vec<Arc<QueryMetrics>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The query record the calling thread is currently executing under,
+/// if any (installed by [`MetricsRegistry::begin_query`]).
+pub fn current_query_metrics() -> Option<Arc<QueryMetrics>> {
+    CURRENT_QUERY.with(|c| c.borrow().last().cloned())
+}
+
+/// Live counters for one query. Updated with relaxed atomics from
+/// worker threads; read via [`QueryMetrics::snapshot`].
+#[derive(Debug, Default)]
+pub struct QueryMetrics {
+    morsels: AtomicU64,
+    tasks: AtomicU64,
+    cpu_nanos: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl QueryMetrics {
+    /// Count morsels dispatched for this query.
+    pub fn add_morsels(&self, n: u64) {
+        self.morsels.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count pool tasks dispatched for this query.
+    pub fn add_tasks(&self, n: u64) {
+        self.tasks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Accumulate CPU time spent in this query's tasks.
+    pub fn add_cpu_nanos(&self, n: u64) {
+        self.cpu_nanos.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn set_wall_nanos(&self, n: u64) {
+        self.wall_nanos.store(n, Ordering::Relaxed);
+    }
+
+    /// Current counter values as a plain struct.
+    pub fn snapshot(&self, query: &str) -> QueryMetricsSnapshot {
+        QueryMetricsSnapshot {
+            query: query.to_string(),
+            morsels: self.morsels.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            cpu_nanos: self.cpu_nanos.load(Ordering::Relaxed),
+            wall_nanos: self.wall_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of one query's execution counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryMetricsSnapshot {
+    /// Query name as registered.
+    pub query: String,
+    /// Morsels dispatched.
+    pub morsels: u64,
+    /// Pool tasks dispatched.
+    pub tasks: u64,
+    /// Summed task CPU time (nanoseconds).
+    pub cpu_nanos: u64,
+    /// Wall time between `begin_query` and guard drop (nanoseconds);
+    /// zero while the query is still running.
+    pub wall_nanos: u64,
+}
+
+/// RAII guard for a running query: while alive, the calling thread's
+/// parallel scans are attributed to this query; on drop the wall time
+/// is recorded.
+pub struct QueryGuard {
+    metrics: Arc<QueryMetrics>,
+    started: Instant,
+}
+
+impl QueryGuard {
+    /// The underlying live counters (e.g. to pass to another thread).
+    pub fn metrics(&self) -> Arc<QueryMetrics> {
+        Arc::clone(&self.metrics)
+    }
+}
+
+impl Drop for QueryGuard {
+    fn drop(&mut self) {
+        self.metrics
+            .set_wall_nanos(self.started.elapsed().as_nanos() as u64);
+        CURRENT_QUERY.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// Registry of per-query metrics, keyed by query name. Re-running a
+/// name accumulates into the same record.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    queries: Mutex<HashMap<String, Arc<QueryMetrics>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Start (or resume) tracking the named query and install it as the
+    /// calling thread's current query until the guard drops.
+    pub fn begin_query(&self, name: &str) -> QueryGuard {
+        let metrics = Arc::clone(
+            self.queries
+                .lock()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default(),
+        );
+        CURRENT_QUERY.with(|c| c.borrow_mut().push(Arc::clone(&metrics)));
+        QueryGuard {
+            metrics,
+            started: Instant::now(),
+        }
+    }
+
+    /// Snapshot of one query's counters, if the query is known.
+    pub fn snapshot(&self, name: &str) -> Option<QueryMetricsSnapshot> {
+        self.queries
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(|m| m.snapshot(name))
+    }
+
+    /// Snapshots of every known query, sorted by name.
+    pub fn snapshot_all(&self) -> Vec<QueryMetricsSnapshot> {
+        let mut out: Vec<QueryMetricsSnapshot> = self
+            .queries
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, m)| m.snapshot(name))
+            .collect();
+        out.sort_by(|a, b| a.query.cmp(&b.query));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_installs_and_clears_current() {
+        let registry = MetricsRegistry::new();
+        assert!(current_query_metrics().is_none());
+        {
+            let guard = registry.begin_query("q1");
+            let current = current_query_metrics().expect("current query set");
+            current.add_morsels(3);
+            current.add_tasks(2);
+            current.add_cpu_nanos(100);
+            drop(guard);
+        }
+        assert!(current_query_metrics().is_none());
+        let snap = registry.snapshot("q1").unwrap();
+        assert_eq!(snap.morsels, 3);
+        assert_eq!(snap.tasks, 2);
+        assert_eq!(snap.cpu_nanos, 100);
+        assert!(snap.wall_nanos > 0);
+    }
+
+    #[test]
+    fn nested_queries_stack() {
+        let registry = MetricsRegistry::new();
+        let _outer = registry.begin_query("outer");
+        {
+            let _inner = registry.begin_query("inner");
+            current_query_metrics().unwrap().add_morsels(1);
+        }
+        current_query_metrics().unwrap().add_morsels(5);
+        drop(_outer);
+        assert_eq!(registry.snapshot("inner").unwrap().morsels, 1);
+        assert_eq!(registry.snapshot("outer").unwrap().morsels, 5);
+    }
+
+    #[test]
+    fn rerun_accumulates_and_snapshot_all_sorts() {
+        let registry = MetricsRegistry::new();
+        {
+            let g = registry.begin_query("b");
+            g.metrics().add_morsels(1);
+        }
+        {
+            let g = registry.begin_query("b");
+            g.metrics().add_morsels(2);
+        }
+        {
+            let g = registry.begin_query("a");
+            g.metrics().add_morsels(7);
+        }
+        let all = registry.snapshot_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].query, "a");
+        assert_eq!(all[0].morsels, 7);
+        assert_eq!(all[1].query, "b");
+        assert_eq!(all[1].morsels, 3);
+    }
+
+    #[test]
+    fn unknown_query_has_no_snapshot() {
+        assert!(MetricsRegistry::new().snapshot("nope").is_none());
+    }
+}

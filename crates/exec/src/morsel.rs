@@ -1,0 +1,87 @@
+//! Morsels: cache-friendly row-id ranges over a column partition.
+//!
+//! Morsel-driven parallelism (HyPer-style, as adopted by the HANA job
+//! executor) slices a scan's row domain into fixed-size ranges that are
+//! scheduled independently on the worker pool. Boundaries are aligned
+//! to 64 rows so each morsel covers whole `RowIdBitmap` words and
+//! parallel writers never touch the same word.
+
+/// A half-open row-id range `[start, end)` assigned to one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// First row id covered (inclusive).
+    pub start: usize,
+    /// One past the last row id covered.
+    pub end: usize,
+}
+
+impl Morsel {
+    /// Number of rows in the morsel.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the morsel covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Round a morsel size up to a multiple of 64 (minimum 64).
+pub fn align_morsel_rows(rows: usize) -> usize {
+    rows.max(1).div_ceil(64) * 64
+}
+
+/// Slice `[0, total_rows)` into morsels of `morsel_rows` rows (aligned
+/// up to a multiple of 64); the final morsel takes the remainder.
+pub fn morsels(total_rows: usize, morsel_rows: usize) -> Vec<Morsel> {
+    let step = align_morsel_rows(morsel_rows);
+    let mut out = Vec::with_capacity(total_rows.div_ceil(step.max(1)));
+    let mut start = 0;
+    while start < total_rows {
+        let end = (start + step).min(total_rows);
+        out.push(Morsel { start, end });
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_domain_without_overlap() {
+        for total in [0, 1, 63, 64, 65, 1000, 65_536, 100_000] {
+            let ms = morsels(total, 1024);
+            let covered: usize = ms.iter().map(Morsel::len).sum();
+            assert_eq!(covered, total);
+            for w in ms.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            if let Some(first) = ms.first() {
+                assert_eq!(first.start, 0);
+                assert_eq!(ms.last().unwrap().end, total);
+            }
+        }
+    }
+
+    #[test]
+    fn boundaries_are_word_aligned() {
+        let ms = morsels(10_000, 100); // 100 rounds up to 128
+        for m in &ms[..ms.len() - 1] {
+            assert_eq!(m.start % 64, 0);
+            assert_eq!(m.end % 64, 0);
+            assert_eq!(m.len(), 128);
+        }
+    }
+
+    #[test]
+    fn alignment_rounds_up() {
+        assert_eq!(align_morsel_rows(0), 64);
+        assert_eq!(align_morsel_rows(1), 64);
+        assert_eq!(align_morsel_rows(64), 64);
+        assert_eq!(align_morsel_rows(65), 128);
+        assert_eq!(align_morsel_rows(65_536), 65_536);
+    }
+}

@@ -1,0 +1,421 @@
+//! Fixed worker pool with per-worker work-stealing deques.
+//!
+//! Each worker owns a deque: it pushes and pops work at the back (LIFO,
+//! for cache locality on nested spawns) while idle workers steal from
+//! the front (FIFO, taking the oldest — and for morsel scans the
+//! largest-remaining — work). External submissions land in a shared
+//! injector queue. Workers look for work in the order own deque →
+//! injector → steal, then park briefly.
+//!
+//! [`WorkerPool::scatter`] is the fork-join primitive used by parallel
+//! scans: it fans a `Vec` of items out as one task per item, blocks the
+//! calling thread until every task finished, and re-raises the first
+//! task panic in the caller. Because the caller provably outlives all
+//! tasks, `scatter` accepts borrowing (non-`'static`) items and
+//! closures.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// How long an idle worker parks before re-polling the queues.
+const PARK_TIMEOUT: Duration = Duration::from_millis(2);
+
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(pool id, worker index)` when the current thread is a pool worker.
+    static CURRENT_WORKER: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+struct Shared {
+    pool_id: u64,
+    injector: Mutex<VecDeque<Job>>,
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    stats: Vec<WorkerStats>,
+    park: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn find_job(&self, id: usize) -> Option<Job> {
+        // 1. Own deque, LIFO end.
+        if let Some(job) = self.deques[id].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        // 2. Shared injector, FIFO.
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        // 3. Steal from a victim's FIFO end, scanning round-robin.
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (id + off) % n;
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                self.stats[id].steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn queue_depth(&self) -> usize {
+        let mut depth = self.injector.lock().unwrap().len();
+        for d in &self.deques {
+            depth += d.lock().unwrap().len();
+        }
+        depth
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, id: usize) {
+    CURRENT_WORKER.with(|c| c.set(Some((shared.pool_id, id))));
+    loop {
+        if let Some(job) = shared.find_job(id) {
+            let started = Instant::now();
+            // A panicking job must not kill the worker; fork-join
+            // callers wrap jobs in their own catch and re-raise.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            let stats = &shared.stats[id];
+            stats
+                .busy_nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            stats.tasks.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let guard = shared.park.lock().unwrap();
+        // Timed park: bounds the window where a submission's wake-up
+        // races with this worker going idle.
+        let _ = shared.wake.wait_timeout(guard, PARK_TIMEOUT).unwrap();
+    }
+}
+
+/// Utilization and load counters of a pool, as a plain snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolMetricsSnapshot {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Total tasks executed since pool start.
+    pub tasks_executed: u64,
+    /// Total successful steals from sibling deques.
+    pub steals: u64,
+    /// Tasks currently queued (injector plus all deques).
+    pub queue_depth: usize,
+    /// Sum of per-worker time spent running tasks, in nanoseconds.
+    pub busy_nanos: u64,
+    /// Wall-clock nanoseconds since pool start.
+    pub wall_nanos: u64,
+    /// `busy / (wall * workers)` — mean fraction of worker time spent
+    /// running tasks, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// A fixed set of worker threads executing submitted jobs, with
+/// per-worker work-stealing deques and a shared injector.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    started: Instant,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Start a pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Arc<WorkerPool> {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            pool_id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            stats: (0..workers).map(|_| WorkerStats::default()).collect(),
+            park: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hana-exec-{id}"))
+                    .spawn(move || worker_loop(shared, id))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Arc::new(WorkerPool {
+            shared,
+            handles: Mutex::new(handles),
+            started: Instant::now(),
+            workers,
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether the calling thread is one of this pool's workers.
+    pub fn on_worker_thread(&self) -> bool {
+        CURRENT_WORKER.with(|c| {
+            c.get()
+                .is_some_and(|(pool, _)| pool == self.shared.pool_id)
+        })
+    }
+
+    /// Submit a fire-and-forget job. From a worker thread of this pool
+    /// the job goes to that worker's own deque (stealable by siblings);
+    /// otherwise it goes to the shared injector. A panicking job is
+    /// swallowed (use [`WorkerPool::scatter`] for panic propagation).
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.push_job(Box::new(job));
+    }
+
+    fn push_job(&self, job: Job) {
+        let worker = CURRENT_WORKER.with(|c| {
+            c.get()
+                .filter(|&(pool, _)| pool == self.shared.pool_id)
+                .map(|(_, id)| id)
+        });
+        match worker {
+            Some(id) => self.shared.deques[id].lock().unwrap().push_back(job),
+            None => self.shared.injector.lock().unwrap().push_back(job),
+        }
+        self.shared.wake.notify_one();
+    }
+
+    /// Fork-join: run `f` over every item on the pool, blocking until
+    /// all tasks complete, and return the results in item order. The
+    /// first task panic is re-raised here after all tasks finish.
+    ///
+    /// Called from one of this pool's own worker threads, the items run
+    /// inline on the caller instead (blocking a worker on its own pool
+    /// could deadlock a fully busy pool).
+    pub fn scatter<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        if self.on_worker_thread() || self.workers == 0 {
+            return items.into_iter().map(f).collect();
+        }
+
+        struct ScatterState<T> {
+            results: Mutex<Vec<Option<T>>>,
+            remaining: Mutex<usize>,
+            done: Condvar,
+            panic: Mutex<Option<Box<dyn Any + Send>>>,
+        }
+
+        let n = items.len();
+        let state = Arc::new(ScatterState::<T> {
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+
+        let f = &f;
+        for (idx, item) in items.into_iter().enumerate() {
+            let state = Arc::clone(&state);
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(value) => state.results.lock().unwrap()[idx] = Some(value),
+                    Err(payload) => {
+                        let mut slot = state.panic.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
+                }
+                let mut remaining = state.remaining.lock().unwrap();
+                *remaining -= 1;
+                if *remaining == 0 {
+                    state.done.notify_all();
+                }
+            });
+            // SAFETY: this thread blocks below until `remaining` hits
+            // zero, i.e. until every job (and its borrows of `f` and
+            // the items) has finished — the scoped-thread pattern. The
+            // panic path also waits for all jobs before re-raising.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job)
+            };
+            self.push_job(job);
+        }
+
+        let mut remaining = state.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = state.done.wait(remaining).unwrap();
+        }
+        drop(remaining);
+
+        if let Some(payload) = state.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        let mut results = state.results.lock().unwrap();
+        results
+            .iter_mut()
+            .map(|slot| slot.take().expect("scatter task completed without result"))
+            .collect()
+    }
+
+    /// Tasks currently queued across the injector and all deques.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue_depth()
+    }
+
+    /// Current utilization/load counters.
+    pub fn metrics_snapshot(&self) -> PoolMetricsSnapshot {
+        let tasks_executed: u64 = self
+            .shared
+            .stats
+            .iter()
+            .map(|s| s.tasks.load(Ordering::Relaxed))
+            .sum();
+        let steals: u64 = self
+            .shared
+            .stats
+            .iter()
+            .map(|s| s.steals.load(Ordering::Relaxed))
+            .sum();
+        let busy_nanos: u64 = self
+            .shared
+            .stats
+            .iter()
+            .map(|s| s.busy_nanos.load(Ordering::Relaxed))
+            .sum();
+        let wall_nanos = self.started.elapsed().as_nanos() as u64;
+        let capacity = (wall_nanos as f64) * (self.workers as f64);
+        PoolMetricsSnapshot {
+            workers: self.workers,
+            tasks_executed,
+            steals,
+            queue_depth: self.shared.queue_depth(),
+            busy_nanos,
+            wall_nanos,
+            utilization: if capacity > 0.0 {
+                (busy_nanos as f64 / capacity).min(1.0)
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+        for handle in self.handles.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scatter_returns_results_in_order() {
+        let pool = WorkerPool::new(4);
+        let doubled = pool.scatter((0..100).collect(), |i: usize| i * 2);
+        assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_borrows_caller_data() {
+        let pool = WorkerPool::new(3);
+        let data: Vec<u64> = (0..1000).collect();
+        let chunks: Vec<&[u64]> = data.chunks(64).collect();
+        let sums = pool.scatter(chunks, |c| c.iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn scatter_propagates_panic() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scatter(vec![1, 2, 3], |i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // Pool is still usable after a task panic.
+        assert_eq!(pool.scatter(vec![5], |i| i + 1), vec![6]);
+    }
+
+    #[test]
+    fn spawn_executes_jobs() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while counter.load(Ordering::SeqCst) < 50 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn single_worker_pool_is_deterministic() {
+        let pool = WorkerPool::new(1);
+        let out = pool.scatter((0..20).collect(), |i: usize| i);
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+        // Worker stats are bumped after the job body returns, so give
+        // the worker a moment to finish accounting the last task.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.metrics_snapshot().tasks_executed < 20 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let m = pool.metrics_snapshot();
+        assert_eq!(m.workers, 1);
+        assert!(m.tasks_executed >= 20);
+        assert_eq!(m.steals, 0, "no siblings to steal from");
+    }
+
+    #[test]
+    fn metrics_count_tasks() {
+        let pool = WorkerPool::new(4);
+        pool.scatter((0..64).collect(), |i: usize| i);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.metrics_snapshot().tasks_executed < 64 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let m = pool.metrics_snapshot();
+        assert!(m.tasks_executed >= 64);
+        assert_eq!(m.queue_depth, 0);
+        assert!(m.utilization >= 0.0 && m.utilization <= 1.0);
+    }
+}

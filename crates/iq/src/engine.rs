@@ -310,7 +310,35 @@ impl IqEngine {
             .collect())
     }
 
+    /// Scan and project one chunk (filter + visibility + row build).
+    fn scan_chunk_rows(
+        &self,
+        table: &IqTable,
+        chunk: &Chunk,
+        preds: &[(usize, ColumnPredicate)],
+        proj_cols: &[usize],
+        cid: u64,
+    ) -> Result<Vec<Row>> {
+        let hits = self.scan_chunk(table, chunk, preds, cid)?;
+        if hits.is_empty() {
+            return Ok(Vec::new());
+        }
+        let cols: Vec<Vec<Value>> = proj_cols
+            .iter()
+            .map(|&c| chunk.read_column(&self.cache, c))
+            .collect::<Result<_>>()?;
+        Ok(hits
+            .into_iter()
+            .map(|local| Row::from_values(cols.iter().map(|c| c[local].clone())))
+            .collect())
+    }
+
     /// Scan a table, returning the projected schema and rows.
+    ///
+    /// Multi-chunk tables scan their chunks concurrently on the global
+    /// execution pool (the buffer cache is internally synchronized);
+    /// results are concatenated in chunk order, so the output is
+    /// identical to the serial scan.
     pub fn scan(
         &self,
         table: &str,
@@ -337,22 +365,25 @@ impl IqEngine {
                 .map(|&c| t.schema.column(c).clone())
                 .collect(),
         )?;
+        let visible_chunks: Vec<&Chunk> =
+            t.chunks.iter().filter(|c| c.created_cid <= cid).collect();
+        let per_chunk: Vec<Result<Vec<Row>>> = if visible_chunks.len() > 1 {
+            let exec = hana_exec::ExecContext::global();
+            if let Some(q) = hana_exec::current_query_metrics() {
+                q.add_tasks(visible_chunks.len() as u64);
+            }
+            exec.scatter(visible_chunks, |chunk| {
+                self.scan_chunk_rows(t, chunk, &preds, &proj_cols, cid)
+            })
+        } else {
+            visible_chunks
+                .into_iter()
+                .map(|chunk| self.scan_chunk_rows(t, chunk, &preds, &proj_cols, cid))
+                .collect()
+        };
         let mut rows = Vec::new();
-        for chunk in &t.chunks {
-            if chunk.created_cid > cid {
-                continue;
-            }
-            let hits = self.scan_chunk(t, chunk, &preds, cid)?;
-            if hits.is_empty() {
-                continue;
-            }
-            let cols: Vec<Vec<Value>> = proj_cols
-                .iter()
-                .map(|&c| chunk.read_column(&self.cache, c))
-                .collect::<Result<_>>()?;
-            for local in hits {
-                rows.push(Row::from_values(cols.iter().map(|c| c[local].clone())));
-            }
+        for chunk_rows in per_chunk {
+            rows.extend(chunk_rows?);
         }
         Ok(ResultSet::new(out_schema, rows))
     }

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use hana_exec::ExecContext;
 use hana_sql::finish::finish_query;
 use hana_sql::{evaluate, evaluate_predicate, resolve_column, Expr, JoinKind, Query, TableRef};
 use hana_types::{HanaError, ResultSet, Result, Row, Schema, Value};
@@ -10,10 +11,28 @@ use crate::catalog::{Catalog, TableSource};
 use crate::plan::{PlanNode, PlanOp};
 use crate::planner::Planner;
 
-/// Execute a SQL query against the catalog under snapshot `cid`.
+/// Inputs at or above this many rows are routed through the parallel
+/// execution engine (table scans and group-by aggregation); smaller
+/// inputs run serially — one default morsel's worth of rows, below
+/// which fan-out overhead buys nothing.
+pub const PARALLEL_ROW_THRESHOLD: usize = 65_536;
+
+/// Execute a SQL query against the catalog under snapshot `cid`, using
+/// the process-wide [`ExecContext`] for parallel operators.
 pub fn execute_query(q: &Query, catalog: &dyn Catalog, cid: u64) -> Result<ResultSet> {
+    execute_query_with(ExecContext::global(), q, catalog, cid)
+}
+
+/// Execute a SQL query with an explicit execution context (tests pin
+/// worker counts this way).
+pub fn execute_query_with(
+    exec: &ExecContext,
+    q: &Query,
+    catalog: &dyn Catalog,
+    cid: u64,
+) -> Result<ResultSet> {
     let plan = Planner::new(catalog).plan(q)?;
-    execute_plan(&plan, catalog, cid)
+    execute_plan_with(exec, &plan, catalog, cid)
 }
 
 /// Render the plan for a query (EXPLAIN).
@@ -23,8 +42,18 @@ pub fn explain_query(q: &Query, catalog: &dyn Catalog, cid: u64) -> Result<Strin
     Ok(plan.explain())
 }
 
-/// Execute a physical plan.
+/// Execute a physical plan using the process-wide [`ExecContext`].
 pub fn execute_plan(plan: &PlanNode, catalog: &dyn Catalog, cid: u64) -> Result<ResultSet> {
+    execute_plan_with(ExecContext::global(), plan, catalog, cid)
+}
+
+/// Execute a physical plan with an explicit execution context.
+pub fn execute_plan_with(
+    exec: &ExecContext,
+    plan: &PlanNode,
+    catalog: &dyn Catalog,
+    cid: u64,
+) -> Result<ResultSet> {
     match &plan.op {
         PlanOp::ColumnScan { table, preds, .. } => {
             let TableSource::Column(t) = catalog.resolve_table(table)? else {
@@ -35,7 +64,13 @@ pub fn execute_plan(plan: &PlanNode, catalog: &dyn Catalog, cid: u64) -> Result<
                 .iter()
                 .map(|(c, p)| t.schema().require(c).map(|i| (i, p.clone())))
                 .collect::<Result<_>>()?;
-            let hits = t.scan_all(&resolved, cid)?;
+            // Morsel-parallel above the row threshold; bit-identical to
+            // the serial scan (see ColumnTable::par_scan_all).
+            let hits = if t.row_count() >= PARALLEL_ROW_THRESHOLD {
+                t.par_scan_all(exec, &resolved, cid)?
+            } else {
+                t.scan_all(&resolved, cid)?
+            };
             Ok(ResultSet::new(plan.schema.clone(), t.collect_rows(&hits, &[])))
         }
         PlanOp::RowScan { table, preds, .. } => {
@@ -108,13 +143,13 @@ pub fn execute_plan(plan: &PlanNode, catalog: &dyn Catalog, cid: u64) -> Result<
             right_key,
             kind,
         } => {
-            let l = execute_plan(left, catalog, cid)?;
-            let r = execute_plan(right, catalog, cid)?;
+            let l = execute_plan_with(exec, left, catalog, cid)?;
+            let r = execute_plan_with(exec, right, catalog, cid)?;
             hash_join(&l, &r, left_key, right_key, *kind, &plan.schema)
         }
         PlanOp::NestedLoopJoin { left, right, on } => {
-            let l = execute_plan(left, catalog, cid)?;
-            let r = execute_plan(right, catalog, cid)?;
+            let l = execute_plan_with(exec, left, catalog, cid)?;
+            let r = execute_plan_with(exec, right, catalog, cid)?;
             let mut rows = Vec::new();
             for lr in &l.rows {
                 for rr in &r.rows {
@@ -135,7 +170,7 @@ pub fn execute_plan(plan: &PlanNode, catalog: &dyn Catalog, cid: u64) -> Result<
             remote_key,
             remote_binding,
         } => {
-            let l = execute_plan(local, catalog, cid)?;
+            let l = execute_plan_with(exec, local, catalog, cid)?;
             // Distinct non-null local join keys.
             let ki = resolve_key(&l.schema, local_key)?;
             let mut keys: Vec<Value> = l
@@ -179,7 +214,7 @@ pub fn execute_plan(plan: &PlanNode, catalog: &dyn Catalog, cid: u64) -> Result<
             remote_key,
             remote_binding,
         } => {
-            let l = execute_plan(local, catalog, cid)?;
+            let l = execute_plan_with(exec, local, catalog, cid)?;
             // Ship the local rows with bare column names.
             let bare: Vec<hana_types::ColumnDef> = l
                 .schema
@@ -229,7 +264,7 @@ pub fn execute_plan(plan: &PlanNode, catalog: &dyn Catalog, cid: u64) -> Result<
             }
         }
         PlanOp::Filter { input, pred } => {
-            let inp = execute_plan(input, catalog, cid)?;
+            let inp = execute_plan_with(exec, input, catalog, cid)?;
             let mut rows = Vec::with_capacity(inp.rows.len());
             for r in inp.rows {
                 if evaluate_predicate(pred, &inp.schema, &r)? {
@@ -243,23 +278,41 @@ pub fn execute_plan(plan: &PlanNode, catalog: &dyn Catalog, cid: u64) -> Result<
             group_by,
             aggs,
         } => {
-            let inp = execute_plan(input, catalog, cid)?;
-            let mut groups: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> = HashMap::new();
-            for r in &inp.rows {
-                let mut key = Vec::with_capacity(group_by.len());
-                for g in group_by {
-                    key.push(evaluate(g, &inp.schema, r)?);
-                }
-                let accs = groups
-                    .entry(key)
-                    .or_insert_with(|| aggs.iter().map(|(f, _)| f.accumulator()).collect());
-                for (acc, (_, arg)) in accs.iter_mut().zip(aggs) {
-                    match arg {
-                        Some(e) => acc.add(&evaluate(e, &inp.schema, r)?),
-                        None => acc.add(&Value::Null), // COUNT(*)
+            let inp = execute_plan_with(exec, input, catalog, cid)?;
+            // Above the threshold, aggregate row chunks into partial
+            // hash tables on the pool and merge the accumulators
+            // (partial aggregation, MapReduce-combiner style).
+            let mut groups: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> =
+                if inp.rows.len() >= PARALLEL_ROW_THRESHOLD {
+                    let chunk_rows = exec.config().aligned_morsel_rows();
+                    let chunks: Vec<&[Row]> = inp.rows.chunks(chunk_rows).collect();
+                    if let Some(q) = hana_exec::current_query_metrics() {
+                        q.add_morsels(chunks.len() as u64);
+                        q.add_tasks(chunks.len() as u64);
                     }
-                }
-            }
+                    let partials = exec.scatter(chunks, |rows| {
+                        aggregate_chunk(rows, group_by, aggs, &inp.schema)
+                    });
+                    let mut merged: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> =
+                        HashMap::new();
+                    for partial in partials {
+                        for (key, accs) in partial? {
+                            match merged.entry(key) {
+                                std::collections::hash_map::Entry::Occupied(mut e) => {
+                                    for (into, from) in e.get_mut().iter_mut().zip(&accs) {
+                                        into.merge(from);
+                                    }
+                                }
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    e.insert(accs);
+                                }
+                            }
+                        }
+                    }
+                    merged
+                } else {
+                    aggregate_chunk(&inp.rows, group_by, aggs, &inp.schema)?
+                };
             if groups.is_empty() && group_by.is_empty() {
                 groups.insert(
                     Vec::new(),
@@ -277,13 +330,39 @@ pub fn execute_plan(plan: &PlanNode, catalog: &dyn Catalog, cid: u64) -> Result<
             Ok(ResultSet::new(plan.schema.clone(), rows))
         }
         PlanOp::Finish { input, query } => {
-            let inp = execute_plan(input, catalog, cid)?;
+            let inp = execute_plan_with(exec, input, catalog, cid)?;
             // When the child already satisfied the whole query remotely,
             // the planner does not emit Finish; here the epilogue runs.
             let (rows, schema) = finish_query(inp.rows, &inp.schema, query)?;
             Ok(ResultSet::new(schema, rows))
         }
     }
+}
+
+/// Group-and-accumulate one chunk of rows into a partial hash table.
+fn aggregate_chunk(
+    rows: &[Row],
+    group_by: &[Expr],
+    aggs: &[(hana_types::AggFunc, Option<Expr>)],
+    schema: &Schema,
+) -> Result<HashMap<Vec<Value>, Vec<hana_types::Accumulator>>> {
+    let mut groups: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> = HashMap::new();
+    for r in rows {
+        let mut key = Vec::with_capacity(group_by.len());
+        for g in group_by {
+            key.push(evaluate(g, schema, r)?);
+        }
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|(f, _)| f.accumulator()).collect());
+        for (acc, (_, arg)) in accs.iter_mut().zip(aggs) {
+            match arg {
+                Some(e) => acc.add(&evaluate(e, schema, r)?),
+                None => acc.add(&Value::Null), // COUNT(*)
+            }
+        }
+    }
+    Ok(groups)
 }
 
 /// Build a column expression from a possibly qualified key name.

@@ -21,7 +21,10 @@ mod planner;
 
 pub use catalog::{Catalog, TableFunction, TableSource};
 pub use cost::{CostModel, JoinSituation};
-pub use executor::{execute_plan, execute_query, explain_query};
+pub use executor::{
+    execute_plan, execute_plan_with, execute_query, execute_query_with, explain_query,
+    PARALLEL_ROW_THRESHOLD,
+};
 pub use histogram::{Bucket, QHistogram};
 pub use plan::{FederationStrategy, PlanNode, PlanOp};
 pub use planner::Planner;

@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A plain wall-clock harness behind criterion's API surface: groups,
+//! `bench_function`, `Bencher::iter`, `Throughput`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark warms up
+//! briefly, then runs timed batches until it accumulates ~200 ms, and
+//! reports the mean time per iteration (plus derived throughput).
+//! No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes, decimal multiple variant (parity with the real crate).
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render to the printed id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the iterations.
+pub struct Bencher {
+    mean_ns: f64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running enough iterations for a stable mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run for a short period to fault in caches/allocations.
+        let warmup_end = Instant::now() + Duration::from_millis(30);
+        let mut warmup_iters = 0u64;
+        while Instant::now() < warmup_end {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        // Measure in growing batches until the budget is spent.
+        let mut total_time = Duration::ZERO;
+        let mut total_iters = 0u64;
+        let mut batch = 1u64;
+        while total_time < self.measure_for {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            total_time += elapsed;
+            total_iters += batch;
+            // Aim each batch at ~1/8 of the budget.
+            if elapsed < self.measure_for / 8 {
+                batch = batch.saturating_mul(2).min(1 << 24);
+            }
+        }
+        self.mean_ns = total_time.as_nanos() as f64 / total_iters as f64;
+    }
+
+    /// Like `iter`, with a per-iteration setup stage that is not timed
+    /// as precisely (setup runs inside the timed loop here).
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut f: F,
+    ) {
+        self.iter(move || f(setup()));
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(id: &str, throughput: Option<Throughput>, measure_for: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mean_ns: f64::NAN,
+        measure_for,
+    };
+    f(&mut b);
+    let mut line = format!("{id:<56} time: {:>12}/iter", human_time(b.mean_ns));
+    if let Some(t) = throughput {
+        let per_sec = |n: u64| n as f64 / (b.mean_ns / 1e9);
+        match t {
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                line.push_str(&format!(
+                    "   thrpt: {:.1} MiB/s",
+                    per_sec(n) / (1024.0 * 1024.0)
+                ));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("   thrpt: {:.3} Melem/s", per_sec(n) / 1e6));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure_for: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parity shim for the real crate's CLI plumbing (no-op).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measure_for = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measure_for = self.measure_for;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            measure_for,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        mut f: F,
+    ) -> &mut Criterion {
+        run_one(&id.into_id(), None, self.measure_for, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/size settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measure_for: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted for API parity; the stand-in sizes
+    /// batches by time instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set measurement time for benches in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure_for = d;
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.throughput, self.measure_for, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a function running the given benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(100));
+        let mut ran = false;
+        group.bench_function(BenchmarkId::new("f", 1), |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
