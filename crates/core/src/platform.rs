@@ -20,7 +20,8 @@ use hana_iq::IqEngine;
 use hana_query::{execute_query_with, Catalog as _, Planner, TableFunction, TableSource};
 use hana_rowstore::RowTable;
 use hana_sda::{
-    HadoopMrAdapter, HiveOdbcAdapter, IqAdapter, RemoteCacheConfig, SdaAdapter,
+    ChaosAdapter, ChaosConfig, HadoopMrAdapter, HiveOdbcAdapter, IqAdapter,
+    RemoteCacheConfig, RemoteSourceStats, SdaAdapter,
 };
 use hana_sql::{
     evaluate, evaluate_predicate, parse_script, parse_statement, ColumnSpec, CreateTable,
@@ -182,12 +183,46 @@ impl HanaPlatform {
     }
 
     /// Configure the remote materialization cache (§4.4's
-    /// `enable_remote_cache` / `remote_cache_validity`).
+    /// `enable_remote_cache` / `remote_cache_validity`). Resilience
+    /// knobs keep their current values.
     pub fn set_remote_cache(&self, enable: bool, validity: u64) {
-        self.catalog.sda().set_cache_config(RemoteCacheConfig {
-            enable_remote_cache: enable,
-            remote_cache_validity: validity,
-        });
+        let cfg = self
+            .remote_cache_config()
+            .with_remote_cache(enable)
+            .with_validity(validity);
+        self.catalog.sda().set_cache_config(cfg);
+    }
+
+    /// The current federation configuration (cache + resilience knobs).
+    pub fn remote_cache_config(&self) -> RemoteCacheConfig {
+        self.catalog.sda().cache.config()
+    }
+
+    /// Replace the whole federation configuration — remote cache,
+    /// stale-fallback bounds, default retry policy and breaker
+    /// thresholds. Per-source breakers are rebuilt with the new
+    /// thresholds.
+    pub fn set_remote_cache_config(&self, config: RemoteCacheConfig) {
+        self.catalog.sda().set_cache_config(config);
+    }
+
+    /// Resilience statistics of one remote source: breaker state and
+    /// counters, retries spent, stale fallbacks served.
+    pub fn remote_source_stats(&self, source: &str) -> Result<RemoteSourceStats> {
+        self.catalog.sda().source_stats(source)
+    }
+
+    /// Interpose a deterministic fault injector around a registered
+    /// remote source (testing/drills). Returns the chaos handle so the
+    /// caller can flip [`ChaosAdapter::force_down`] or read the injected
+    /// counters; the wrapped source keeps its name, configuration and
+    /// credentials.
+    pub fn inject_chaos(&self, source: &str, config: ChaosConfig) -> Result<Arc<ChaosAdapter>> {
+        let sda = self.catalog.sda();
+        let existing = sda.source(source)?;
+        let chaos = Arc::new(ChaosAdapter::new(existing.adapter, config));
+        sda.replace_adapter(source, Arc::clone(&chaos) as Arc<dyn SdaAdapter>)?;
+        Ok(chaos)
     }
 
     // ---- transactions ----

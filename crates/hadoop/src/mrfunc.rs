@@ -71,7 +71,9 @@ impl MrFunctionRegistry {
             .get(driver_class)
             .cloned()
             .ok_or_else(|| {
-                HanaError::Remote(format!(
+                // Permanent: a missing driver class never appears by
+                // retrying.
+                HanaError::remote(format!(
                     "no MR job registered for driver class '{driver_class}'"
                 ))
             })?;

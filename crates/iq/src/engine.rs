@@ -95,7 +95,9 @@ impl IqEngine {
 
     fn check_up(&self) -> Result<()> {
         if self.failing.load(Ordering::SeqCst) {
-            Err(HanaError::Remote(format!(
+            // Retryable: an extended-store outage is transient by
+            // definition — the federation layer may retry or degrade.
+            Err(HanaError::remote_unavailable(format!(
                 "extended storage '{}' is unavailable",
                 self.name
             )))

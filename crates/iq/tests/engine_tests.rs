@@ -208,7 +208,7 @@ fn failure_injection_aborts_access_and_transactions() {
     // Every access to the extended store throws (§3.1).
     assert_eq!(
         iq.scan("orders", &[], None, 1).unwrap_err().kind(),
-        "remote"
+        "remote_unavailable"
     );
     // A transaction touching the failed store aborts entirely.
     let txn = tm.begin();

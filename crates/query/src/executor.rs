@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use hana_exec::ExecContext;
+use hana_sda::RemoteContext;
 use hana_sql::finish::finish_query;
 use hana_sql::{evaluate, evaluate_predicate, resolve_column, Expr, JoinKind, Query, TableRef};
 use hana_types::{HanaError, ResultSet, Result, Row, Schema, Value};
@@ -113,7 +114,9 @@ pub fn execute_plan_with(
             Ok(ResultSet::new(plan.schema.clone(), rows))
         }
         PlanOp::RemoteQuery { source, query, .. } => {
-            let (rs, _) = catalog.sda().execute_remote(source, query, cid)?;
+            let (rs, _) = catalog
+                .sda()
+                .execute_remote(source, query, &RemoteContext::snapshot(cid))?;
             // Positional alignment: trust the planner's schema when the
             // arity matches (names may differ between engines).
             if rs.schema.len() == plan.schema.len() {
@@ -202,7 +205,9 @@ pub fn execute_plan_with(
                 filter: Some(filter),
                 ..Query::default()
             };
-            let (reduced, _) = catalog.sda().execute_remote(source, &sub, cid)?;
+            let (reduced, _) = catalog
+                .sda()
+                .execute_remote(source, &sub, &RemoteContext::snapshot(cid))?;
             hash_join(&l, &reduced, local_key, remote_key, JoinKind::Inner, &plan.schema)
         }
         PlanOp::RelocateJoin {
@@ -227,8 +232,9 @@ pub fn execute_plan_with(
                 })
                 .collect();
             let ship_schema = Schema::new(bare)?;
+            let rctx = RemoteContext::snapshot(cid);
             let adapter = catalog.sda().source(source)?.adapter;
-            let temp = adapter.create_temp_table(ship_schema, &l.rows, cid)?;
+            let temp = adapter.create_temp_table(ship_schema, &l.rows, &rctx)?;
             let bare_key = local_key.rsplit('.').next().unwrap_or(local_key);
             let sub = Query {
                 from: Some(TableRef::Named {
@@ -250,7 +256,7 @@ pub fn execute_plan_with(
                 filter: remote_preds.iter().cloned().reduce(|a, b| a.and(b)),
                 ..Query::default()
             };
-            let (rs, _) = catalog.sda().execute_remote(source, &sub, cid)?;
+            let (rs, _) = catalog.sda().execute_remote(source, &sub, &rctx)?;
             let _ = adapter.drop_remote_table(&temp);
             // Positional alignment: temp columns then remote columns.
             if rs.schema.len() == plan.schema.len() {

@@ -426,5 +426,6 @@ fn errors_surface() {
     // Failure of the extended store aborts the query (§3.1).
     cat.iq.set_failing(true);
     let err = execute_query(&query("SELECT COUNT(*) FROM fact"), &cat, 1).unwrap_err();
-    assert_eq!(err.kind(), "remote");
+    assert_eq!(err.kind(), "remote_unavailable");
+    assert!(err.is_retryable());
 }

@@ -16,6 +16,7 @@ use hana_sql::{BinOp, Expr, JoinKind, Query, TableRef};
 use hana_types::{AggFunc, HanaError, ResultSet, Result, Row, Schema};
 
 use crate::capability::CapabilitySet;
+use crate::context::RemoteContext;
 use crate::pushdown::split_pushdown;
 
 /// MetaStore-style statistics of a remote table.
@@ -46,9 +47,13 @@ pub trait SdaAdapter: Send + Sync {
     /// Statistics of a remote table (for federated cost estimation).
     fn table_stats(&self, table: &str) -> Result<RemoteStats>;
 
-    /// Execute a shipped sub-query under snapshot `cid` (ignored by
-    /// sources without transactional capabilities, like Hive).
-    fn execute(&self, q: &Query, cid: u64) -> Result<ResultSet>;
+    /// Execute a shipped sub-query under `ctx`. The context carries the
+    /// snapshot cid (ignored by sources without transactional
+    /// capabilities, like Hive) plus the call's deadline budget —
+    /// adapters should honour [`RemoteContext::check_deadline`] at
+    /// natural cancellation points so an over-budget federated query
+    /// aborts instead of hanging.
+    fn execute(&self, q: &Query, ctx: &RemoteContext) -> Result<ResultSet>;
 
     /// Materialize a query's result into remote table `target`
     /// (CTAS). Returns rows written. Default: unsupported.
@@ -84,8 +89,8 @@ pub trait SdaAdapter: Send + Sync {
 
     /// Ship rows into a remote temp table (semi-join reduction / table
     /// relocation). Returns the temp table name. Default: unsupported.
-    fn create_temp_table(&self, schema: Schema, rows: &[Row], cid: u64) -> Result<String> {
-        let _ = (schema, rows, cid);
+    fn create_temp_table(&self, schema: Schema, rows: &[Row], ctx: &RemoteContext) -> Result<String> {
+        let _ = (schema, rows, ctx);
         Err(HanaError::Unsupported(format!(
             "adapter '{}' cannot receive shipped rows",
             self.adapter_name()
@@ -176,9 +181,12 @@ impl SdaAdapter for HiveOdbcAdapter {
         })
     }
 
-    fn execute(&self, q: &Query, _cid: u64) -> Result<ResultSet> {
+    fn execute(&self, q: &Query, ctx: &RemoteContext) -> Result<ResultSet> {
+        ctx.check_deadline("hive query submission")?;
         let rs = self.hive.execute_query(q)?;
         self.charge_transfer(rs.len());
+        // The per-row ODBC transfer cost counts against the budget too.
+        ctx.check_deadline("hive result transfer")?;
         Ok(rs)
     }
 
@@ -196,7 +204,8 @@ impl SdaAdapter for HiveOdbcAdapter {
         self.hive.current_tick()
     }
 
-    fn create_temp_table(&self, schema: Schema, rows: &[Row], _cid: u64) -> Result<String> {
+    fn create_temp_table(&self, schema: Schema, rows: &[Row], ctx: &RemoteContext) -> Result<String> {
+        ctx.check_deadline("hive temp-table shipping")?;
         let name = format!("tmp_shipped_{}", self.hive.current_tick());
         self.hive.create_table(&name, schema)?;
         self.hive.load(&name, rows)?;
@@ -249,7 +258,7 @@ impl SdaAdapter for HadoopMrAdapter {
         Ok(RemoteStats::default())
     }
 
-    fn execute(&self, q: &Query, _cid: u64) -> Result<ResultSet> {
+    fn execute(&self, q: &Query, _ctx: &RemoteContext) -> Result<ResultSet> {
         Err(HanaError::Unsupported(format!(
             "the hadoop adapter cannot execute SQL ('{q}')"
         )))
@@ -434,9 +443,10 @@ impl SdaAdapter for IqAdapter {
         })
     }
 
-    fn execute(&self, q: &Query, cid: u64) -> Result<ResultSet> {
+    fn execute(&self, q: &Query, ctx: &RemoteContext) -> Result<ResultSet> {
+        ctx.check_deadline("IQ plan compilation")?;
         let plan = self.compile(q)?;
-        let rs = self.engine.execute(&plan, cid)?;
+        let rs = self.engine.execute(&plan, ctx.cid())?;
         // The aggregate stage (if any) produced positional columns named
         // by the engine; rename to the shared `_g/_a` convention before
         // the driver epilogue.
@@ -450,8 +460,9 @@ impl SdaAdapter for IqAdapter {
         Ok(ResultSet::new(schema, rows))
     }
 
-    fn create_temp_table(&self, schema: Schema, rows: &[Row], cid: u64) -> Result<String> {
-        self.engine.create_temp_table(schema, rows, cid)
+    fn create_temp_table(&self, schema: Schema, rows: &[Row], ctx: &RemoteContext) -> Result<String> {
+        ctx.check_deadline("IQ temp-table shipping")?;
+        self.engine.create_temp_table(schema, rows, ctx.cid())
     }
 
     fn drop_remote_table(&self, name: &str) -> Result<()> {

@@ -1,0 +1,311 @@
+//! Per-source circuit breaker.
+//!
+//! A remote source that keeps failing should stop being hammered: after
+//! `failure_threshold` consecutive retryable failures the breaker
+//! **opens** and `SdaRegistry::execute_remote` fails fast (or degrades
+//! to a stale cache entry) without touching the source at all. After
+//! `cooldown` the breaker moves to **half-open** and lets probe calls
+//! through; `half_open_probes` consecutive successes close it again,
+//! while any probe failure re-opens it immediately.
+//!
+//! ```text
+//!            failure_threshold consecutive failures
+//!   CLOSED ──────────────────────────────────────────▶ OPEN
+//!     ▲                                                 │
+//!     │ half_open_probes                                │ cooldown
+//!     │ consecutive successes                           ▼
+//!     └──────────────────────────────────────────── HALF-OPEN
+//!                        any probe failure ──▶ back to OPEN
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// The observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally; consecutive failures are counted.
+    Closed,
+    /// Calls are rejected without touching the source.
+    Open,
+    /// Probe calls are allowed through to test recovery.
+    HalfOpen,
+}
+
+/// Breaker tuning knobs (per remote source).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive retryable failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before allowing probes.
+    pub cooldown: Duration,
+    /// Consecutive probe successes required to close again.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(250),
+            half_open_probes: 1,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Copy of this config with a specific failure threshold (≥ 1).
+    pub fn with_failure_threshold(mut self, n: u32) -> BreakerConfig {
+        self.failure_threshold = n.max(1);
+        self
+    }
+
+    /// Copy of this config with a specific open-state cooldown.
+    pub fn with_cooldown(mut self, cooldown: Duration) -> BreakerConfig {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// Copy of this config with a specific probe-success requirement
+    /// (≥ 1).
+    pub fn with_half_open_probes(mut self, n: u32) -> BreakerConfig {
+        self.half_open_probes = n.max(1);
+        self
+    }
+}
+
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { since: Instant },
+    HalfOpen { successes: u32 },
+}
+
+/// Counter snapshot for observability (`SdaRegistry::source_stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakerStats {
+    /// Successful calls recorded.
+    pub successes: u64,
+    /// Failed calls recorded.
+    pub failures: u64,
+    /// Calls rejected while open (fast-fail, source untouched).
+    pub rejections: u64,
+    /// Closed/half-open → open transitions.
+    pub opened: u64,
+    /// Open → half-open transitions (cooldown elapsed, probing).
+    pub half_opened: u64,
+    /// Half-open → closed transitions (recovery confirmed).
+    pub closed: u64,
+}
+
+/// A three-state circuit breaker guarding one remote source.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+    successes: AtomicU64,
+    failures: AtomicU64,
+    rejections: AtomicU64,
+    opened: AtomicU64,
+    half_opened: AtomicU64,
+    closed: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given config.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+            successes: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+            opened: AtomicU64::new(0),
+            half_opened: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+        }
+    }
+
+    /// The breaker's configuration.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    /// Current state. Observing an open breaker whose cooldown has
+    /// elapsed moves it to half-open (lazy transition — there is no
+    /// background timer thread).
+    pub fn state(&self) -> BreakerState {
+        let mut s = self.state.lock();
+        self.tick(&mut s);
+        match *s {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Whether a call may proceed. `false` means fail fast: the source
+    /// is not consulted and a rejection is counted.
+    pub fn try_acquire(&self) -> bool {
+        let mut s = self.state.lock();
+        self.tick(&mut s);
+        match *s {
+            State::Closed { .. } | State::HalfOpen { .. } => true,
+            State::Open { .. } => {
+                self.rejections.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Record a successful call.
+    pub fn record_success(&self) {
+        self.successes.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.state.lock();
+        self.tick(&mut s);
+        match *s {
+            State::Closed { .. } => {
+                *s = State::Closed {
+                    consecutive_failures: 0,
+                };
+            }
+            State::HalfOpen { successes } => {
+                if successes + 1 >= self.config.half_open_probes {
+                    self.closed.fetch_add(1, Ordering::Relaxed);
+                    *s = State::Closed {
+                        consecutive_failures: 0,
+                    };
+                } else {
+                    *s = State::HalfOpen {
+                        successes: successes + 1,
+                    };
+                }
+            }
+            // A success while open (call admitted just before the trip)
+            // does not change the state; the cooldown still applies.
+            State::Open { .. } => {}
+        }
+    }
+
+    /// Record a failed call.
+    pub fn record_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.state.lock();
+        self.tick(&mut s);
+        match *s {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                if consecutive_failures + 1 >= self.config.failure_threshold {
+                    self.opened.fetch_add(1, Ordering::Relaxed);
+                    *s = State::Open {
+                        since: Instant::now(),
+                    };
+                } else {
+                    *s = State::Closed {
+                        consecutive_failures: consecutive_failures + 1,
+                    };
+                }
+            }
+            State::HalfOpen { .. } => {
+                // A failed probe re-opens immediately.
+                self.opened.fetch_add(1, Ordering::Relaxed);
+                *s = State::Open {
+                    since: Instant::now(),
+                };
+            }
+            State::Open { .. } => {}
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BreakerStats {
+        BreakerStats {
+            successes: self.successes.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
+            opened: self.opened.load(Ordering::Relaxed),
+            half_opened: self.half_opened.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Open → half-open once the cooldown has elapsed.
+    fn tick(&self, s: &mut State) {
+        if let State::Open { since } = *s {
+            if since.elapsed() >= self.config.cooldown {
+                self.half_opened.fetch_add(1, Ordering::Relaxed);
+                *s = State::HalfOpen { successes: 0 };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> BreakerConfig {
+        BreakerConfig::default()
+            .with_failure_threshold(3)
+            .with_cooldown(Duration::from_millis(20))
+            .with_half_open_probes(2)
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = CircuitBreaker::new(fast());
+        b.record_failure();
+        b.record_failure();
+        b.record_success(); // resets the streak
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.stats().opened, 1);
+    }
+
+    #[test]
+    fn open_rejects_then_half_opens_after_cooldown() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert!(!b.try_acquire(), "open rejects");
+        assert_eq!(b.stats().rejections, 1);
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.try_acquire(), "half-open admits probes");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.stats().half_opened, 1);
+    }
+
+    #[test]
+    fn probe_successes_close_probe_failure_reopens() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // One success is not enough (half_open_probes = 2).
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.stats().closed, 1);
+
+        // Trip again; a failed probe goes straight back to open.
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        // Three open transitions total: two trips plus the failed probe.
+        assert_eq!(b.stats().opened, 3);
+    }
+}

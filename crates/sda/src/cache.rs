@@ -1,4 +1,5 @@
-//! Remote materialization — the Hive-side result cache of §4.4.
+//! Remote materialization — the Hive-side result cache of §4.4 — plus
+//! the local stale-fallback store backing graceful degradation.
 //!
 //! When a query carries `WITH HINT (USE_REMOTE_CACHE)` and the feature is
 //! enabled, the federated executor materializes the shipped sub-query's
@@ -13,11 +14,20 @@
 //! * entries expire after `remote_cache_validity` ticks of the remote
 //!   source's clock; expired entries are discarded and re-materialized;
 //! * the whole feature is off unless `enable_remote_cache` is set.
+//!
+//! Orthogonally to remote materialization, every result that flows
+//! through the cache is copied into a **local** bounded fallback store.
+//! When a source is down (circuit open, retry budget exhausted), the
+//! registry serves the stale copy — bounded by
+//! `stale_fallback_max_age` — and surfaces it as
+//! [`CacheOutcome::StaleFallback`]. The remote temp table cannot play
+//! this role: when the source is down, its temp tables are down too.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -25,9 +35,15 @@ use hana_sql::Query;
 use hana_types::{ResultSet, Result};
 
 use crate::adapter::SdaAdapter;
+use crate::breaker::BreakerConfig;
+use crate::context::RemoteContext;
+use crate::retry::RetryPolicy;
 
-/// Cache configuration (the paper's two parameters).
-#[derive(Debug, Clone, Copy)]
+/// Federation-layer configuration: the paper's two remote-cache
+/// parameters plus the resilience knobs (stale fallback, retry budget,
+/// breaker thresholds). Extend via the `with_*` builder methods — new
+/// knobs then never break constructors again.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RemoteCacheConfig {
     /// `enable_remote_cache` — global switch, **disabled by default**
     /// as in the paper.
@@ -35,6 +51,17 @@ pub struct RemoteCacheConfig {
     /// `remote_cache_validity` — how many remote clock ticks a
     /// materialized result stays valid.
     pub remote_cache_validity: u64,
+    /// Serve stale local copies when a source is down.
+    pub enable_stale_fallback: bool,
+    /// Upper bound on the age of a served stale copy.
+    pub stale_fallback_max_age: Duration,
+    /// Bound on the number of locally retained fallback results.
+    pub stale_fallback_max_entries: usize,
+    /// Default retry policy for remote calls (a [`RemoteContext`] can
+    /// override per call).
+    pub retry: RetryPolicy,
+    /// Per-source circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for RemoteCacheConfig {
@@ -42,7 +69,60 @@ impl Default for RemoteCacheConfig {
         RemoteCacheConfig {
             enable_remote_cache: false,
             remote_cache_validity: 1_000,
+            enable_stale_fallback: true,
+            stale_fallback_max_age: Duration::from_secs(300),
+            stale_fallback_max_entries: 256,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
+    }
+}
+
+impl RemoteCacheConfig {
+    /// Copy of this config with the remote materialization switch set.
+    pub fn with_remote_cache(mut self, enable: bool) -> RemoteCacheConfig {
+        self.enable_remote_cache = enable;
+        self
+    }
+
+    /// Copy of this config with a specific materialization validity
+    /// window (remote clock ticks).
+    pub fn with_validity(mut self, ticks: u64) -> RemoteCacheConfig {
+        self.remote_cache_validity = ticks;
+        self
+    }
+
+    /// Copy of this config with stale fallback enabled and bounded to
+    /// `max_age`.
+    pub fn with_stale_fallback(mut self, max_age: Duration) -> RemoteCacheConfig {
+        self.enable_stale_fallback = true;
+        self.stale_fallback_max_age = max_age;
+        self
+    }
+
+    /// Copy of this config with stale fallback disabled.
+    pub fn without_stale_fallback(mut self) -> RemoteCacheConfig {
+        self.enable_stale_fallback = false;
+        self
+    }
+
+    /// Copy of this config with a specific fallback-store entry bound
+    /// (≥ 1).
+    pub fn with_stale_fallback_entries(mut self, max: usize) -> RemoteCacheConfig {
+        self.stale_fallback_max_entries = max.max(1);
+        self
+    }
+
+    /// Copy of this config with a specific default retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> RemoteCacheConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// Copy of this config with specific breaker thresholds.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> RemoteCacheConfig {
+        self.breaker = breaker;
+        self
     }
 }
 
@@ -57,6 +137,9 @@ pub enum CacheOutcome {
     Hit,
     /// A stale materialization was discarded and replaced.
     Refreshed,
+    /// The source was unreachable; a stale-but-bounded **local** copy
+    /// of an earlier result was served instead (graceful degradation).
+    StaleFallback,
 }
 
 struct CacheEntry {
@@ -64,12 +147,19 @@ struct CacheEntry {
     created_tick: u64,
 }
 
-/// The remote materialization manager.
+struct FallbackEntry {
+    result: ResultSet,
+    stored_at: Instant,
+}
+
+/// The remote materialization manager plus the local fallback store.
 pub struct RemoteCache {
     config: RwLock<RemoteCacheConfig>,
     entries: Mutex<HashMap<u64, CacheEntry>>,
+    fallback: Mutex<HashMap<u64, FallbackEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    stale_served: AtomicU64,
     temp_counter: AtomicU64,
 }
 
@@ -79,8 +169,10 @@ impl RemoteCache {
         RemoteCache {
             config: RwLock::new(config),
             entries: Mutex::new(HashMap::new()),
+            fallback: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            stale_served: AtomicU64::new(0),
             temp_counter: AtomicU64::new(0),
         }
     }
@@ -92,7 +184,7 @@ impl RemoteCache {
 
     /// Current configuration.
     pub fn config(&self) -> RemoteCacheConfig {
-        *self.config.read()
+        self.config.read().clone()
     }
 
     /// `(hits, misses)` so far.
@@ -103,13 +195,32 @@ impl RemoteCache {
         )
     }
 
-    /// Execute `q` against `adapter`, honouring the
-    /// `USE_REMOTE_CACHE` hint.
+    /// Stale fallback results served so far.
+    pub fn stale_served(&self) -> u64 {
+        self.stale_served.load(Ordering::Relaxed)
+    }
+
+    /// Execute `q` against `adapter` under `ctx`, honouring the
+    /// `USE_REMOTE_CACHE` hint. Successful results are copied into the
+    /// local fallback store for later degradation.
     pub fn execute(
         &self,
         adapter: &Arc<dyn SdaAdapter>,
         q: &Query,
-        cid: u64,
+        ctx: &RemoteContext,
+    ) -> Result<(ResultSet, CacheOutcome)> {
+        let key = Self::cache_key(q, adapter.host());
+        let (rs, outcome) = self.execute_uncached(adapter, q, ctx, key)?;
+        self.store_fallback(key, &rs);
+        Ok((rs, outcome))
+    }
+
+    fn execute_uncached(
+        &self,
+        adapter: &Arc<dyn SdaAdapter>,
+        q: &Query,
+        ctx: &RemoteContext,
+        key: u64,
     ) -> Result<(ResultSet, CacheOutcome)> {
         let cfg = self.config();
         let requested = q.hints.iter().any(|h| h == "USE_REMOTE_CACHE");
@@ -120,11 +231,10 @@ impl RemoteCache {
             || !adapter.capabilities().cap_remote_cache
             || q.filter.is_none()
         {
-            let rs = adapter.execute(q, cid)?;
+            let rs = adapter.execute(q, ctx)?;
             return Ok((rs, CacheOutcome::Bypass));
         }
 
-        let key = Self::cache_key(q, adapter.host());
         let now = adapter.current_tick();
         let existing = {
             let entries = self.entries.lock();
@@ -139,16 +249,16 @@ impl RemoteCache {
                 // fetch task — no MR DAG execution).
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 let fetch = fetch_all(&temp);
-                let rs = adapter.execute(&fetch, cid)?;
+                let rs = adapter.execute(&fetch, ctx)?;
                 return Ok((restore_schema(rs, q), CacheOutcome::Hit));
             }
             // Stale: discard, then fall through to re-materialize.
             let _ = adapter.drop_remote_table(&temp);
             self.entries.lock().remove(&key);
-            let (rs, _) = self.materialize(adapter, q, cid, key)?;
+            let (rs, _) = self.materialize(adapter, q, ctx, key)?;
             return Ok((rs, CacheOutcome::Refreshed));
         }
-        let (rs, _) = self.materialize(adapter, q, cid, key)?;
+        let (rs, _) = self.materialize(adapter, q, ctx, key)?;
         Ok((rs, CacheOutcome::Materialized))
     }
 
@@ -156,7 +266,7 @@ impl RemoteCache {
         &self,
         adapter: &Arc<dyn SdaAdapter>,
         q: &Query,
-        cid: u64,
+        ctx: &RemoteContext,
         key: u64,
     ) -> Result<(ResultSet, CacheOutcome)> {
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -176,8 +286,62 @@ impl RemoteCache {
                 created_tick: adapter.current_tick(),
             },
         );
-        let rs = adapter.execute(&fetch_all(&temp), cid)?;
+        let rs = adapter.execute(&fetch_all(&temp), ctx)?;
         Ok((restore_schema(rs, q), CacheOutcome::Materialized))
+    }
+
+    /// Copy a fresh result into the bounded local fallback store.
+    fn store_fallback(&self, key: u64, rs: &ResultSet) {
+        let cfg = self.config();
+        if !cfg.enable_stale_fallback {
+            return;
+        }
+        let mut fb = self.fallback.lock();
+        if !fb.contains_key(&key) && fb.len() >= cfg.stale_fallback_max_entries {
+            // Evict the oldest entry to stay bounded.
+            if let Some(oldest) = fb
+                .iter()
+                .min_by_key(|(_, e)| e.stored_at)
+                .map(|(k, _)| *k)
+            {
+                fb.remove(&oldest);
+            }
+        }
+        fb.insert(
+            key,
+            FallbackEntry {
+                result: rs.clone(),
+                stored_at: Instant::now(),
+            },
+        );
+    }
+
+    /// A stale-but-bounded local copy for `(q, host)`, if one exists
+    /// within `stale_fallback_max_age`. Entries past the bound are
+    /// dropped — degraded answers stay bounded-stale, never arbitrary.
+    pub fn stale_lookup(&self, q: &Query, host: &str) -> Option<ResultSet> {
+        let cfg = self.config();
+        if !cfg.enable_stale_fallback {
+            return None;
+        }
+        let key = Self::cache_key(q, host);
+        let mut fb = self.fallback.lock();
+        match fb.get(&key) {
+            Some(e) if e.stored_at.elapsed() <= cfg.stale_fallback_max_age => {
+                self.stale_served.fetch_add(1, Ordering::Relaxed);
+                Some(e.result.clone())
+            }
+            Some(_) => {
+                fb.remove(&key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Number of live local fallback copies.
+    pub fn fallback_len(&self) -> usize {
+        self.fallback.lock().len()
     }
 
     /// Invalidate everything (tests / `ALTER SYSTEM CLEAR CACHE`).
@@ -186,6 +350,7 @@ impl RemoteCache {
         for (_, e) in entries.drain() {
             let _ = adapter.drop_remote_table(&e.temp_table);
         }
+        self.fallback.lock().clear();
     }
 
     /// Number of live cache entries.

@@ -1,0 +1,258 @@
+//! Deterministic fault injection for federation testing.
+//!
+//! [`ChaosAdapter`] wraps any [`SdaAdapter`] and perturbs its
+//! data-path operations (`execute`, `ctas`, `create_temp_table`,
+//! `invoke_function`) according to a **seeded schedule**: whether call
+//! *n* fails is a pure function of `(seed, n)`, so a chaos test that
+//! passes once passes always. Supported faults:
+//!
+//! * **transient failures** — with probability `failure_rate` a call
+//!   returns a retryable error (`remote_unavailable`, or
+//!   `remote_timeout` for a `timeout_share` of the injected failures);
+//! * **latency** — every data-path call sleeps `latency` first;
+//! * **down windows** — half-open call-index ranges `[from, to)` during
+//!   which the source is hard-down (flap schedules);
+//! * **forced outage** — [`ChaosAdapter::force_down`] switches the
+//!   source off until further notice, independent of the schedule.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use std::time::Duration;
+
+use hana_columnar::ColumnPredicate;
+use hana_sql::Query;
+use hana_types::{HanaError, ResultSet, Result, Row, Schema};
+
+use crate::adapter::{RemoteStats, SdaAdapter};
+use crate::capability::CapabilitySet;
+use crate::context::RemoteContext;
+use crate::retry::{splitmix64, unit_f64};
+
+/// The seeded fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed of the failure schedule; same seed ⇒ same schedule.
+    pub seed: u64,
+    /// Probability that a data-path call fails transiently.
+    pub failure_rate: f64,
+    /// Share of injected failures surfaced as timeouts instead of
+    /// unavailability (both retryable).
+    pub timeout_share: f64,
+    /// Extra latency injected into every data-path call.
+    pub latency: Duration,
+    /// Call-index windows `[from, to)` where the source is hard-down.
+    pub down_windows: Vec<(u64, u64)>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0xC4A0_5C4A,
+            failure_rate: 0.0,
+            timeout_share: 0.0,
+            latency: Duration::ZERO,
+            down_windows: Vec::new(),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Copy of this config with a specific schedule seed.
+    pub fn with_seed(mut self, seed: u64) -> ChaosConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Copy of this config with a transient failure probability
+    /// (clamped to `0.0..=1.0`).
+    pub fn with_failure_rate(mut self, rate: f64) -> ChaosConfig {
+        self.failure_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Copy of this config with a timeout share among injected
+    /// failures (clamped to `0.0..=1.0`).
+    pub fn with_timeout_share(mut self, share: f64) -> ChaosConfig {
+        self.timeout_share = share.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Copy of this config with injected per-call latency.
+    pub fn with_latency(mut self, latency: Duration) -> ChaosConfig {
+        self.latency = latency;
+        self
+    }
+
+    /// Copy of this config with one more down window `[from, to)` in
+    /// call indices (a flap schedule is several of these).
+    pub fn with_down_window(mut self, from: u64, to: u64) -> ChaosConfig {
+        self.down_windows.push((from, to));
+        self
+    }
+}
+
+/// A fault-injecting wrapper around any adapter.
+pub struct ChaosAdapter {
+    inner: Arc<dyn SdaAdapter>,
+    config: ChaosConfig,
+    calls: AtomicU64,
+    injected: AtomicU64,
+    forced_down: AtomicBool,
+}
+
+impl ChaosAdapter {
+    /// Wrap `inner` with the given fault schedule.
+    pub fn new(inner: Arc<dyn SdaAdapter>, config: ChaosConfig) -> ChaosAdapter {
+        ChaosAdapter {
+            inner,
+            config,
+            calls: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            forced_down: AtomicBool::new(false),
+        }
+    }
+
+    /// The wrapped adapter.
+    pub fn inner(&self) -> &Arc<dyn SdaAdapter> {
+        &self.inner
+    }
+
+    /// The fault schedule.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// Force the source down (`true`) or lift the outage (`false`).
+    pub fn force_down(&self, down: bool) {
+        self.forced_down.store(down, Ordering::SeqCst);
+    }
+
+    /// Whether the source is currently forced down.
+    pub fn is_forced_down(&self) -> bool {
+        self.forced_down.load(Ordering::SeqCst)
+    }
+
+    /// Data-path calls seen so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::SeqCst)
+    }
+
+    /// Failures injected so far.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Consume one schedule slot: sleep the injected latency, then
+    /// fail deterministically if the slot says so.
+    fn perturb(&self, op: &str) -> Result<()> {
+        let n = self.calls.fetch_add(1, Ordering::SeqCst);
+        if !self.config.latency.is_zero() {
+            std::thread::sleep(self.config.latency);
+        }
+        let down_window = self
+            .config
+            .down_windows
+            .iter()
+            .any(|&(from, to)| n >= from && n < to);
+        if self.is_forced_down() || down_window {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(HanaError::remote_unavailable(format!(
+                "chaos: source '{}' is down ({op}, call {n})",
+                self.inner.host()
+            )));
+        }
+        if self.config.failure_rate > 0.0 {
+            let draw = unit_f64(splitmix64(self.config.seed ^ n.wrapping_mul(0x9E37)));
+            if draw < self.config.failure_rate {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                let as_timeout = unit_f64(splitmix64(self.config.seed ^ n ^ 0x0007_1530_u64))
+                    < self.config.timeout_share;
+                return Err(if as_timeout {
+                    HanaError::remote_timeout(format!(
+                        "chaos: injected timeout ({op}, call {n})"
+                    ))
+                } else {
+                    HanaError::remote_unavailable(format!(
+                        "chaos: injected transient failure ({op}, call {n})"
+                    ))
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SdaAdapter for ChaosAdapter {
+    fn adapter_name(&self) -> &'static str {
+        self.inner.adapter_name()
+    }
+
+    fn host(&self) -> &str {
+        self.inner.host()
+    }
+
+    fn capabilities(&self) -> CapabilitySet {
+        self.inner.capabilities()
+    }
+
+    fn remote_schema(&self, table: &str) -> Result<Schema> {
+        self.inner.remote_schema(table)
+    }
+
+    fn table_stats(&self, table: &str) -> Result<RemoteStats> {
+        self.inner.table_stats(table)
+    }
+
+    fn execute(&self, q: &Query, ctx: &RemoteContext) -> Result<ResultSet> {
+        self.perturb("execute")?;
+        self.inner.execute(q, ctx)
+    }
+
+    fn ctas(&self, target: &str, q: &Query) -> Result<u64> {
+        self.perturb("ctas")?;
+        self.inner.ctas(target, q)
+    }
+
+    fn drop_remote_table(&self, name: &str) -> Result<()> {
+        self.inner.drop_remote_table(name)
+    }
+
+    fn current_tick(&self) -> u64 {
+        self.inner.current_tick()
+    }
+
+    fn invoke_function(&self, configuration: &str) -> Result<ResultSet> {
+        self.perturb("invoke_function")?;
+        self.inner.invoke_function(configuration)
+    }
+
+    fn create_temp_table(&self, schema: Schema, rows: &[Row], ctx: &RemoteContext) -> Result<String> {
+        self.perturb("create_temp_table")?;
+        self.inner.create_temp_table(schema, rows, ctx)
+    }
+
+    fn estimate_selectivity(&self, table: &str, column: &str, pred: &ColumnPredicate) -> Option<f64> {
+        self.inner.estimate_selectivity(table, column, pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let cfg = ChaosConfig::default().with_seed(42).with_failure_rate(0.3);
+        let plan = |cfg: &ChaosConfig| -> Vec<bool> {
+            (0..64u64)
+                .map(|n| {
+                    unit_f64(splitmix64(cfg.seed ^ n.wrapping_mul(0x9E37))) < cfg.failure_rate
+                })
+                .collect()
+        };
+        assert_eq!(plan(&cfg), plan(&cfg.clone()));
+        let failures = plan(&cfg).iter().filter(|&&f| f).count();
+        assert!(failures > 5 && failures < 40, "≈30% of 64: {failures}");
+    }
+}

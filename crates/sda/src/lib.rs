@@ -9,15 +9,38 @@
 //!
 //! Adapters provided: `hiveodbc` (Hive over simulated ODBC), `hadoop`
 //! (raw MR driver-class invocation), `iq` (the extended storage).
+//!
+//! ## Federation resilience
+//!
+//! Remote sources are slower and flakier than the in-memory core, so
+//! the federation boundary carries the resilience machinery: every
+//! remote call threads a [`RemoteContext`] (snapshot cid + deadline
+//! budget + retry override + attempt trace), `execute_remote` retries
+//! retryable errors with seeded-jitter exponential backoff
+//! ([`RetryPolicy`]), a per-source three-state [`CircuitBreaker`]
+//! fails fast while a source is down, and queries degrade to a
+//! stale-but-bounded local copy ([`CacheOutcome::StaleFallback`])
+//! instead of erroring when one is available. [`ChaosAdapter`] injects
+//! deterministic seeded faults around any adapter for testing.
 
 mod adapter;
-mod capability;
+mod breaker;
 mod cache;
+mod capability;
+mod context;
+mod fault;
 mod pushdown;
 mod registry;
+mod retry;
 
 pub use adapter::{HadoopMrAdapter, HiveOdbcAdapter, IqAdapter, RemoteStats, SdaAdapter};
-pub use capability::CapabilitySet;
+pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use cache::{CacheOutcome, RemoteCache, RemoteCacheConfig};
+pub use capability::CapabilitySet;
+pub use context::{AttemptRecord, RemoteContext};
+pub use fault::{ChaosAdapter, ChaosConfig};
 pub use pushdown::{expr_to_column_predicate, split_pushdown};
-pub use registry::{RemoteSource, SdaRegistry, VirtualFunction, VirtualTable};
+pub use registry::{
+    RemoteSource, RemoteSourceStats, SdaRegistry, VirtualFunction, VirtualTable,
+};
+pub use retry::{run_with_retry, RetryPolicy};

@@ -7,6 +7,7 @@
 //! function.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -14,7 +15,10 @@ use parking_lot::RwLock;
 use hana_types::{HanaError, ResultSet, Result, Schema};
 
 use crate::adapter::SdaAdapter;
+use crate::breaker::{BreakerState, BreakerStats, CircuitBreaker};
 use crate::cache::{CacheOutcome, RemoteCache, RemoteCacheConfig};
+use crate::context::RemoteContext;
+use crate::retry::run_with_retry;
 
 /// A registered remote source.
 #[derive(Clone)]
@@ -55,11 +59,33 @@ pub struct VirtualFunction {
     pub schema: Schema,
 }
 
+/// Per-source resilience state: one circuit breaker plus counters.
+struct SourceResilience {
+    breaker: CircuitBreaker,
+    retries: AtomicU64,
+    stale_fallbacks: AtomicU64,
+}
+
+/// Observable per-source resilience statistics
+/// ([`SdaRegistry::source_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteSourceStats {
+    /// Current breaker state.
+    pub breaker_state: BreakerState,
+    /// Breaker counters (successes, failures, rejections, transitions).
+    pub breaker: BreakerStats,
+    /// Retry attempts beyond the first, summed over all calls.
+    pub retries: u64,
+    /// Queries served from the stale local fallback store.
+    pub stale_fallbacks: u64,
+}
+
 /// The registry owned by the platform.
 pub struct SdaRegistry {
     sources: RwLock<HashMap<String, RemoteSource>>,
     virtual_tables: RwLock<HashMap<String, VirtualTable>>,
     virtual_functions: RwLock<HashMap<String, VirtualFunction>>,
+    resilience: RwLock<HashMap<String, Arc<SourceResilience>>>,
     /// The remote materialization cache (shared across sources; keys
     /// include the host).
     pub cache: RemoteCache,
@@ -72,6 +98,7 @@ impl SdaRegistry {
             sources: RwLock::new(HashMap::new()),
             virtual_tables: RwLock::new(HashMap::new()),
             virtual_functions: RwLock::new(HashMap::new()),
+            resilience: RwLock::new(HashMap::new()),
             cache: RemoteCache::default(),
         }
     }
@@ -194,15 +221,28 @@ impl SdaRegistry {
     }
 
     /// Invoke a virtual function, validating the declared schema against
-    /// what the job produced.
+    /// what the job produced. MR invocations run under the same
+    /// breaker/retry regime as remote queries.
     pub fn invoke_virtual_function(&self, name: &str) -> Result<ResultSet> {
         let vf = self.virtual_function(name).ok_or_else(|| {
             HanaError::Catalog(format!("unknown virtual function '{name}'"))
         })?;
         let source = self.source(&vf.source)?;
-        let rs = source.adapter.invoke_function(&vf.configuration)?;
+        let res = self.resilience_for(&source.name);
+        if !res.breaker.try_acquire() {
+            return Err(self.breaker_open_error(&source.name, &res));
+        }
+        let ctx = RemoteContext::snapshot(0);
+        let policy = self.cache.config().retry;
+        let rs = self.with_breaker(&res, || {
+            run_with_retry(&policy, &ctx, &format!("virtual function '{name}'"), |_| {
+                source.adapter.invoke_function(&vf.configuration)
+            })
+        })?;
+        res.retries
+            .fetch_add(ctx.attempts().saturating_sub(1) as u64, Ordering::Relaxed);
         if rs.schema.len() != vf.schema.len() {
-            return Err(HanaError::Remote(format!(
+            return Err(HanaError::remote(format!(
                 "virtual function '{name}' returned {} columns, declared {}",
                 rs.schema.len(),
                 vf.schema.len()
@@ -213,20 +253,142 @@ impl SdaRegistry {
         Ok(ResultSet::new(vf.schema.clone(), rs.rows))
     }
 
-    /// Execute a query against a source through the remote cache.
+    /// Execute a query against a source through the remote cache, under
+    /// the full resilience regime:
+    ///
+    /// 1. an **open circuit breaker** fails fast — the stale local
+    ///    fallback is served if one exists, else a *non-retryable*
+    ///    remote error returns immediately (never a hang);
+    /// 2. otherwise the call runs with **retry** (the context's policy,
+    ///    or the configured default) against the context's deadline,
+    ///    every attempt feeding the breaker;
+    /// 3. if the retry budget exhausts on a retryable error, the stale
+    ///    fallback is tried before the error surfaces.
     pub fn execute_remote(
         &self,
         source_name: &str,
         q: &hana_sql::Query,
-        cid: u64,
+        ctx: &RemoteContext,
     ) -> Result<(ResultSet, CacheOutcome)> {
         let source = self.source(source_name)?;
-        self.cache.execute(&source.adapter, q, cid)
+        let res = self.resilience_for(&source.name);
+        if !res.breaker.try_acquire() {
+            if let Some(rs) = self.cache.stale_lookup(q, source.adapter.host()) {
+                res.stale_fallbacks.fetch_add(1, Ordering::Relaxed);
+                return Ok((rs, CacheOutcome::StaleFallback));
+            }
+            return Err(self.breaker_open_error(&source.name, &res));
+        }
+        let policy = ctx.retry().copied().unwrap_or(self.cache.config().retry);
+        let attempts_before = ctx.attempts();
+        let outcome = self.with_breaker(&res, || {
+            run_with_retry(
+                &policy,
+                ctx,
+                &format!("remote query on '{}'", source.name),
+                |_| self.cache.execute(&source.adapter, q, ctx),
+            )
+        });
+        res.retries.fetch_add(
+            (ctx.attempts() - attempts_before).saturating_sub(1) as u64,
+            Ordering::Relaxed,
+        );
+        match outcome {
+            Ok(ok) => Ok(ok),
+            Err(e) if e.is_retryable() => {
+                if let Some(rs) = self.cache.stale_lookup(q, source.adapter.host()) {
+                    res.stale_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    return Ok((rs, CacheOutcome::StaleFallback));
+                }
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
     }
 
-    /// Set the cache configuration.
+    /// Resilience statistics of one source (breaker state/counters,
+    /// retries, stale fallbacks served).
+    pub fn source_stats(&self, name: &str) -> Result<RemoteSourceStats> {
+        // Validate the source exists even if it was never queried.
+        let source = self.source(name)?;
+        let res = self.resilience_for(&source.name);
+        Ok(RemoteSourceStats {
+            breaker_state: res.breaker.state(),
+            breaker: res.breaker.stats(),
+            retries: res.retries.load(Ordering::Relaxed),
+            stale_fallbacks: res.stale_fallbacks.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Current breaker state of a source.
+    pub fn breaker_state(&self, name: &str) -> Result<BreakerState> {
+        Ok(self.source_stats(name)?.breaker_state)
+    }
+
+    /// Replace the adapter behind a registered source (keeps the
+    /// configuration/credentials). Used to interpose wrappers such as
+    /// [`crate::ChaosAdapter`].
+    pub fn replace_adapter(&self, name: &str, adapter: Arc<dyn SdaAdapter>) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut sources = self.sources.write();
+        let source = sources
+            .get_mut(&key)
+            .ok_or_else(|| HanaError::Catalog(format!("unknown remote source '{name}'")))?;
+        source.adapter = adapter;
+        Ok(())
+    }
+
+    /// Set the federation configuration. Per-source breakers are rebuilt
+    /// so new thresholds take effect immediately.
     pub fn set_cache_config(&self, config: RemoteCacheConfig) {
         self.cache.set_config(config);
+        self.resilience.write().clear();
+    }
+
+    fn resilience_for(&self, key: &str) -> Arc<SourceResilience> {
+        if let Some(r) = self.resilience.read().get(key) {
+            return Arc::clone(r);
+        }
+        let mut map = self.resilience.write();
+        Arc::clone(map.entry(key.to_string()).or_insert_with(|| {
+            Arc::new(SourceResilience {
+                breaker: CircuitBreaker::new(self.cache.config().breaker),
+                retries: AtomicU64::new(0),
+                stale_fallbacks: AtomicU64::new(0),
+            })
+        }))
+    }
+
+    /// Run `f`, feeding its outcome to the source's breaker: successes
+    /// close the failure streak, retryable failures extend it. Permanent
+    /// errors (bad SQL, schema mismatches) say nothing about source
+    /// health and leave the breaker alone.
+    fn with_breaker<T>(
+        &self,
+        res: &SourceResilience,
+        f: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        match f() {
+            Ok(v) => {
+                res.breaker.record_success();
+                Ok(v)
+            }
+            Err(e) => {
+                if e.is_retryable() {
+                    res.breaker.record_failure();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn breaker_open_error(&self, name: &str, res: &SourceResilience) -> HanaError {
+        HanaError::remote(format!(
+            "circuit breaker open for remote source '{name}' — failing fast \
+             ({} consecutive-failure threshold reached, {} rejections so far)",
+            res.breaker.config().failure_threshold,
+            res.breaker.stats().rejections,
+        ))
     }
 }
 

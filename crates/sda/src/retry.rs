@@ -1,0 +1,253 @@
+//! Per-source retry with exponential backoff, deterministic jitter and
+//! a total deadline budget.
+//!
+//! Remote sources behind SDA (Hive MR jobs, the extended store, MR
+//! driver classes) fail transiently far more often than the in-memory
+//! core. The federation layer therefore retries *retryable* errors
+//! ([`hana_types::HanaError::is_retryable`]) with capped exponential
+//! backoff. Jitter is derived from a seeded SplitMix64 stream rather
+//! than a global RNG so that a given policy produces the *same* backoff
+//! schedule on every run — chaos tests stay deterministic.
+
+use std::time::Duration;
+
+use hana_types::Result;
+
+use crate::context::RemoteContext;
+
+/// SplitMix64 — the one deterministic pseudo-random primitive shared by
+/// the retry jitter and the chaos fault schedules.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a random word onto `[0, 1)`.
+pub(crate) fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Backoff/budget policy for one logical remote call.
+///
+/// `max_attempts` counts the first try: `max_attempts == 1` means no
+/// retries at all. Backoff for attempt *n* (1-based) is
+/// `base_backoff * 2^(n-1)` capped at `max_backoff`, then jittered:
+/// the final pause keeps `(1 - jitter)` of the exponential value and
+/// re-draws the rest uniformly from the policy's seeded stream
+/// ("equal jitter" when `jitter = 0.5`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff pause.
+    pub max_backoff: Duration,
+    /// Fraction of each pause that is randomized (`0.0..=1.0`).
+    pub jitter: f64,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.5,
+            seed: 0x5DA_5DA,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy::default().with_max_attempts(1)
+    }
+
+    /// Copy of this policy with a specific attempt budget (≥ 1).
+    pub fn with_max_attempts(mut self, attempts: u32) -> RetryPolicy {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Copy of this policy with a specific base backoff.
+    pub fn with_base_backoff(mut self, base: Duration) -> RetryPolicy {
+        self.base_backoff = base;
+        self
+    }
+
+    /// Copy of this policy with a specific backoff cap.
+    pub fn with_max_backoff(mut self, cap: Duration) -> RetryPolicy {
+        self.max_backoff = cap;
+        self
+    }
+
+    /// Copy of this policy with a specific jitter fraction (clamped to
+    /// `0.0..=1.0`).
+    pub fn with_jitter(mut self, jitter: f64) -> RetryPolicy {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Copy of this policy with a specific jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// The pause after failed attempt `attempt` (1-based). Deterministic
+    /// for a given `(policy, attempt)` pair.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20))
+            .min(self.max_backoff);
+        if self.jitter <= 0.0 || exp.is_zero() {
+            return exp;
+        }
+        let fixed = exp.mul_f64(1.0 - self.jitter);
+        let draw = unit_f64(splitmix64(self.seed ^ u64::from(attempt)));
+        fixed + exp.mul_f64(self.jitter).mul_f64(draw)
+    }
+}
+
+/// Drive `f` under `policy`, honouring `ctx`'s deadline and recording
+/// every attempt into the context's trace.
+///
+/// Rules:
+/// * the deadline is checked **before** each attempt — an expired
+///   budget surfaces as a retryable `remote_timeout`;
+/// * only retryable errors are retried, and only while attempts remain;
+/// * a backoff pause that would blow the remaining deadline is not
+///   slept — the last error is returned instead (still retryable, so
+///   callers know the operation may succeed later).
+pub fn run_with_retry<T>(
+    policy: &RetryPolicy,
+    ctx: &RemoteContext,
+    what: &str,
+    mut f: impl FnMut(u32) -> Result<T>,
+) -> Result<T> {
+    let mut attempt: u32 = 1;
+    loop {
+        ctx.check_deadline(what)?;
+        match f(attempt) {
+            Ok(v) => {
+                ctx.record_attempt(attempt, None, Duration::ZERO);
+                return Ok(v);
+            }
+            Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
+                let pause = policy.backoff(attempt);
+                if let Some(remaining) = ctx.remaining() {
+                    if remaining <= pause {
+                        ctx.record_attempt(attempt, Some(&e), Duration::ZERO);
+                        return Err(e);
+                    }
+                }
+                ctx.record_attempt(attempt, Some(&e), pause);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                attempt += 1;
+            }
+            Err(e) => {
+                ctx.record_attempt(attempt, Some(&e), Duration::ZERO);
+                return Err(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_types::HanaError;
+
+    #[test]
+    fn backoff_is_exponential_capped_and_deterministic() {
+        let p = RetryPolicy::default()
+            .with_base_backoff(Duration::from_millis(10))
+            .with_max_backoff(Duration::from_millis(45))
+            .with_jitter(0.0);
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(4), Duration::from_millis(45), "capped");
+        let j = p.with_jitter(0.5).with_seed(7);
+        assert_eq!(j.backoff(3), j.backoff(3), "same seed, same pause");
+        let lo = Duration::from_millis(20);
+        let hi = Duration::from_millis(40);
+        assert!(j.backoff(3) >= lo && j.backoff(3) <= hi);
+    }
+
+    #[test]
+    fn retries_transient_errors_until_success() {
+        let policy = RetryPolicy::default()
+            .with_max_attempts(5)
+            .with_base_backoff(Duration::from_micros(50));
+        let ctx = RemoteContext::snapshot(1);
+        let mut calls = 0;
+        let out = run_with_retry(&policy, &ctx, "op", |_| {
+            calls += 1;
+            if calls < 3 {
+                Err(HanaError::remote_unavailable("flap"))
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(calls, 3);
+        assert_eq!(ctx.attempts(), 3);
+        assert!(ctx.trace().last().unwrap().error.is_none());
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let policy = RetryPolicy::default().with_max_attempts(5);
+        let ctx = RemoteContext::snapshot(1);
+        let mut calls = 0;
+        let err = run_with_retry(&policy, &ctx, "op", |_| -> Result<()> {
+            calls += 1;
+            Err(HanaError::remote("bad schema"))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1, "no retry on permanent errors");
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_last_retryable_error() {
+        let policy = RetryPolicy::default()
+            .with_max_attempts(3)
+            .with_base_backoff(Duration::from_micros(10));
+        let ctx = RemoteContext::snapshot(1);
+        let mut calls = 0;
+        let err = run_with_retry(&policy, &ctx, "op", |_| -> Result<()> {
+            calls += 1;
+            Err(HanaError::remote_timeout("slow"))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 3);
+        assert!(err.is_retryable(), "caller may try again later");
+    }
+
+    #[test]
+    fn deadline_stops_the_loop() {
+        let policy = RetryPolicy::default()
+            .with_max_attempts(100)
+            .with_base_backoff(Duration::from_millis(5))
+            .with_jitter(0.0);
+        let ctx = RemoteContext::snapshot(1).with_deadline(Duration::from_millis(12));
+        let err = run_with_retry(&policy, &ctx, "op", |_| -> Result<()> {
+            Err(HanaError::remote_unavailable("down"))
+        })
+        .unwrap_err();
+        assert!(err.is_retryable());
+        assert!(ctx.attempts() < 100, "deadline bounded the attempts");
+    }
+}

@@ -1,0 +1,384 @@
+//! Federation-resilience integration tests: seeded fault injection
+//! around a real Hive adapter, exercising retry, circuit breaking and
+//! stale-fallback degradation through `SdaRegistry::execute_remote`.
+//!
+//! Everything here is deterministic: whether chaos call *n* fails is a
+//! pure function of `(seed, n)`, so these tests never flake. The
+//! heavier property sweep at the bottom runs under
+//! `--features chaos` (see `.github/workflows/ci.yml`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hana_hadoop::{Hdfs, Hive, MrCluster, MrConfig};
+use hana_sda::{
+    BreakerConfig, BreakerState, CacheOutcome, ChaosAdapter, ChaosConfig, HiveOdbcAdapter,
+    RemoteCacheConfig, RemoteContext, RetryPolicy, SdaAdapter, SdaRegistry,
+};
+use hana_sql::{parse_statement, Statement};
+use hana_types::{DataType, Row, Schema, Value};
+
+fn hive_with_data() -> Arc<Hive> {
+    let cfg = MrConfig {
+        worker_slots: 4,
+        job_startup: Duration::from_micros(200),
+        task_startup: Duration::from_micros(20),
+    };
+    let hive = Arc::new(Hive::new(Arc::new(MrCluster::new(
+        Arc::new(Hdfs::new(4)),
+        cfg,
+    ))));
+    hive.create_table(
+        "orders",
+        Schema::of(&[
+            ("order_id", DataType::Int),
+            ("region", DataType::Varchar),
+            ("amount", DataType::Double),
+        ]),
+    )
+    .unwrap();
+    let rows: Vec<Row> = (0..100)
+        .map(|i| {
+            Row::from_values([
+                Value::Int(i),
+                Value::from(if i % 2 == 0 { "EMEA" } else { "APJ" }),
+                Value::Double(i as f64),
+            ])
+        })
+        .collect();
+    hive.load("orders", &rows).unwrap();
+    hive
+}
+
+fn query(sql: &str) -> hana_sql::Query {
+    let Statement::Query(q) = parse_statement(sql).unwrap() else {
+        panic!()
+    };
+    q
+}
+
+/// Fast-backoff retry policy so tests stay in the milliseconds.
+fn fast_retry(attempts: u32) -> RetryPolicy {
+    RetryPolicy::default()
+        .with_max_attempts(attempts)
+        .with_base_backoff(Duration::from_micros(100))
+        .with_max_backoff(Duration::from_millis(2))
+}
+
+/// Fast-cooldown breaker so recovery tests stay in the milliseconds.
+fn fast_breaker(threshold: u32) -> BreakerConfig {
+    BreakerConfig::default()
+        .with_failure_threshold(threshold)
+        .with_cooldown(Duration::from_millis(20))
+        .with_half_open_probes(1)
+}
+
+/// A registry with one chaos-wrapped Hive source named `hive1`.
+fn chaos_registry(chaos_cfg: ChaosConfig, fed_cfg: RemoteCacheConfig) -> (SdaRegistry, Arc<ChaosAdapter>) {
+    let hive = hive_with_data();
+    let inner: Arc<dyn SdaAdapter> =
+        Arc::new(HiveOdbcAdapter::new(hive, "DSN=hive1"));
+    let chaos = Arc::new(ChaosAdapter::new(inner, chaos_cfg));
+    let registry = SdaRegistry::new();
+    registry
+        .create_remote_source(
+            "hive1",
+            Arc::clone(&chaos) as Arc<dyn SdaAdapter>,
+            "DSN=hive1",
+            None,
+        )
+        .unwrap();
+    registry.set_cache_config(fed_cfg);
+    (registry, chaos)
+}
+
+#[test]
+fn transient_chaos_succeeds_within_retry_budget() {
+    // 30% transient failures over a seeded schedule (the acceptance
+    // scenario): every query still succeeds, deterministically, because
+    // the retry budget rides out the injected failures.
+    let (registry, chaos) = chaos_registry(
+        ChaosConfig::default().with_seed(42).with_failure_rate(0.3),
+        RemoteCacheConfig::default().with_retry(fast_retry(8)),
+    );
+    let q = query("SELECT region, COUNT(*) FROM orders GROUP BY region");
+    for _ in 0..10 {
+        let ctx = RemoteContext::snapshot(1);
+        let (rs, outcome) = registry.execute_remote("hive1", &q, &ctx).unwrap();
+        assert_eq!(outcome, CacheOutcome::Bypass);
+        assert_eq!(rs.len(), 2);
+    }
+    assert!(
+        chaos.injected_failures() > 0,
+        "the schedule injected failures ({} calls)",
+        chaos.calls()
+    );
+    let stats = registry.source_stats("hive1").unwrap();
+    assert_eq!(stats.breaker_state, BreakerState::Closed);
+    assert!(stats.retries > 0, "retries absorbed the failures: {stats:?}");
+    assert_eq!(stats.breaker.successes, 10, "every logical call succeeded");
+}
+
+#[test]
+fn attempt_trace_records_what_happened() {
+    let (registry, _chaos) = chaos_registry(
+        ChaosConfig::default().with_seed(7).with_down_window(0, 2),
+        RemoteCacheConfig::default().with_retry(fast_retry(5)),
+    );
+    let q = query("SELECT COUNT(*) FROM orders");
+    let ctx = RemoteContext::snapshot(1);
+    registry.execute_remote("hive1", &q, &ctx).unwrap();
+    let trace = ctx.trace();
+    assert_eq!(trace.len(), 3, "two down-window failures, then success");
+    assert!(trace[0].error.as_deref().unwrap().contains("down"));
+    assert!(trace[1].error.is_some());
+    assert!(trace[2].error.is_none());
+}
+
+#[test]
+fn forced_outage_degrades_to_stale_fallback() {
+    let (registry, chaos) = chaos_registry(
+        ChaosConfig::default(),
+        RemoteCacheConfig::default()
+            .with_retry(fast_retry(2))
+            .with_breaker(fast_breaker(2))
+            .with_stale_fallback(Duration::from_secs(60)),
+    );
+    let q = query("SELECT region, COUNT(*) FROM orders GROUP BY region");
+
+    // A healthy run populates the local fallback store.
+    let (fresh, outcome) = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap();
+    assert_eq!(outcome, CacheOutcome::Bypass);
+
+    chaos.force_down(true);
+    // Degradation: the stale local copy is served, marked as such.
+    let (stale, outcome) = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap();
+    assert_eq!(outcome, CacheOutcome::StaleFallback);
+    assert_eq!(stale.rows, fresh.rows, "bounded-stale copy of the last result");
+
+    // Keep querying until the breaker opens; fallback keeps serving.
+    for _ in 0..3 {
+        let (_, outcome) = registry
+            .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::StaleFallback);
+    }
+    let stats = registry.source_stats("hive1").unwrap();
+    assert_eq!(stats.breaker_state, BreakerState::Open);
+    assert!(stats.stale_fallbacks >= 4, "{stats:?}");
+    assert!(
+        stats.breaker.rejections > 0,
+        "open breaker stopped touching the source: {stats:?}"
+    );
+}
+
+#[test]
+fn forced_outage_without_fallback_errors_not_hangs() {
+    let (registry, chaos) = chaos_registry(
+        ChaosConfig::default(),
+        RemoteCacheConfig::default()
+            .with_retry(fast_retry(2))
+            .with_breaker(fast_breaker(2)),
+    );
+    chaos.force_down(true);
+    let q = query("SELECT COUNT(*) FROM orders WHERE amount > 10");
+
+    // Never-seen query, source down: a retryable error while the
+    // breaker is still closed...
+    let err = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap_err();
+    assert!(err.is_retryable(), "{err}");
+    let err = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap_err();
+    assert!(err.is_retryable());
+
+    // ...and once the breaker opens, a fast non-retryable error.
+    let stats = registry.source_stats("hive1").unwrap();
+    assert_eq!(stats.breaker_state, BreakerState::Open);
+    let calls_before = chaos.calls();
+    let err = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap_err();
+    assert!(!err.is_retryable(), "breaker-open fails fast: {err}");
+    assert_eq!(err.kind(), "remote");
+    assert_eq!(
+        chaos.calls(),
+        calls_before,
+        "the source was not touched while open"
+    );
+}
+
+#[test]
+fn breaker_recovers_through_half_open_probe() {
+    let (registry, chaos) = chaos_registry(
+        ChaosConfig::default(),
+        RemoteCacheConfig::default()
+            .with_retry(fast_retry(1))
+            .with_breaker(fast_breaker(2))
+            .without_stale_fallback(),
+    );
+    let q = query("SELECT COUNT(*) FROM orders");
+
+    chaos.force_down(true);
+    for _ in 0..2 {
+        registry
+            .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+            .unwrap_err();
+    }
+    assert_eq!(
+        registry.breaker_state("hive1").unwrap(),
+        BreakerState::Open
+    );
+
+    // Outage ends; after the cooldown the next call is the half-open
+    // probe, succeeds, and closes the breaker.
+    chaos.force_down(false);
+    std::thread::sleep(Duration::from_millis(25));
+    let (_, outcome) = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap();
+    assert_eq!(outcome, CacheOutcome::Bypass);
+    let stats = registry.source_stats("hive1").unwrap();
+    assert_eq!(stats.breaker_state, BreakerState::Closed);
+    assert_eq!(stats.breaker.half_opened, 1);
+    assert_eq!(stats.breaker.closed, 1);
+}
+
+#[test]
+fn deadline_budget_turns_latency_into_timeout() {
+    // Stale fallback off: we want to observe the raw timeout, not a
+    // graceful degradation to the previous result.
+    let (registry, _chaos) = chaos_registry(
+        ChaosConfig::default().with_latency(Duration::from_millis(10)),
+        RemoteCacheConfig::default()
+            .with_retry(fast_retry(3))
+            .without_stale_fallback(),
+    );
+    let q = query("SELECT COUNT(*) FROM orders");
+
+    // Generous budget: succeeds despite the injected latency.
+    let ctx = RemoteContext::snapshot(1).with_deadline(Duration::from_secs(5));
+    assert!(registry.execute_remote("hive1", &q, &ctx).is_ok());
+
+    // 1ms budget against 10ms injected latency: a retryable timeout,
+    // and no further attempts once the budget is spent.
+    let ctx = RemoteContext::snapshot(1).with_deadline(Duration::from_millis(1));
+    let err = registry.execute_remote("hive1", &q, &ctx).unwrap_err();
+    assert_eq!(err.kind(), "remote_timeout", "{err}");
+    assert!(err.is_retryable());
+    assert_eq!(ctx.attempts(), 1, "no retries past the deadline");
+}
+
+#[test]
+fn remote_cache_hits_survive_chaos_with_retries() {
+    // Remote materialization (§4.4) composes with fault injection: the
+    // CTAS + fetch path also rides out transient failures.
+    let (registry, _chaos) = chaos_registry(
+        ChaosConfig::default().with_seed(11).with_failure_rate(0.2),
+        RemoteCacheConfig::default()
+            .with_remote_cache(true)
+            .with_validity(10_000)
+            .with_retry(fast_retry(8)),
+    );
+    let q = query(
+        "SELECT order_id, amount FROM orders WHERE region = 'EMEA' \
+         WITH HINT (USE_REMOTE_CACHE)",
+    );
+    let (rs1, o1) = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap();
+    let (rs2, o2) = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap();
+    // The first logical call may land on `Hit` instead of
+    // `Materialized`: if an injected failure strikes *after* the CTAS
+    // registered the entry, the retry legitimately finds it valid.
+    assert!(
+        matches!(o1, CacheOutcome::Materialized | CacheOutcome::Hit),
+        "{o1:?}"
+    );
+    assert_eq!(o2, CacheOutcome::Hit);
+    assert_eq!(rs1.rows.len(), rs2.rows.len());
+}
+
+// ---------------------------------------------------------------------
+// Seeded-chaos property sweep (heavier; runs under `--features chaos`).
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "chaos")]
+mod chaos_sweep {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any seed and any transient failure rate up to 50%, a
+        /// federated query either succeeds within the retry budget or
+        /// returns a *retryable* error — it never hangs, panics, or
+        /// misclassifies the failure as permanent.
+        #[test]
+        fn queries_succeed_or_fail_retryably(
+            seed in 0u64..1_000_000,
+            rate_pct in 0u32..50,
+            timeout_pct in 0u32..100,
+        ) {
+            let (registry, _chaos) = chaos_registry(
+                ChaosConfig::default()
+                    .with_seed(seed)
+                    .with_failure_rate(rate_pct as f64 / 100.0)
+                    .with_timeout_share(timeout_pct as f64 / 100.0),
+                RemoteCacheConfig::default()
+                    .with_retry(fast_retry(4))
+                    .without_stale_fallback(),
+            );
+            let q = query("SELECT region, COUNT(*) FROM orders GROUP BY region");
+            for _ in 0..4 {
+                match registry.execute_remote("hive1", &q, &RemoteContext::snapshot(1)) {
+                    Ok((rs, _)) => prop_assert_eq!(rs.len(), 2),
+                    Err(e) => prop_assert!(
+                        e.is_retryable(),
+                        "injected faults must surface as retryable: {}", e
+                    ),
+                }
+            }
+        }
+
+        /// Flap schedules (down windows) leave the registry usable: the
+        /// breaker may open during the outage but queries after the
+        /// window either succeed or fail fast — never hang.
+        #[test]
+        fn flap_schedules_never_wedge_the_source(
+            seed in 0u64..1_000_000,
+            window_len in 1u64..6,
+        ) {
+            let (registry, _chaos) = chaos_registry(
+                ChaosConfig::default()
+                    .with_seed(seed)
+                    .with_down_window(1, 1 + window_len),
+                RemoteCacheConfig::default()
+                    .with_retry(fast_retry(3))
+                    .with_breaker(
+                        fast_breaker(2).with_cooldown(Duration::from_millis(1)),
+                    )
+                    .without_stale_fallback(),
+            );
+            let q = query("SELECT COUNT(*) FROM orders");
+            let mut successes = 0u32;
+            for _ in 0..8 {
+                if registry
+                    .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+                    .is_ok()
+                {
+                    successes += 1;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            prop_assert!(successes >= 1, "the source recovers after the window");
+        }
+    }
+}

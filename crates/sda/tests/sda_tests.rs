@@ -7,8 +7,8 @@ use std::time::Duration;
 use hana_hadoop::{Hdfs, Hive, MrCluster, MrConfig, MrFunction, MrFunctionRegistry, KV};
 use hana_iq::IqEngine;
 use hana_sda::{
-    CacheOutcome, HadoopMrAdapter, HiveOdbcAdapter, IqAdapter, RemoteCacheConfig, SdaAdapter,
-    SdaRegistry,
+    CacheOutcome, HadoopMrAdapter, HiveOdbcAdapter, IqAdapter, RemoteCacheConfig,
+    RemoteContext, SdaAdapter, SdaRegistry,
 };
 use hana_sql::{parse_statement, Statement};
 use hana_types::{DataType, Row, Schema, Value};
@@ -76,7 +76,7 @@ fn virtual_table_workflow_like_paper() {
         .execute_remote(
             "hive1",
             &query("SELECT product_name, brand_name FROM product WHERE brand_name = 'Acme'"),
-            1,
+            &RemoteContext::snapshot(1),
         )
         .unwrap();
     assert_eq!(outcome, CacheOutcome::Bypass, "no hint, no cache");
@@ -104,19 +104,26 @@ fn remote_cache_policies() {
     );
 
     // Disabled by default: hint alone does nothing.
-    let (_, outcome) = registry.execute_remote("hive1", &q, 1).unwrap();
+    let (_, outcome) = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap();
     assert_eq!(outcome, CacheOutcome::Bypass);
 
-    registry.set_cache_config(RemoteCacheConfig {
-        enable_remote_cache: true,
-        remote_cache_validity: 10_000,
-    });
+    registry.set_cache_config(
+        RemoteCacheConfig::default()
+            .with_remote_cache(true)
+            .with_validity(10_000),
+    );
 
     // First execution materializes; second hits.
-    let (rs1, o1) = registry.execute_remote("hive1", &q, 1).unwrap();
+    let (rs1, o1) = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap();
     assert_eq!(o1, CacheOutcome::Materialized);
     let jobs_after_mat = hive.cluster().counters().0;
-    let (rs2, o2) = registry.execute_remote("hive1", &q, 1).unwrap();
+    let (rs2, o2) = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap();
     assert_eq!(o2, CacheOutcome::Hit);
     assert_eq!(rs1.rows.len(), rs2.rows.len());
     assert_eq!(
@@ -128,12 +135,16 @@ fn remote_cache_policies() {
 
     // Queries WITHOUT predicates are never materialized.
     let q_nopred = query("SELECT product_id FROM product WITH HINT (USE_REMOTE_CACHE)");
-    let (_, o3) = registry.execute_remote("hive1", &q_nopred, 1).unwrap();
+    let (_, o3) = registry
+        .execute_remote("hive1", &q_nopred, &RemoteContext::snapshot(1))
+        .unwrap();
     assert_eq!(o3, CacheOutcome::Bypass);
 
     // No hint -> normal execution even while enabled.
     let q_nohint = query("SELECT product_id FROM product WHERE price > 100");
-    let (_, o4) = registry.execute_remote("hive1", &q_nohint, 1).unwrap();
+    let (_, o4) = registry
+        .execute_remote("hive1", &q_nohint, &RemoteContext::snapshot(1))
+        .unwrap();
     assert_eq!(o4, CacheOutcome::Bypass);
 }
 
@@ -146,14 +157,17 @@ fn remote_cache_validity_expires() {
     registry
         .create_remote_source("hive1", adapter, "DSN=hive1", None)
         .unwrap();
-    registry.set_cache_config(RemoteCacheConfig {
-        enable_remote_cache: true,
-        remote_cache_validity: 2, // expires after 2 ticks
-    });
+    registry.set_cache_config(
+        RemoteCacheConfig::default()
+            .with_remote_cache(true)
+            .with_validity(2), // expires after 2 ticks
+    );
     let q = query(
         "SELECT product_id FROM product WHERE price > 100 WITH HINT (USE_REMOTE_CACHE)",
     );
-    let (_, o1) = registry.execute_remote("hive1", &q, 1).unwrap();
+    let (_, o1) = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap();
     assert_eq!(o1, CacheOutcome::Materialized);
     // Advance the remote clock past the validity window by loading data.
     for _ in 0..4 {
@@ -168,7 +182,9 @@ fn remote_cache_validity_expires() {
         )
         .unwrap();
     }
-    let (rs, o2) = registry.execute_remote("hive1", &q, 1).unwrap();
+    let (rs, o2) = registry
+        .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
+        .unwrap();
     assert_eq!(o2, CacheOutcome::Refreshed, "stale entry re-materializes");
     // The refreshed copy sees the newly loaded rows.
     assert!(rs.rows.iter().any(|r| r[0] == Value::Int(9_000)));
@@ -265,7 +281,7 @@ fn iq_adapter_ships_plans() {
                  WHERE amount >= 500 GROUP BY region HAVING COUNT(*) > 10 \
                  ORDER BY total DESC",
             ),
-            1,
+            &RemoteContext::snapshot(1),
         )
         .unwrap();
     assert_eq!(rs.len(), 2);
@@ -273,7 +289,10 @@ fn iq_adapter_ships_plans() {
     assert!(rs.rows[0][1].as_f64().unwrap() > rs.rows[1][1].as_f64().unwrap());
     // Unsupported shapes are rejected, not silently mis-planned.
     assert!(adapter
-        .execute(&query("SELECT region FROM sales WHERE amount + 1 = 2"), 1)
+        .execute(
+            &query("SELECT region FROM sales WHERE amount + 1 = 2"),
+            &RemoteContext::snapshot(1)
+        )
         .is_err());
 }
 

@@ -306,7 +306,7 @@ mod tests {
         }
         fn prepare(&self, tid: u64) -> Result<Vote> {
             if self.fail_prepare.load(Ordering::SeqCst) {
-                return Err(HanaError::Remote("extended store down".into()));
+                return Err(HanaError::remote_unavailable("extended store down"));
             }
             self.prepared.lock().push(tid);
             Ok(if self.read_only.load(Ordering::SeqCst) {
@@ -317,7 +317,7 @@ mod tests {
         }
         fn commit(&self, tid: u64, cid: u64) -> Result<()> {
             if self.fail_commit.load(Ordering::SeqCst) {
-                return Err(HanaError::Remote("lost connection".into()));
+                return Err(HanaError::remote_unavailable("lost connection"));
             }
             self.committed.lock().push((tid, cid));
             Ok(())

@@ -27,10 +27,19 @@ pub enum HanaError {
     /// Transaction manager failures: conflicts, aborted transactions,
     /// two-phase-commit participants voting no.
     Transaction(String),
-    /// Failures reported by a remote source reached through SDA
-    /// (extended storage, Hive, MapReduce). Per §3.1 of the paper, any
-    /// query touching a failed extended store aborts with this error.
+    /// Permanent failures reported by a remote source reached through
+    /// SDA (extended storage, Hive, MapReduce): schema mismatches,
+    /// missing driver classes, malformed remote state. Retrying will
+    /// not help; per §3.1 of the paper, any query touching a failed
+    /// extended store aborts with this error.
     Remote(String),
+    /// A remote call exceeded its deadline budget. Retryable — the
+    /// remote may simply be slow, and a later attempt (or a wider
+    /// deadline) can succeed.
+    RemoteTimeout(String),
+    /// A remote source is temporarily unreachable (connection refused,
+    /// source flapping, circuit-breaker probe failed). Retryable.
+    RemoteUnavailable(String),
     /// Event-stream-processor failures (bad CCL, closed streams).
     Stream(String),
     /// Underlying I/O problems (page files, HDFS simulator, WAL).
@@ -55,6 +64,8 @@ impl HanaError {
             HanaError::Storage(_) => "storage",
             HanaError::Transaction(_) => "transaction",
             HanaError::Remote(_) => "remote",
+            HanaError::RemoteTimeout(_) => "remote_timeout",
+            HanaError::RemoteUnavailable(_) => "remote_unavailable",
             HanaError::Stream(_) => "stream",
             HanaError::Io(_) => "io",
             HanaError::Config(_) => "config",
@@ -73,12 +84,52 @@ impl HanaError {
             | HanaError::Storage(m)
             | HanaError::Transaction(m)
             | HanaError::Remote(m)
+            | HanaError::RemoteTimeout(m)
+            | HanaError::RemoteUnavailable(m)
             | HanaError::Stream(m)
             | HanaError::Io(m)
             | HanaError::Config(m)
             | HanaError::Unsupported(m)
             | HanaError::Security(m) => m,
         }
+    }
+
+    /// A permanent remote failure (will not succeed on retry).
+    pub fn remote(msg: impl Into<String>) -> HanaError {
+        HanaError::Remote(msg.into())
+    }
+
+    /// A remote call that ran out of deadline budget (retryable).
+    pub fn remote_timeout(msg: impl Into<String>) -> HanaError {
+        HanaError::RemoteTimeout(msg.into())
+    }
+
+    /// A temporarily unreachable remote source (retryable).
+    pub fn remote_unavailable(msg: impl Into<String>) -> HanaError {
+        HanaError::RemoteUnavailable(msg.into())
+    }
+
+    /// Whether a later attempt at the same operation can plausibly
+    /// succeed. The federation layer's retry loop keys off this: only
+    /// timeouts and transient unavailability are worth the backoff —
+    /// everything else (parse errors, schema mismatches, permanent
+    /// remote failures) fails immediately.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            HanaError::RemoteTimeout(_) | HanaError::RemoteUnavailable(_)
+        )
+    }
+
+    /// Whether this error originated at a remote source (any of the
+    /// three remote classes: permanent, timeout, unavailable).
+    pub fn is_remote(&self) -> bool {
+        matches!(
+            self,
+            HanaError::Remote(_)
+                | HanaError::RemoteTimeout(_)
+                | HanaError::RemoteUnavailable(_)
+        )
     }
 }
 
@@ -109,6 +160,27 @@ mod tests {
     }
 
     #[test]
+    fn retryability_taxonomy() {
+        assert!(HanaError::remote_timeout("slow").is_retryable());
+        assert!(HanaError::remote_unavailable("down").is_retryable());
+        assert!(!HanaError::remote("bad schema").is_retryable());
+        assert!(!HanaError::Parse("nope".into()).is_retryable());
+        for e in [
+            HanaError::remote("x"),
+            HanaError::remote_timeout("x"),
+            HanaError::remote_unavailable("x"),
+        ] {
+            assert!(e.is_remote());
+        }
+        assert!(!HanaError::Catalog("x".into()).is_remote());
+        assert_eq!(HanaError::remote_timeout("x").kind(), "remote_timeout");
+        assert_eq!(
+            HanaError::remote_unavailable("x").kind(),
+            "remote_unavailable"
+        );
+    }
+
+    #[test]
     fn io_error_converts() {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         let e: HanaError = io.into();
@@ -126,6 +198,8 @@ mod tests {
             HanaError::Storage(String::new()),
             HanaError::Transaction(String::new()),
             HanaError::Remote(String::new()),
+            HanaError::RemoteTimeout(String::new()),
+            HanaError::RemoteUnavailable(String::new()),
             HanaError::Stream(String::new()),
             HanaError::Io(String::new()),
             HanaError::Config(String::new()),

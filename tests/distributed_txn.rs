@@ -69,7 +69,8 @@ fn failure_during_access_aborts_query() {
     // "every access to a SAP HANA table may throw a runtime error" —
     // queries touching the extended store abort.
     let err = hana.execute_sql(&s, "SELECT COUNT(*) FROM cold").unwrap_err();
-    assert_eq!(err.kind(), "remote");
+    assert_eq!(err.kind(), "remote_unavailable");
+    assert!(err.is_retryable(), "an outage is transient, not permanent");
     // Local tables keep working through the outage.
     assert!(hana.execute_sql(&s, "SELECT COUNT(*) FROM hot").is_ok());
     hana.iq().set_failing(false);
@@ -103,8 +104,8 @@ fn in_doubt_transactions_surface_and_can_be_aborted() {
             self.0.prepare(tid)
         }
         fn commit(&self, _tid: u64, _cid: u64) -> hana_data_platform::Result<()> {
-            Err(hana_data_platform::HanaError::Remote(
-                "connection lost during phase 2".into(),
+            Err(hana_data_platform::HanaError::remote_unavailable(
+                "connection lost during phase 2",
             ))
         }
         fn abort(&self, tid: u64) -> hana_data_platform::Result<()> {
