@@ -17,7 +17,11 @@ fn codec_inputs() -> Vec<(&'static str, Vec<u32>)> {
     let plain: Vec<u32> = (0..ROWS)
         .map(|i| ((i as u64 * 2_654_435_761) % 65_521) as u32)
         .collect();
-    vec![("rle_friendly", rle), ("sparse_friendly", sparse), ("high_entropy", plain)]
+    vec![
+        ("rle_friendly", rle),
+        ("sparse_friendly", sparse),
+        ("high_entropy", plain),
+    ]
 }
 
 fn bench_codecs(c: &mut Criterion) {
@@ -26,7 +30,11 @@ fn bench_codecs(c: &mut Criterion) {
     group.throughput(Throughput::Elements(ROWS as u64));
     for (name, vids) in codec_inputs() {
         let codec = VidCodec::encode(&vids);
-        println!("{name}: selected codec = {}, payload = {} bytes", codec.name(), codec.payload_bytes());
+        println!(
+            "{name}: selected codec = {}, payload = {} bytes",
+            codec.name(),
+            codec.payload_bytes()
+        );
         group.bench_function(format!("{name}/encode"), |b| {
             b.iter(|| VidCodec::encode(&vids))
         });
@@ -47,7 +55,13 @@ fn bench_delta_vs_main(c: &mut Criterion) {
     let mut fresh = ColumnTable::new("t", schema.clone());
     for i in 0..ROWS as i64 {
         fresh
-            .insert(&[Value::Int(i % 1000), Value::from(["a", "b", "c"][i as usize % 3])], 1)
+            .insert(
+                &[
+                    Value::Int(i % 1000),
+                    Value::from(["a", "b", "c"][i as usize % 3]),
+                ],
+                1,
+            )
             .unwrap();
     }
     let mut merged = fresh.clone();
@@ -98,5 +112,10 @@ fn bench_dictionary_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codecs, bench_delta_vs_main, bench_dictionary_scan);
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_delta_vs_main,
+    bench_dictionary_scan
+);
 criterion_main!(benches);

@@ -23,7 +23,11 @@ fn engine() -> EspEngine {
 fn ev(i: usize) -> Row {
     Row::from_values([
         Value::from(["c1", "c2", "c3", "c4"][i % 4]),
-        Value::from(if i.is_multiple_of(5) { "billing" } else { "status" }),
+        Value::from(if i.is_multiple_of(5) {
+            "billing"
+        } else {
+            "status"
+        }),
         Value::Double((i % 100) as f64),
     ])
 }

@@ -62,14 +62,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             // Force a fresh materialization by running against a query
             // variant with a unique predicate (distinct cache key).
-            static COUNTER: std::sync::atomic::AtomicU64 =
-                std::sync::atomic::AtomicU64::new(0);
+            static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
             let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let mut q = q6.clone();
-            q.sql = q.sql.replace(
-                "l_quantity < 24",
-                &format!("l_quantity < {}", 24 + (n % 3)),
-            );
+            q.sql = q
+                .sql
+                .replace("l_quantity < 24", &format!("l_quantity < {}", 24 + (n % 3)));
             remote_world.run(&q, true).unwrap()
         })
     });

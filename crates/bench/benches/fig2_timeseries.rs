@@ -21,8 +21,7 @@ fn meter_value(i: usize) -> Option<f64> {
 
 fn build(points: usize) -> TimeSeriesTable {
     let mut t =
-        TimeSeriesTable::new("meters", 0, 60_000_000, &["power"], Compensation::Linear)
-            .unwrap();
+        TimeSeriesTable::new("meters", 0, 60_000_000, &["power"], Compensation::Linear).unwrap();
     for i in 0..points {
         t.push(&[meter_value(i)]).unwrap();
     }

@@ -66,7 +66,8 @@ fn world() -> BenchCatalog {
     iq.direct_load("fact", &rows, 1).unwrap();
     let sda = SdaRegistry::new();
     let adapter: Arc<dyn SdaAdapter> = Arc::new(IqAdapter::new(Arc::clone(&iq)));
-    sda.create_remote_source("iq", adapter, "internal", None).unwrap();
+    sda.create_remote_source("iq", adapter, "internal", None)
+        .unwrap();
     let mut tables = HashMap::new();
     tables.insert(
         "dim".into(),

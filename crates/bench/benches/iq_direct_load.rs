@@ -99,7 +99,10 @@ fn bench_pruning(c: &mut Criterion) {
     group.finish();
 
     let (hits, misses) = iq.cache().stats();
-    let pruned = iq.stats.chunks_pruned.load(std::sync::atomic::Ordering::Relaxed);
+    let pruned = iq
+        .stats
+        .chunks_pruned
+        .load(std::sync::atomic::Ordering::Relaxed);
     println!("buffer cache: {hits} hits / {misses} misses; chunks pruned: {pruned}");
 }
 

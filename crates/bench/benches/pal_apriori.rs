@@ -17,8 +17,8 @@ fn transactions(n: usize) -> Vec<Vec<String>> {
                 format!("dtc_{}", dtcs[rng.random_range(0..dtcs.len())]),
                 ctx[rng.random_range(0..ctx.len())].to_string(),
             ];
-            let risky = items.contains(&"dtc_P0300".to_string())
-                && items.contains(&"hot".to_string());
+            let risky =
+                items.contains(&"dtc_P0300".to_string()) && items.contains(&"hot".to_string());
             if risky && rng.random_range(0..10) < 9 {
                 items.push("claim".into());
             }
@@ -47,7 +47,11 @@ fn bench(c: &mut Criterion) {
     let rules = apriori(&txs, params).unwrap();
     println!("mined {} rules (confidence >= 0.8)", rules.len());
     let clf = RuleClassifier::new(&rules, "claim");
-    let readout = vec!["dtc_P0300".to_string(), "hot".to_string(), "city".to_string()];
+    let readout = vec![
+        "dtc_P0300".to_string(),
+        "hot".to_string(),
+        "city".to_string(),
+    ];
     group.throughput(Throughput::Elements(1));
     group.bench_function("classifier_score_single_readout", |b| {
         b.iter(|| clf.score(&readout))

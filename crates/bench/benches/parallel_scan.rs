@@ -100,7 +100,10 @@ fn emit_json() {
         ROWS + DELTA_TAIL,
         entries.join(",\n"),
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel_scan.json");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_parallel_scan.json"
+    );
     std::fs::write(path, json).expect("write BENCH_parallel_scan.json");
     println!("wrote {path}");
 }

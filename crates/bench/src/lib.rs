@@ -171,8 +171,7 @@ impl MaterializationRow {
     /// Figure 15's metric: one-time materialization overhead.
     pub fn overhead_percent(&self) -> f64 {
         100.0
-            * (self.first_cached.as_secs_f64() / self.normal.as_secs_f64().max(1e-9) - 1.0)
-                .max(0.0)
+            * (self.first_cached.as_secs_f64() / self.normal.as_secs_f64().max(1e-9) - 1.0).max(0.0)
     }
 }
 
@@ -187,7 +186,11 @@ pub fn run_materialization_experiment(config: &WorldConfig) -> Result<Vec<Materi
 
     let mut rows = Vec::new();
     for q in queries() {
-        let world = if world_a.fits(q.name) { &world_a } else { &world_b };
+        let world = if world_a.fits(q.name) {
+            &world_a
+        } else {
+            &world_b
+        };
         // Warm the engines once so allocator effects don't skew the
         // first measurement.
         let (_, expected_rows) = world.run(&q, false)?;

@@ -80,7 +80,11 @@ impl BitPackedVec {
 
     /// Read the element at `idx`. Panics on out-of-bounds.
     pub fn get(&self, idx: usize) -> u64 {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         if self.bits == 0 {
             return 0;
         }
@@ -137,7 +141,11 @@ mod tests {
     #[test]
     fn round_trip_odd_widths() {
         for bits in [1u8, 3, 7, 13, 31, 33, 63, 64] {
-            let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1 << bits) - 1
+            };
             let vals: Vec<u64> = (0..200u64).map(|i| (i * 0x9E37_79B9) & mask).collect();
             let mut v = BitPackedVec::with_width(bits);
             for &x in &vals {

@@ -101,9 +101,7 @@ impl VidCodec {
     pub fn len(&self) -> usize {
         match self {
             VidCodec::Plain(v) => v.len(),
-            VidCodec::Rle { run_ends, .. } => {
-                run_ends.last().map_or(0, |&e| e as usize)
-            }
+            VidCodec::Rle { run_ends, .. } => run_ends.last().map_or(0, |&e| e as usize),
             VidCodec::Sparse { len, .. } => *len,
         }
     }
@@ -250,10 +248,7 @@ impl VidCodec {
                         break;
                     }
                     if m.test(vid) {
-                        out.set_range(
-                            offset + run_start.max(start),
-                            offset + run_end.min(end),
-                        );
+                        out.set_range(offset + run_start.max(start), offset + run_end.min(end));
                     }
                     run_start = run_end;
                 }
@@ -338,10 +333,7 @@ mod tests {
         }
         let mut seen = Vec::new();
         c.for_each(|row, vid| seen.push((row, vid)));
-        assert_eq!(
-            seen,
-            vids.iter().copied().enumerate().collect::<Vec<_>>()
-        );
+        assert_eq!(seen, vids.iter().copied().enumerate().collect::<Vec<_>>());
         c
     }
 
@@ -367,8 +359,9 @@ mod tests {
 
     #[test]
     fn plain_wins_on_high_entropy() {
-        let vids: Vec<u32> =
-            (0..4096u64).map(|i| ((i * 2_654_435_761) % 4093) as u32).collect();
+        let vids: Vec<u32> = (0..4096u64)
+            .map(|i| ((i * 2_654_435_761) % 4093) as u32)
+            .collect();
         let c = check_round_trip(&vids);
         assert_eq!(c.name(), "plain");
     }

@@ -90,7 +90,8 @@ impl MainColumn {
     /// Extract all values (used by delta merge to rebuild fragments).
     pub fn materialize(&self) -> Vec<Value> {
         let mut out = Vec::with_capacity(self.len());
-        self.codec.for_each(|_, vid| out.push(self.dict.decode(vid)));
+        self.codec
+            .for_each(|_, vid| out.push(self.dict.decode(vid)));
         out
     }
 }

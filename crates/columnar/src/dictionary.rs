@@ -53,10 +53,7 @@ impl OrderedDictionary {
         if v.is_null() {
             return Some(NULL_VID);
         }
-        self.values
-            .binary_search(v)
-            .ok()
-            .map(|i| (i + 1) as u32)
+        self.values.binary_search(v).ok().map(|i| (i + 1) as u32)
     }
 
     /// The value for a (non-NULL) value ID.
@@ -233,7 +230,10 @@ mod tests {
         );
         // (20, 40) exclusive -> vid 3 only
         assert_eq!(
-            d.vid_range(Some((&Value::Int(20), false)), Some((&Value::Int(40), false))),
+            d.vid_range(
+                Some((&Value::Int(20), false)),
+                Some((&Value::Int(40), false))
+            ),
             Some((3, 3))
         );
         // values between dictionary entries
@@ -248,7 +248,10 @@ mod tests {
         );
         // unbounded
         assert_eq!(d.vid_range(None, None), Some((1, 4)));
-        assert_eq!(d.vid_range(Some((&Value::Int(30), true)), None), Some((3, 4)));
+        assert_eq!(
+            d.vid_range(Some((&Value::Int(30), true)), None),
+            Some((3, 4))
+        );
     }
 
     #[test]

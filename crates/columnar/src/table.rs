@@ -304,11 +304,7 @@ impl ColumnTable {
     }
 
     /// Scan several conjunctive predicates, intersecting the bitmaps.
-    pub fn scan_all(
-        &self,
-        preds: &[(usize, ColumnPredicate)],
-        cid: u64,
-    ) -> Result<RowIdBitmap> {
+    pub fn scan_all(&self, preds: &[(usize, ColumnPredicate)], cid: u64) -> Result<RowIdBitmap> {
         let mut acc = self.visible(cid);
         for (col, pred) in preds {
             let b = self.scan(*col, pred, cid)?;
@@ -337,10 +333,16 @@ impl ColumnTable {
 
     /// Merge the delta fragments into the main fragments, re-encoding the
     /// columns. Row IDs are preserved; the delta becomes empty.
+    ///
+    /// Merge durations are recorded in the global observability
+    /// registry (`hana_columnar_delta_merge_ns` histogram and
+    /// `hana_columnar_delta_merges_total` / `..._rows_total` counters).
     pub fn merge_delta(&mut self) {
         if self.delta_rows() == 0 {
             return;
         }
+        let merged_rows = self.delta_rows() as u64;
+        let started = std::time::Instant::now();
         for pair in &mut self.columns {
             let mut values = pair.main.materialize();
             values.extend(pair.delta.materialize());
@@ -349,6 +351,12 @@ impl ColumnTable {
         }
         self.main_rows = self.versions.len();
         self.merges += 1;
+        let obs = hana_obs::registry();
+        obs.histogram("hana_columnar_delta_merge_ns")
+            .record(started.elapsed().as_nanos() as u64);
+        obs.counter("hana_columnar_delta_merges_total").inc();
+        obs.counter("hana_columnar_delta_merge_rows_total")
+            .add(merged_rows);
     }
 
     /// Approximate heap footprint in bytes.
@@ -428,9 +436,7 @@ mod tests {
         // Snapshot at cid 15 sees only the first row.
         assert_eq!(t.visible(15).count(), 1);
         assert_eq!(t.visible(20).count(), 2);
-        let hits = t
-            .scan(0, &ColumnPredicate::Ge(Value::Int(1)), 15)
-            .unwrap();
+        let hits = t.scan(0, &ColumnPredicate::Ge(Value::Int(1)), 15).unwrap();
         assert_eq!(hits.iter().collect::<Vec<_>>(), vec![0]);
     }
 
@@ -454,14 +460,22 @@ mod tests {
                 .unwrap();
         }
         let before = t
-            .scan(0, &ColumnPredicate::Between(Value::Int(10), Value::Int(20)), 5)
+            .scan(
+                0,
+                &ColumnPredicate::Between(Value::Int(10), Value::Int(20)),
+                5,
+            )
             .unwrap();
         assert_eq!(t.delta_rows(), 100);
         t.merge_delta();
         assert_eq!(t.delta_rows(), 0);
         assert_eq!(t.merge_count(), 1);
         let after = t
-            .scan(0, &ColumnPredicate::Between(Value::Int(10), Value::Int(20)), 5)
+            .scan(
+                0,
+                &ColumnPredicate::Between(Value::Int(10), Value::Int(20)),
+                5,
+            )
             .unwrap();
         assert_eq!(before, after);
         assert_eq!(t.value(42, 0), Value::Int(42));
@@ -475,8 +489,11 @@ mod tests {
     fn merge_usually_shrinks_memory() {
         let mut t = table();
         for i in 0..5000i64 {
-            t.insert(&[Value::Int(i % 50), Value::from(format!("tag{}", i % 10))], 1)
-                .unwrap();
+            t.insert(
+                &[Value::Int(i % 50), Value::from(format!("tag{}", i % 10))],
+                1,
+            )
+            .unwrap();
         }
         let before = t.payload_bytes();
         t.merge_delta();
@@ -489,7 +506,10 @@ mod tests {
         let mut t = table();
         for i in 0..10i64 {
             t.insert(
-                &[Value::Int(i), Value::from(if i % 2 == 0 { "even" } else { "odd" })],
+                &[
+                    Value::Int(i),
+                    Value::from(if i % 2 == 0 { "even" } else { "odd" }),
+                ],
                 1,
             )
             .unwrap();

@@ -46,7 +46,11 @@ impl BitWriter {
         if bits == 0 {
             return;
         }
-        let v = if bits == 64 { v } else { v & ((1u64 << bits) - 1) };
+        let v = if bits == 64 {
+            v
+        } else {
+            v & ((1u64 << bits) - 1)
+        };
         let off = self.bit_len % 64;
         if off == 0 {
             self.words.push(v);
@@ -77,7 +81,11 @@ impl BitReader<'_> {
         }
         let word = self.pos / 64;
         let off = self.pos % 64;
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let mut v = self.words[word] >> off;
         if off + bits as usize > 64 {
             v |= self.words[word + 1] << (64 - off);
@@ -131,8 +139,7 @@ impl CompressedDoubles {
             self.bits.write(1, 1);
             let lead = xor.leading_zeros().min(31);
             let trail = xor.trailing_zeros();
-            if self.prev_lead != u32::MAX && lead >= self.prev_lead && trail >= self.prev_trail
-            {
+            if self.prev_lead != u32::MAX && lead >= self.prev_lead && trail >= self.prev_trail {
                 // Fits the previous meaningful-bit window: '0' + bits.
                 self.bits.write(0, 1);
                 let width = 64 - self.prev_lead - self.prev_trail;
@@ -259,7 +266,10 @@ impl TimeSeriesTable {
             interval_us,
             compensation,
             series_names: series_names.iter().map(|s| s.to_string()).collect(),
-            series: series_names.iter().map(|_| CompressedDoubles::new()).collect(),
+            series: series_names
+                .iter()
+                .map(|_| CompressedDoubles::new())
+                .collect(),
             present: series_names.iter().map(|_| RowIdBitmap::new(0)).collect(),
             points: 0,
         })
@@ -480,7 +490,11 @@ mod tests {
             c.push(42.5);
         }
         // 8 bytes for the first value + ~1 bit per repeat.
-        assert!(c.payload_bytes() < 8 + 10_000 / 8 + 16, "{}", c.payload_bytes());
+        assert!(
+            c.payload_bytes() < 8 + 10_000 / 8 + 16,
+            "{}",
+            c.payload_bytes()
+        );
     }
 
     fn meter_table(points: usize) -> TimeSeriesTable {
@@ -542,7 +556,10 @@ mod tests {
     #[test]
     fn linear_edges_clamp() {
         let raw = [None, Some(2.0), None];
-        assert_eq!(compensate_linear(&raw), vec![Some(2.0), Some(2.0), Some(2.0)]);
+        assert_eq!(
+            compensate_linear(&raw),
+            vec![Some(2.0), Some(2.0), Some(2.0)]
+        );
         assert_eq!(compensate_linear(&[None, None]), vec![None, None]);
     }
 
@@ -568,8 +585,7 @@ mod tests {
 
     #[test]
     fn aggregation_and_correlation() {
-        let mut t =
-            TimeSeriesTable::new("s", 0, 10, &["a", "b"], Compensation::None).unwrap();
+        let mut t = TimeSeriesTable::new("s", 0, 10, &["a", "b"], Compensation::None).unwrap();
         for i in 0..100 {
             let x = i as f64;
             t.push(&[Some(x), Some(2.0 * x + 1.0)]).unwrap();

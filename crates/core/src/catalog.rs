@@ -123,9 +123,7 @@ impl PlatformCatalog {
 
     /// Register a table function (virtual function, ESP window).
     pub fn add_function(&self, name: &str, f: Arc<dyn TableFunction>) {
-        self.functions
-            .write()
-            .insert(name.to_ascii_lowercase(), f);
+        self.functions.write().insert(name.to_ascii_lowercase(), f);
     }
 }
 
@@ -157,8 +155,6 @@ impl Catalog for PlatformCatalog {
             .read()
             .get(&source.to_ascii_lowercase())
             .cloned()
-            .ok_or_else(|| {
-                HanaError::Catalog(format!("no IQ engine behind source '{source}'"))
-            })
+            .ok_or_else(|| HanaError::Catalog(format!("no IQ engine behind source '{source}'")))
     }
 }

@@ -20,17 +20,15 @@ use hana_iq::IqEngine;
 use hana_query::{execute_query_with, Catalog as _, Planner, TableFunction, TableSource};
 use hana_rowstore::RowTable;
 use hana_sda::{
-    ChaosAdapter, ChaosConfig, HadoopMrAdapter, HiveOdbcAdapter, IqAdapter,
-    RemoteCacheConfig, RemoteSourceStats, SdaAdapter,
+    ChaosAdapter, ChaosConfig, HadoopMrAdapter, HiveOdbcAdapter, IqAdapter, RemoteCacheConfig,
+    RemoteSourceStats, SdaAdapter,
 };
 use hana_sql::{
-    evaluate, evaluate_predicate, parse_script, parse_statement, ColumnSpec, CreateTable,
-    Expr, Statement, TableKind,
+    evaluate, evaluate_predicate, parse_script, parse_statement, ColumnSpec, CreateTable, Expr,
+    Statement, TableKind,
 };
 use hana_txn::{TransactionManager, TwoPhaseParticipant, TxnHandle};
-use hana_types::{
-    ColumnDef, DataType, HanaError, ResultSet, Result, Row, Schema, Value,
-};
+use hana_types::{ColumnDef, DataType, HanaError, Result, ResultSet, Row, Schema, Value};
 
 use crate::catalog::{PlatformCatalog, TableEntry, TableKindInfo};
 use crate::repository::{ArtifactKind, DeliveryUnit, Repository};
@@ -225,6 +223,67 @@ impl HanaPlatform {
         Ok(chaos)
     }
 
+    // ---- observability ----
+
+    /// One unified snapshot of the platform's metrics: the global
+    /// `hana-obs` registry (exec pool throughput, SDA per-source
+    /// attempts/retries/breaker trips and round-trip latencies, IQ
+    /// buffer-cache traffic, columnar delta-merge durations), with the
+    /// derived gauges refreshed first. The snapshot is plain data and
+    /// renders via [`hana_obs::RegistrySnapshot::to_json`] or
+    /// [`hana_obs::RegistrySnapshot::to_prometheus`].
+    pub fn observability_snapshot(&self) -> hana_obs::RegistrySnapshot {
+        let obs = hana_obs::registry();
+        // Exec pool gauges (utilization, queue depth) refresh as a
+        // side effect of reading the pool metrics.
+        let _ = self.exec.pool_metrics();
+        // IQ buffer cache: hit ratio and residency.
+        let (hits, misses) = self.iq.cache().stats();
+        if let Some(ratio) = (hits * 1000).checked_div(hits + misses) {
+            obs.gauge("hana_iq_cache_hit_ratio_permille")
+                .set(ratio as i64);
+        }
+        obs.gauge("hana_iq_cache_resident_pages")
+            .set(self.iq.cache().resident_pages() as i64);
+        // SDA breaker states (0 = closed, 1 = half-open, 2 = open).
+        let sda = self.catalog.sda();
+        for source in sda.list_sources() {
+            if let Ok(stats) = sda.source_stats(&source) {
+                let state = match stats.breaker_state {
+                    hana_sda::BreakerState::Closed => 0,
+                    hana_sda::BreakerState::HalfOpen => 1,
+                    hana_sda::BreakerState::Open => 2,
+                };
+                obs.gauge(&format!("hana_sda_breaker_state_{source}"))
+                    .set(state);
+            }
+        }
+        obs.snapshot()
+    }
+
+    /// Run one SQL query under a fresh tracer and return its result
+    /// together with the `EXPLAIN ANALYZE`-style profile tree (wall
+    /// time, rows, bytes and worker count per operator). Statements
+    /// other than queries execute normally but produce an empty tree.
+    pub fn profile_query(
+        &self,
+        session: &Session,
+        sql: &str,
+    ) -> Result<(ResultSet, hana_obs::QueryProfile)> {
+        let tracer = hana_obs::Tracer::new();
+        let result = {
+            let _installed = tracer.install();
+            let root = hana_obs::span("query");
+            let result = self.execute_sql(session, sql);
+            if let Ok(rs) = &result {
+                root.set_rows(rs.rows.len() as u64);
+                root.set_bytes(rs.approx_bytes());
+            }
+            result
+        };
+        Ok((result?, tracer.profile()))
+    }
+
     // ---- transactions ----
 
     fn participants(&self) -> Vec<Arc<dyn TwoPhaseParticipant>> {
@@ -316,11 +375,13 @@ impl HanaPlatform {
             } => {
                 self.security.check(session, Privilege::Ddl)?;
                 let factories = self.adapter_factories.read();
-                let factory = factories.get(&adapter.to_ascii_lowercase()).ok_or_else(|| {
-                    HanaError::Config(format!(
-                        "no adapter '{adapter}' available; attach the environment first"
-                    ))
-                })?;
+                let factory = factories
+                    .get(&adapter.to_ascii_lowercase())
+                    .ok_or_else(|| {
+                        HanaError::Config(format!(
+                            "no adapter '{adapter}' available; attach the environment first"
+                        ))
+                    })?;
                 let instance = factory(&configuration);
                 self.catalog.sda().create_remote_source(
                     &name,
@@ -543,9 +604,7 @@ impl HanaPlatform {
                 // Hybrid table (§3.1 scenario 2): hot in-memory
                 // partition + cold IQ partition, aged by the flag column.
                 let aging = ext.aging_column.clone().ok_or_else(|| {
-                    HanaError::Parse(
-                        "hybrid tables need AGING ON <flag column>".into(),
-                    )
+                    HanaError::Parse("hybrid tables need AGING ON <flag column>".into())
                 })?;
                 let idx = schema.require(&aging)?;
                 if schema.column(idx).data_type != DataType::Bool {
@@ -804,9 +863,7 @@ impl HanaPlatform {
                     let new_rows: Vec<Vec<Value>> = victims
                         .iter()
                         .map(|&r| {
-                            apply(&Row::from_values(
-                                (0..schema.len()).map(|c| tr.value(r, c)),
-                            ))
+                            apply(&Row::from_values((0..schema.len()).map(|c| tr.value(r, c))))
                         })
                         .collect::<Result<_>>()?;
                     (victims, new_rows)
@@ -908,7 +965,8 @@ impl HanaPlatform {
                 }
             }
             TableSource::Extended { remote_table, .. } => {
-                self.iq.buffer_insert(txn.tid, remote_table, rows.to_vec())?;
+                self.iq
+                    .buffer_insert(txn.tid, remote_table, rows.to_vec())?;
             }
             TableSource::Virtual { .. } => {
                 return Err(HanaError::Unsupported(format!(
@@ -940,9 +998,9 @@ impl HanaPlatform {
         Ok(Sink::Table {
             table: table.to_string(),
             writer: Arc::new(move |table, _schema, rows| {
-                let platform = weak.upgrade().ok_or_else(|| {
-                    HanaError::Stream("platform shut down".into())
-                })?;
+                let platform = weak
+                    .upgrade()
+                    .ok_or_else(|| HanaError::Stream("platform shut down".into()))?;
                 platform.load_rows(&session, table, rows)?;
                 Ok(())
             }),
@@ -1174,7 +1232,8 @@ impl HanaPlatform {
                 let entry = self.catalog.table(&e.name)?;
                 if let TableSource::Hybrid { cold_table, .. } = &entry.source {
                     let txn = self.tm.begin();
-                    self.iq.buffer_insert(txn.tid, cold_table, e.cold_rows.clone())?;
+                    self.iq
+                        .buffer_insert(txn.tid, cold_table, e.cold_rows.clone())?;
                     self.tm.commit(txn, &self.participants())?;
                 }
             }
@@ -1205,9 +1264,9 @@ impl HanaPlatform {
                 continue;
             }
             if let Some(rest) = payload.strip_prefix("LOAD\u{1}") {
-                let (table, rows_text) = rest.split_once('\u{1}').ok_or_else(|| {
-                    HanaError::Io("corrupt LOAD record".into())
-                })?;
+                let (table, rows_text) = rest
+                    .split_once('\u{1}')
+                    .ok_or_else(|| HanaError::Io("corrupt LOAD record".into()))?;
                 let schema = platform.catalog.table(table)?.source.schema();
                 let rows: Vec<Row> = rows_text
                     .split(ROW_SEP)

@@ -141,21 +141,35 @@ mod tests {
     #[test]
     fn transport_dev_to_prod() {
         let mut dev = Repository::new();
-        dev.put("schema.sql", ArtifactKind::SqlScript, "CREATE TABLE t (a INT)");
-        dev.put("monitor.ccl", ArtifactKind::CclScript, "CREATE INPUT STREAM s SCHEMA (a INT)");
+        dev.put(
+            "schema.sql",
+            ArtifactKind::SqlScript,
+            "CREATE TABLE t (a INT)",
+        );
+        dev.put(
+            "monitor.ccl",
+            ArtifactKind::CclScript,
+            "CREATE INPUT STREAM s SCHEMA (a INT)",
+        );
         dev.put(
             "sensors.job",
             ArtifactKind::MrJobConfig,
             "hana.mapred.driver.class=com.x.Y",
         );
         let du = dev
-            .export("telemetry-du", &["schema.sql", "monitor.ccl", "sensors.job"])
+            .export(
+                "telemetry-du",
+                &["schema.sql", "monitor.ccl", "sensors.job"],
+            )
             .unwrap();
 
         let mut prod = Repository::new();
         prod.import(&du).unwrap();
         assert_eq!(prod.list().len(), 3);
-        assert_eq!(prod.get("sensors.job").unwrap().kind, ArtifactKind::MrJobConfig);
+        assert_eq!(
+            prod.get("sensors.job").unwrap().kind,
+            ArtifactKind::MrJobConfig
+        );
     }
 
     #[test]

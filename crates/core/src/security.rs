@@ -152,7 +152,10 @@ mod tests {
         let analyst = sm.connect("analyst", "pw").unwrap();
         assert!(sm.check(&analyst, Privilege::Select).is_ok());
         assert!(sm.check(&analyst, Privilege::Write).is_err());
-        assert!(sm.check(&admin, Privilege::Stream).is_ok(), "admin implies all");
+        assert!(
+            sm.check(&admin, Privilege::Stream).is_ok(),
+            "admin implies all"
+        );
         // Only admins create users.
         assert!(sm
             .create_user(&analyst, "x", "y", &[Privilege::Select])

@@ -28,7 +28,10 @@ fn column_table_crud_roundtrip() {
         .unwrap();
     hana.execute_sql(&s, "DELETE FROM t WHERE id = 1").unwrap();
     let rs = hana
-        .execute_sql(&s, "SELECT name FROM t WHERE id BETWEEN 1 AND 3 ORDER BY name")
+        .execute_sql(
+            &s,
+            "SELECT name FROM t WHERE id BETWEEN 1 AND 3 ORDER BY name",
+        )
         .unwrap();
     assert_eq!(rs.len(), 2);
     assert_eq!(rs.rows[0][0], Value::from("B"));
@@ -81,7 +84,9 @@ fn extended_table_lives_in_iq() {
         .map(|i| Row::from_values([Value::Int(i), Value::from(format!("p{i}"))]))
         .collect();
     hana.load_rows(&s, "archive", &rows).unwrap();
-    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM archive").unwrap();
+    let rs = hana
+        .execute_sql(&s, "SELECT COUNT(*) FROM archive")
+        .unwrap();
     assert_eq!(rs.scalar().unwrap(), &Value::Int(1002));
     hana.execute_sql(&s, "DROP TABLE archive").unwrap();
     assert!(!hana.iq().has_table("archive"));
@@ -113,7 +118,10 @@ fn hybrid_table_with_aging() {
     // Aging moves flagged rows into the cold partition.
     let moved = hana.run_aging(&s, "sales").unwrap();
     assert_eq!(moved, 80);
-    assert_eq!(hana.iq().row_count("sales__cold", u64::MAX - 1).unwrap(), 80);
+    assert_eq!(
+        hana.iq().row_count("sales__cold", u64::MAX - 1).unwrap(),
+        80
+    );
     // Queries still see the whole logical table (union plan).
     let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM sales").unwrap();
     assert_eq!(rs.scalar().unwrap(), &Value::Int(100));
@@ -128,7 +136,8 @@ fn hybrid_table_with_aging() {
 #[test]
 fn explicit_transactions_commit_and_rollback() {
     let (hana, s) = platform();
-    hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)").unwrap();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)")
+        .unwrap();
     hana.execute_sql(&s, "BEGIN").unwrap();
     hana.execute_sql(&s, "INSERT INTO t VALUES (1)").unwrap();
     hana.execute_sql(&s, "INSERT INTO t VALUES (2)").unwrap();
@@ -150,7 +159,8 @@ fn explicit_transactions_commit_and_rollback() {
 #[test]
 fn distributed_transaction_spans_hot_and_cold() {
     let (hana, s) = platform();
-    hana.execute_sql(&s, "CREATE COLUMN TABLE hot (a INTEGER)").unwrap();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE hot (a INTEGER)")
+        .unwrap();
     hana.execute_sql(&s, "CREATE TABLE cold (a INTEGER) USING EXTENDED STORAGE")
         .unwrap();
     hana.execute_sql(&s, "BEGIN").unwrap();
@@ -162,7 +172,11 @@ fn distributed_transaction_spans_hot_and_cold() {
     assert!(hana.execute_sql(&s, "COMMIT").is_err());
     hana.iq().set_failing(false);
     let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM hot").unwrap();
-    assert_eq!(rs.scalar().unwrap(), &Value::Int(0), "local part rolled back too");
+    assert_eq!(
+        rs.scalar().unwrap(),
+        &Value::Int(0),
+        "local part rolled back too"
+    );
     let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM cold").unwrap();
     assert_eq!(rs.scalar().unwrap(), &Value::Int(0));
 }
@@ -174,9 +188,12 @@ fn security_gates_every_entry_point() {
         .create_user(&admin, "reader", "pw", &[Privilege::Select])
         .unwrap();
     let reader = hana.connect("reader", "pw").unwrap();
-    hana.execute_sql(&admin, "CREATE COLUMN TABLE t (a INTEGER)").unwrap();
+    hana.execute_sql(&admin, "CREATE COLUMN TABLE t (a INTEGER)")
+        .unwrap();
     assert!(hana.execute_sql(&reader, "SELECT * FROM t").is_ok());
-    assert!(hana.execute_sql(&reader, "INSERT INTO t VALUES (1)").is_err());
+    assert!(hana
+        .execute_sql(&reader, "INSERT INTO t VALUES (1)")
+        .is_err());
     assert!(hana
         .execute_sql(&reader, "CREATE COLUMN TABLE u (a INTEGER)")
         .is_err());
@@ -210,7 +227,9 @@ fn repository_transport_dev_to_prod() {
     let (prod, prod_s) = platform();
     prod.deploy_delivery_unit(&prod_s, &du).unwrap();
     // SQL artifact deployed: table exists with content.
-    let rs = prod.execute_sql(&prod_s, "SELECT total FROM orders").unwrap();
+    let rs = prod
+        .execute_sql(&prod_s, "SELECT total FROM orders")
+        .unwrap();
     assert_eq!(rs.rows[0][0], Value::Double(10.5));
     // CCL artifact deployed: the stream accepts events.
     prod.esp()
@@ -223,10 +242,16 @@ fn repository_transport_dev_to_prod() {
 fn esp_integration_forward_and_hana_join() {
     let hana = Arc::new(HanaPlatform::new_in_memory());
     let s = hana.connect("SYSTEM", "manager").unwrap();
-    hana.execute_sql(&s, "CREATE COLUMN TABLE readings (cell VARCHAR(10), avg_load DOUBLE)")
-        .unwrap();
-    hana.execute_sql(&s, "CREATE COLUMN TABLE cells (cell_id VARCHAR(10), city VARCHAR(20))")
-        .unwrap();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE readings (cell VARCHAR(10), avg_load DOUBLE)",
+    )
+    .unwrap();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE cells (cell_id VARCHAR(10), city VARCHAR(20))",
+    )
+    .unwrap();
     hana.execute_sql(&s, "INSERT INTO cells VALUES ('c1', 'Walldorf')")
         .unwrap();
     hana.esp()
@@ -264,7 +289,9 @@ fn esp_integration_forward_and_hana_join() {
     assert_eq!(rs.rows[0][0], Value::from("Walldorf"));
     // Forward into the table.
     hana.esp().flush_window("agg").unwrap();
-    let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM readings").unwrap();
+    let rs = hana
+        .execute_sql(&s, "SELECT COUNT(*) FROM readings")
+        .unwrap();
     assert_eq!(rs.scalar().unwrap(), &Value::Int(1));
 }
 
@@ -312,7 +339,10 @@ fn hadoop_federation_through_sql_ddl() {
     )
     .unwrap();
     let rs = hana
-        .execute_sql(&s, "SELECT product_name, brand_name FROM \"VIRTUAL_PRODUCT\"")
+        .execute_sql(
+            &s,
+            "SELECT product_name, brand_name FROM \"VIRTUAL_PRODUCT\"",
+        )
         .unwrap();
     assert_eq!(rs.len(), 2);
     // Virtual tables are read-only.
@@ -331,14 +361,16 @@ fn hadoop_federation_through_sql_ddl() {
 #[test]
 fn backup_restore_spans_engines() {
     let (hana, s) = platform();
-    hana.execute_sql(&s, "CREATE COLUMN TABLE hot (a INTEGER)").unwrap();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE hot (a INTEGER)")
+        .unwrap();
     hana.execute_sql(
         &s,
         "CREATE COLUMN TABLE mixed (a INTEGER, cold BOOLEAN) \
          USING HYBRID EXTENDED STORAGE AGING ON cold",
     )
     .unwrap();
-    hana.execute_sql(&s, "INSERT INTO hot VALUES (1), (2)").unwrap();
+    hana.execute_sql(&s, "INSERT INTO hot VALUES (1), (2)")
+        .unwrap();
     hana.execute_sql(
         &s,
         "INSERT INTO mixed VALUES (1, true), (2, false), (3, true)",
@@ -372,7 +404,8 @@ fn point_in_time_recovery_replays_wal() {
     {
         let hana = HanaPlatform::with_log_file(&wal).unwrap();
         let s = hana.connect("SYSTEM", "manager").unwrap();
-        hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)").unwrap();
+        hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)")
+            .unwrap();
         hana.execute_sql(&s, "INSERT INTO t VALUES (1)").unwrap();
         hana.execute_sql(&s, "INSERT INTO t VALUES (2)").unwrap();
         checkpoint_cid = hana.transaction_manager().last_commit_id();
@@ -380,7 +413,10 @@ fn point_in_time_recovery_replays_wal() {
         hana.load_rows(
             &s,
             "t",
-            &[Row::from_values([Value::Int(4)]), Row::from_values([Value::Int(5)])],
+            &[
+                Row::from_values([Value::Int(4)]),
+                Row::from_values([Value::Int(5)]),
+            ],
         )
         .unwrap();
     }
@@ -401,7 +437,8 @@ fn point_in_time_recovery_replays_wal() {
 #[test]
 fn explain_and_landscape() {
     let (hana, s) = platform();
-    hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)").unwrap();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)")
+        .unwrap();
     let rs = hana
         .execute_sql(&s, "EXPLAIN SELECT a FROM t WHERE a > 1")
         .unwrap();
@@ -414,7 +451,8 @@ fn explain_and_landscape() {
 #[test]
 fn merge_delta_via_sql() {
     let (hana, s) = platform();
-    hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)").unwrap();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)")
+        .unwrap();
     for i in 0..50 {
         hana.execute_sql(&s, &format!("INSERT INTO t VALUES ({i})"))
             .unwrap();

@@ -65,8 +65,8 @@ pub fn parse_ccl_statement(text: &str) -> Result<CclStatement> {
 
     if let Some(rest) = strip_prefix_ci(text, "CREATE INPUT STREAM") {
         // name SCHEMA (col type, ...)
-        let schema_pos = find_kw(&rest.to_uppercase(), "SCHEMA")
-            .ok_or_else(|| bad("missing SCHEMA clause"))?;
+        let schema_pos =
+            find_kw(&rest.to_uppercase(), "SCHEMA").ok_or_else(|| bad("missing SCHEMA clause"))?;
         let name = rest[..schema_pos].trim().to_ascii_lowercase();
         if name.is_empty() || name.contains(' ') {
             return Err(bad("bad stream name"));
@@ -98,8 +98,8 @@ pub fn parse_ccl_statement(text: &str) -> Result<CclStatement> {
         ("CREATE OUTPUT STREAM", false),
     ] {
         if let Some(rest) = strip_prefix_ci(text, kw) {
-            let as_pos = find_kw(&rest.to_uppercase(), "AS")
-                .ok_or_else(|| bad("missing AS SELECT"))?;
+            let as_pos =
+                find_kw(&rest.to_uppercase(), "AS").ok_or_else(|| bad("missing AS SELECT"))?;
             let name = rest[..as_pos].trim().to_ascii_lowercase();
             let mut select_text = rest[as_pos + 2..].trim().to_string();
             let mut keep = Keep::All;
@@ -107,8 +107,7 @@ pub fn parse_ccl_statement(text: &str) -> Result<CclStatement> {
                 if let Some(kpos) = find_kw(&select_text.to_uppercase(), "KEEP") {
                     let keep_clause = select_text[kpos + 4..].trim().to_string();
                     select_text.truncate(kpos);
-                    keep = parse_keep(&keep_clause)
-                        .ok_or_else(|| bad("malformed KEEP clause"))?;
+                    keep = parse_keep(&keep_clause).ok_or_else(|| bad("malformed KEEP clause"))?;
                 }
             }
             let Statement::Query(query) = parse_statement(select_text.trim())? else {
@@ -117,7 +116,9 @@ pub fn parse_ccl_statement(text: &str) -> Result<CclStatement> {
             if !is_window {
                 let has_agg = query.select.iter().any(|s| s.expr.contains_aggregate());
                 if has_agg || !query.group_by.is_empty() {
-                    return Err(bad("output streams are stateless; use a WINDOW for aggregation"));
+                    return Err(bad(
+                        "output streams are stateless; use a WINDOW for aggregation",
+                    ));
                 }
                 return Ok(CclStatement::CreateOutputStream { name, query });
             }
@@ -240,10 +241,8 @@ mod tests {
         assert_eq!(keep, Keep::Seconds(60));
         assert_eq!(query.group_by.len(), 1);
 
-        let s = parse_ccl_statement(
-            "CREATE WINDOW recent AS SELECT * FROM ticks KEEP 100 ROWS",
-        )
-        .unwrap();
+        let s = parse_ccl_statement("CREATE WINDOW recent AS SELECT * FROM ticks KEEP 100 ROWS")
+            .unwrap();
         assert!(matches!(
             s,
             CclStatement::CreateWindow {
@@ -260,10 +259,9 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(s, CclStatement::CreateOutputStream { .. }));
-        assert!(parse_ccl_statement(
-            "CREATE OUTPUT STREAM bad AS SELECT SUM(load) FROM ticks"
-        )
-        .is_err());
+        assert!(
+            parse_ccl_statement("CREATE OUTPUT STREAM bad AS SELECT SUM(load) FROM ticks").is_err()
+        );
     }
 
     #[test]
@@ -293,7 +291,9 @@ mod tests {
     fn errors() {
         assert!(parse_ccl_statement("CREATE INPUT STREAM s").is_err());
         assert!(parse_ccl_statement("CREATE OUTPUT WINDOW w AS DELETE FROM t").is_err());
-        assert!(parse_ccl_statement("CREATE OUTPUT WINDOW w AS SELECT a FROM s KEEP x ROWS").is_err());
+        assert!(
+            parse_ccl_statement("CREATE OUTPUT WINDOW w AS SELECT a FROM s KEEP x ROWS").is_err()
+        );
         assert!(parse_ccl_statement("DROP EVERYTHING").is_err());
     }
 }

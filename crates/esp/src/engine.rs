@@ -23,7 +23,7 @@ use parking_lot::Mutex;
 
 use hana_hadoop::Hdfs;
 use hana_sql::{Expr, JoinKind, Query, TableRef};
-use hana_types::{HanaError, ResultSet, Result, Row, Schema, Value};
+use hana_types::{HanaError, Result, ResultSet, Row, Schema, Value};
 
 use crate::ccl::{parse_ccl, CclStatement};
 use crate::pattern::PatternMatcher;
@@ -458,8 +458,14 @@ fn join_keys(on: &Expr, left: &Schema, right: &Schema) -> Result<(usize, usize)>
     } = on
     {
         if let (
-            Expr::Column { qualifier: lq, name: ln },
-            Expr::Column { qualifier: rq, name: rn },
+            Expr::Column {
+                qualifier: lq,
+                name: ln,
+            },
+            Expr::Column {
+                qualifier: rq,
+                name: rn,
+            },
         ) = (l.as_ref(), r.as_ref())
         {
             if let (Ok(a), Ok(b)) = (
@@ -476,7 +482,9 @@ fn join_keys(on: &Expr, left: &Schema, right: &Schema) -> Result<(usize, usize)>
             }
         }
     }
-    Err(HanaError::Stream(format!("ESP join needs an equi ON, got {on}")))
+    Err(HanaError::Stream(format!(
+        "ESP join needs an equi ON, got {on}"
+    )))
 }
 
 /// Enrich one event through the definition's reference joins; `None`

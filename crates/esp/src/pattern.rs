@@ -50,9 +50,8 @@ impl PatternMatcher {
             .retain(|(start, _, _)| ts - start <= self.within_us);
 
         let mut completed = Vec::new();
-        let matches_step = |i: usize| {
-            evaluate_predicate(&self.steps[i], &self.schema, row).unwrap_or(false)
-        };
+        let matches_step =
+            |i: usize| evaluate_predicate(&self.steps[i], &self.schema, row).unwrap_or(false);
 
         // Advance existing partials (each at most one step per event).
         let mut advanced = Vec::new();
@@ -94,8 +93,7 @@ mod tests {
     use hana_types::{DataType, Value};
 
     fn pred(sql: &str) -> Expr {
-        let Statement::Query(q) =
-            parse_statement(&format!("SELECT * FROM t WHERE {sql}")).unwrap()
+        let Statement::Query(q) = parse_statement(&format!("SELECT * FROM t WHERE {sql}")).unwrap()
         else {
             panic!()
         };
@@ -143,11 +141,8 @@ mod tests {
 
     #[test]
     fn overlapping_matches() {
-        let mut m = PatternMatcher::new(
-            vec![pred("kind = 'a'"), pred("kind = 'b'")],
-            100,
-            schema(),
-        );
+        let mut m =
+            PatternMatcher::new(vec![pred("kind = 'a'"), pred("kind = 'b'")], 100, schema());
         m.on_event(0, &ev("a", 1.0));
         m.on_event(1, &ev("a", 2.0));
         let done = m.on_event(2, &ev("b", 3.0));

@@ -64,11 +64,7 @@ impl WindowState {
             }
             Keep::Seconds(s) => {
                 let horizon = now - s * 1_000_000;
-                while self
-                    .rows
-                    .front()
-                    .is_some_and(|(ts, _)| *ts < horizon)
-                {
+                while self.rows.front().is_some_and(|(ts, _)| *ts < horizon) {
                     self.rows.pop_front();
                     self.expired += 1;
                 }
@@ -103,7 +99,11 @@ impl WindowState {
 ///
 /// Uses the shared `_g/_a` convention and driver epilogue, so windows
 /// aggregate exactly like every other engine in the platform.
-pub fn window_output(state: &WindowState, query: &Query, input_schema: &Schema) -> Result<ResultRows> {
+pub fn window_output(
+    state: &WindowState,
+    query: &Query,
+    input_schema: &Schema,
+) -> Result<ResultRows> {
     let rows = state.rows();
     let aggs = collect_aggregates(query);
     if query.group_by.is_empty() && aggs.is_empty() {
@@ -130,7 +130,10 @@ pub fn window_output(state: &WindowState, query: &Query, input_schema: &Schema) 
         }
     }
     if groups.is_empty() && query.group_by.is_empty() {
-        groups.insert(Vec::new(), aggs.iter().map(|(f, _)| f.accumulator()).collect());
+        groups.insert(
+            Vec::new(),
+            aggs.iter().map(|(f, _)| f.accumulator()).collect(),
+        );
     }
     let agg_schema = hana_sql::finish::aggregate_output_schema(query, input_schema)?;
     let mut agg_rows: Vec<Row> = groups
@@ -254,12 +257,7 @@ mod tests {
     fn plain_window_projects() {
         let mut w = WindowState::new(Keep::Rows(10));
         w.push(0, ev("c9", 99.0));
-        let out = window_output(
-            &w,
-            &q("SELECT load FROM s WHERE cell = 'c9'"),
-            &schema(),
-        )
-        .unwrap();
+        let out = window_output(&w, &q("SELECT load FROM s WHERE cell = 'c9'"), &schema()).unwrap();
         assert_eq!(out.rows.len(), 1);
         assert_eq!(out.rows[0][0], Value::Double(99.0));
     }

@@ -40,11 +40,16 @@ fn use_case_1_prefilter_aggregate_forward() {
         esp.send(
             "network_events",
             i,
-            ev(if i % 2 == 0 { "c1" } else { "c2" }, "status", 50.0 + (i % 10) as f64),
+            ev(
+                if i % 2 == 0 { "c1" } else { "c2" },
+                "status",
+                50.0 + (i % 10) as f64,
+            ),
         )
         .unwrap();
         // Non-matching kinds are prefiltered out of the window.
-        esp.send("network_events", i, ev("c1", "billing", 0.0)).unwrap();
+        esp.send("network_events", i, ev("c1", "billing", 0.0))
+            .unwrap();
     }
     let emitted = esp.flush_window("cell_health").unwrap();
     assert_eq!(emitted.len(), 2, "one aggregate row per cell");
@@ -57,10 +62,8 @@ fn use_case_1_prefilter_aggregate_forward() {
 #[test]
 fn use_case_2_esp_join_enriches_events() {
     let esp = EspEngine::new();
-    esp.deploy(
-        "CREATE INPUT STREAM gps SCHEMA (cell VARCHAR(10), lat DOUBLE);",
-    )
-    .unwrap();
+    esp.deploy("CREATE INPUT STREAM gps SCHEMA (cell VARCHAR(10), lat DOUBLE);")
+        .unwrap();
     // Reference data pushed from the HANA store: cell -> city.
     esp.register_reference(
         "cells",
@@ -78,11 +81,20 @@ fn use_case_2_esp_join_enriches_events() {
     )
     .unwrap();
     let out: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
-    esp.attach_sink("located", Sink::Memory(Arc::clone(&out))).unwrap();
-    esp.send("gps", 0, Row::from_values([Value::from("c1"), Value::Double(49.3)]))
+    esp.attach_sink("located", Sink::Memory(Arc::clone(&out)))
         .unwrap();
-    esp.send("gps", 1, Row::from_values([Value::from("cX"), Value::Double(0.0)]))
-        .unwrap(); // no reference partner -> dropped
+    esp.send(
+        "gps",
+        0,
+        Row::from_values([Value::from("c1"), Value::Double(49.3)]),
+    )
+    .unwrap();
+    esp.send(
+        "gps",
+        1,
+        Row::from_values([Value::from("cX"), Value::Double(0.0)]),
+    )
+    .unwrap(); // no reference partner -> dropped
     let rows = out.lock();
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0][1], Value::from("Walldorf"));
@@ -92,7 +104,8 @@ fn use_case_2_esp_join_enriches_events() {
 fn use_case_3_hana_join_window_snapshot() {
     let esp = telecom_engine();
     for i in 0..10 {
-        esp.send("network_events", i, ev("c7", "status", 80.0)).unwrap();
+        esp.send("network_events", i, ev("c7", "status", 80.0))
+            .unwrap();
     }
     // The federated query side reads the live window as a relation.
     let snap = esp.window_snapshot("cell_health").unwrap();
@@ -117,8 +130,10 @@ fn alerts_stream_and_pattern_detection() {
         5,
     )
     .unwrap();
-    esp.send("network_events", 0, ev("c1", "status", 99.0)).unwrap();
-    esp.send("network_events", 1_000_000, ev("c1", "outage", 0.0)).unwrap();
+    esp.send("network_events", 0, ev("c1", "status", 99.0))
+        .unwrap();
+    esp.send("network_events", 1_000_000, ev("c1", "outage", 0.0))
+        .unwrap();
     assert_eq!(alerts.lock().len(), 1, "overload alert forwarded");
     let matches = esp.take_alerts("outage");
     assert_eq!(matches.len(), 1);
@@ -139,7 +154,8 @@ fn hdfs_archive_and_replay() {
     )
     .unwrap();
     for i in 0..50 {
-        esp.send("network_events", i, ev("c1", "status", i as f64)).unwrap();
+        esp.send("network_events", i, ev("c1", "status", i as f64))
+            .unwrap();
     }
     let lines = hdfs.read_lines("/archive/network/day1").unwrap();
     assert_eq!(lines.len(), 50, "raw events archived");
@@ -173,8 +189,12 @@ fn window_retention_limits_state() {
     )
     .unwrap();
     for i in 0..100i64 {
-        esp.send("s", i * 1_000_000, Row::from_values([Value::Double(i as f64)]))
-            .unwrap();
+        esp.send(
+            "s",
+            i * 1_000_000,
+            Row::from_values([Value::Double(i as f64)]),
+        )
+        .unwrap();
     }
     let recent = esp.window_snapshot("recent").unwrap();
     assert_eq!(recent.rows[0][0], Value::Int(10));

@@ -71,10 +71,31 @@ impl ExecConfig {
 }
 
 fn read_env_usize(name: &str) -> Option<usize> {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+    let raw = std::env::var(name).ok()?;
+    parse_env_usize(name, &raw)
+}
+
+/// Parse one environment override. Invalid values no longer fall back
+/// *silently*: a warning is recorded through `hana-obs` (counted under
+/// `hana_obs_warnings_total` and kept in the snapshot's recent-warnings
+/// list) before the default is used.
+fn parse_env_usize(name: &str, raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        Ok(_) => {
+            hana_obs::warn(format!(
+                "{name}={raw:?} must be a positive integer; falling back to the default"
+            ));
+            None
+        }
+        Err(e) => {
+            hana_obs::warn(format!(
+                "{name}={raw:?} is not a valid positive integer ({e}); \
+                 falling back to the default"
+            ));
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +115,75 @@ mod tests {
         assert_eq!(cfg.workers, 1);
         assert_eq!(cfg.morsel_rows, 1);
         assert_eq!(cfg.aligned_morsel_rows(), 64);
+    }
+
+    /// Count of recorded obs warnings (global, monotone).
+    fn warnings() -> u64 {
+        hana_obs::registry()
+            .counter("hana_obs_warnings_total")
+            .get()
+    }
+
+    #[test]
+    fn malformed_env_values_warn_and_fall_back() {
+        for raw in [
+            "abc",
+            "-3",
+            "0",
+            "1.5",
+            "",
+            "  ",
+            "4x",
+            "99999999999999999999999",
+        ] {
+            let before = warnings();
+            assert_eq!(
+                parse_env_usize(ENV_WORKERS, raw),
+                None,
+                "{raw:?} must fall back"
+            );
+            assert_eq!(warnings(), before + 1, "{raw:?} must warn");
+        }
+        let snap = hana_obs::registry().snapshot();
+        assert!(
+            snap.warnings.iter().any(|w| w.contains(ENV_WORKERS)),
+            "warning names the variable: {:?}",
+            snap.warnings
+        );
+    }
+
+    #[test]
+    fn valid_env_values_parse_without_warning() {
+        for (raw, expect) in [("1", 1usize), (" 8 ", 8), ("65536", 65_536)] {
+            let before = warnings();
+            assert_eq!(parse_env_usize(ENV_MORSEL_ROWS, raw), Some(expect));
+            assert_eq!(warnings(), before, "{raw:?} must not warn");
+        }
+    }
+
+    #[test]
+    fn from_env_applies_and_rejects_overrides() {
+        // Env vars are process-global: this is the only test that sets
+        // them, and it restores the previous state before returning.
+        let saved: Vec<Option<String>> = [ENV_WORKERS, ENV_MORSEL_ROWS]
+            .iter()
+            .map(|v| std::env::var(v).ok())
+            .collect();
+        std::env::set_var(ENV_WORKERS, "3");
+        std::env::set_var(ENV_MORSEL_ROWS, "not-a-number");
+        let before = warnings();
+        let cfg = ExecConfig::from_env();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(
+            cfg.morsel_rows, DEFAULT_MORSEL_ROWS,
+            "invalid value falls back"
+        );
+        assert_eq!(warnings(), before + 1);
+        for (var, old) in [ENV_WORKERS, ENV_MORSEL_ROWS].iter().zip(saved) {
+            match old {
+                Some(v) => std::env::set_var(var, v),
+                None => std::env::remove_var(var),
+            }
+        }
     }
 }

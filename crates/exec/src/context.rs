@@ -1,6 +1,9 @@
 //! The execution context: configuration + worker pool + metrics.
 
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use hana_obs::{Counter, Histogram};
 
 use crate::config::ExecConfig;
 use crate::metrics::{MetricsRegistry, QueryGuard};
@@ -15,19 +18,37 @@ static GLOBAL: OnceLock<Arc<ExecContext>> = OnceLock::new();
 /// Components normally share the process-wide [`ExecContext::global`]
 /// (configured from the environment); tests build private contexts with
 /// [`ExecContext::new`] to pin worker counts.
+///
+/// Besides the per-query [`MetricsRegistry`], every context reports
+/// pool-level throughput into the global `hana-obs` registry:
+/// `hana_exec_morsels_total`, `hana_exec_tasks_total`,
+/// `hana_exec_scatters_total`, the `hana_exec_scatter_ns` latency
+/// histogram, and the `hana_exec_pool_utilization_permille` /
+/// `hana_exec_pool_queue_depth` gauges (refreshed on every scatter and
+/// by [`ExecContext::pool_metrics`]).
 pub struct ExecContext {
     config: ExecConfig,
     pool: Arc<WorkerPool>,
     registry: MetricsRegistry,
+    obs_morsels: Arc<Counter>,
+    obs_tasks: Arc<Counter>,
+    obs_scatters: Arc<Counter>,
+    obs_scatter_ns: Arc<Histogram>,
 }
 
 impl ExecContext {
     /// Build a context (and start its worker pool) from a config.
     pub fn new(config: ExecConfig) -> Arc<ExecContext> {
+        let obs = hana_obs::registry();
+        obs.gauge("hana_exec_workers").set(config.workers as i64);
         Arc::new(ExecContext {
             pool: WorkerPool::new(config.workers),
             registry: MetricsRegistry::new(),
             config,
+            obs_morsels: obs.counter("hana_exec_morsels_total"),
+            obs_tasks: obs.counter("hana_exec_tasks_total"),
+            obs_scatters: obs.counter("hana_exec_scatters_total"),
+            obs_scatter_ns: obs.histogram("hana_exec_scatter_ns"),
         })
     }
 
@@ -59,7 +80,9 @@ impl ExecContext {
 
     /// Slice `[0, total_rows)` into morsels of the configured size.
     pub fn morsels(&self, total_rows: usize) -> Vec<Morsel> {
-        morsels(total_rows, self.config.morsel_rows)
+        let ms = morsels(total_rows, self.config.morsel_rows);
+        self.obs_morsels.add(ms.len() as u64);
+        ms
     }
 
     /// Fork-join over items on the pool (see [`WorkerPool::scatter`]).
@@ -69,12 +92,30 @@ impl ExecContext {
         T: Send,
         F: Fn(I) -> T + Sync,
     {
-        self.pool.scatter(items, f)
+        self.obs_tasks.add(items.len() as u64);
+        self.obs_scatters.inc();
+        let started = Instant::now();
+        let out = self.pool.scatter(items, f);
+        self.obs_scatter_ns
+            .record(started.elapsed().as_nanos() as u64);
+        self.publish_pool_gauges();
+        out
     }
 
-    /// Pool utilization/load counters.
+    /// Pool utilization/load counters (also refreshes the pool gauges
+    /// in the global `hana-obs` registry).
     pub fn pool_metrics(&self) -> PoolMetricsSnapshot {
-        self.pool.metrics_snapshot()
+        self.publish_pool_gauges()
+    }
+
+    fn publish_pool_gauges(&self) -> PoolMetricsSnapshot {
+        let m = self.pool.metrics_snapshot();
+        let obs = hana_obs::registry();
+        obs.gauge("hana_exec_pool_utilization_permille")
+            .set((m.utilization * 1000.0) as i64);
+        obs.gauge("hana_exec_pool_queue_depth")
+            .set(m.queue_depth as i64);
+        m
     }
 }
 

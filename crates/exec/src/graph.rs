@@ -235,7 +235,10 @@ mod tests {
         let emit = g.add_task_after("emit", &[agg], push("emit", &order));
         assert_eq!(g.label(emit), "emit");
         g.run_to_completion(&pool).unwrap();
-        assert_eq!(*order.lock().unwrap(), vec!["scan", "filter", "agg", "emit"]);
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["scan", "filter", "agg", "emit"]
+        );
     }
 
     #[test]

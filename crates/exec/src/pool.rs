@@ -174,10 +174,7 @@ impl WorkerPool {
 
     /// Whether the calling thread is one of this pool's workers.
     pub fn on_worker_thread(&self) -> bool {
-        CURRENT_WORKER.with(|c| {
-            c.get()
-                .is_some_and(|(pool, _)| pool == self.shared.pool_id)
-        })
+        CURRENT_WORKER.with(|c| c.get().is_some_and(|(pool, _)| pool == self.shared.pool_id))
     }
 
     /// Submit a fire-and-forget job. From a worker thread of this pool
@@ -259,9 +256,8 @@ impl WorkerPool {
             // zero, i.e. until every job (and its borrows of `f` and
             // the items) has finished — the scoped-thread pattern. The
             // panic path also waits for all jobs before re-raising.
-            let job: Job = unsafe {
-                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job)
-            };
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
             self.push_job(job);
         }
 

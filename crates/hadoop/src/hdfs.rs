@@ -176,7 +176,8 @@ impl Hdfs {
         for b in &file.blocks {
             out.extend_from_slice(&b.data);
         }
-        self.bytes_read.fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
         Ok(out)
     }
 
@@ -299,7 +300,8 @@ mod tests {
     #[test]
     fn write_read_round_trip_and_normalization() {
         let fs = Hdfs::new(4);
-        fs.write("hdfs://nn:8020/data/x.txt", b"hello world").unwrap();
+        fs.write("hdfs://nn:8020/data/x.txt", b"hello world")
+            .unwrap();
         assert!(fs.exists("/data/x.txt"));
         assert_eq!(fs.read("data/x.txt").unwrap(), b"hello world");
         assert_eq!(fs.len("/data/x.txt").unwrap(), 11);
@@ -313,7 +315,10 @@ mod tests {
         // 35 bytes * 3 replicas spread over 5 nodes.
         let usage = fs.datanode_usage();
         assert_eq!(usage.iter().sum::<u64>(), 35 * 3);
-        assert!(usage.iter().all(|&u| u > 0), "placement is balanced: {usage:?}");
+        assert!(
+            usage.iter().all(|&u| u > 0),
+            "placement is balanced: {usage:?}"
+        );
     }
 
     #[test]

@@ -25,17 +25,12 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use hana_sql::finish::{
-    aggregate_output_schema, collect_aggregates, finish_query,
-};
+use hana_sql::finish::{aggregate_output_schema, collect_aggregates, finish_query};
 use hana_sql::{
-    evaluate, evaluate_predicate, parse_statement, resolve_column, BinOp, Expr, JoinKind,
-    Query, Statement, TableRef,
+    evaluate, evaluate_predicate, parse_statement, resolve_column, BinOp, Expr, JoinKind, Query,
+    Statement, TableRef,
 };
-use hana_types::{
-    Accumulator, AggFunc, HanaError, ResultSet, Result, Row, Schema,
-    Value,
-};
+use hana_types::{Accumulator, AggFunc, HanaError, Result, ResultSet, Row, Schema, Value};
 
 use crate::mapreduce::{JobSpec, MrCluster, KV};
 
@@ -425,8 +420,7 @@ impl Hive {
     ) -> Result<Derived> {
         let out_schema = left.schema.join(&right.schema)?;
         let out_dir = self.tmp_dir(&format!("join-{join_idx}"));
-        let left_files: std::collections::HashSet<String> =
-            left.files.iter().cloned().collect();
+        let left_files: std::collections::HashSet<String> = left.files.iter().cloned().collect();
         let left_schema = left.schema.clone();
         let right_schema = right.schema.clone();
         let mapper = move |path: &str, line: &str, out: &mut Vec<KV>| {
@@ -528,9 +522,7 @@ impl Hive {
         if input.files.is_empty() {
             // Global aggregate over empty input: one row of empty aggs.
             if group_by.is_empty() {
-                let row = Row::from_values(
-                    aggs.iter().map(|(f, _)| f.accumulator().finish()),
-                );
+                let row = Row::from_values(aggs.iter().map(|(f, _)| f.accumulator().finish()));
                 return Ok((vec![row], out_schema));
             }
             return Ok((Vec::new(), out_schema));
@@ -691,10 +683,9 @@ pub fn parse_row(line: &str, schema: &Schema) -> Result<Row> {
 
 fn named_binding(t: &TableRef) -> Result<(String, String)> {
     match t {
-        TableRef::Named { name, alias } => Ok((
-            alias.clone().unwrap_or_else(|| name.clone()),
-            name.clone(),
-        )),
+        TableRef::Named { name, alias } => {
+            Ok((alias.clone().unwrap_or_else(|| name.clone()), name.clone()))
+        }
         other => Err(HanaError::Unsupported(format!(
             "hive FROM supports named tables only, got {other:?}"
         ))),
@@ -736,8 +727,16 @@ fn equi_keys(on: &Expr, left: &Schema, right: &Schema) -> Result<(usize, usize)>
         right: r,
     } = on
     {
-        if let (Expr::Column { qualifier: lq, name: ln }, Expr::Column { qualifier: rq, name: rn }) =
-            (l.as_ref(), r.as_ref())
+        if let (
+            Expr::Column {
+                qualifier: lq,
+                name: ln,
+            },
+            Expr::Column {
+                qualifier: rq,
+                name: rn,
+            },
+        ) = (l.as_ref(), r.as_ref())
         {
             // Try (l in left, r in right) then the swap.
             if let (Ok(a), Ok(b)) = (
@@ -758,8 +757,3 @@ fn equi_keys(on: &Expr, left: &Schema, right: &Schema) -> Result<(usize, usize)>
         "hive joins require a simple equi-join ON clause, got {on:?}"
     )))
 }
-
-
-
-
-

@@ -281,10 +281,10 @@ impl MrCluster {
                             reducer.reduce(k, vs, &mut lines);
                         }
                         output_records.fetch_add(lines.len() as u64, Ordering::Relaxed);
-                        if let Err(e) = self.hdfs.append_lines(
-                            &format!("{}/part-r-{p:05}", spec.output_dir),
-                            &lines,
-                        ) {
+                        if let Err(e) = self
+                            .hdfs
+                            .append_lines(&format!("{}/part-r-{p:05}", spec.output_dir), &lines)
+                        {
                             *reduce_err.lock() = Some(e);
                         }
                     });

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use hana_types::{HanaError, ResultSet, Result, Schema};
+use hana_types::{HanaError, Result, ResultSet, Schema};
 
 use crate::hive::{parse_row, FIELD_SEP};
 use crate::mapreduce::{JobSpec, Mapper, MrCluster, Reducer};

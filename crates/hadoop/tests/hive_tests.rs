@@ -42,7 +42,11 @@ fn setup_hive() -> Hive {
             Row::from_values([
                 Value::Int(i),
                 Value::from(format!("Customer#{i}")),
-                Value::from(if i % 4 == 0 { "HOUSEHOLD" } else { "AUTOMOBILE" }),
+                Value::from(if i % 4 == 0 {
+                    "HOUSEHOLD"
+                } else {
+                    "AUTOMOBILE"
+                }),
             ])
         })
         .collect();
@@ -111,11 +115,8 @@ fn paper_join_query() {
         .unwrap();
     // 5 HOUSEHOLD customers x 5 orders each.
     assert_eq!(rs.len(), 25);
-    let custkeys: std::collections::HashSet<i64> = rs
-        .rows
-        .iter()
-        .map(|r| r[0].as_i64().unwrap())
-        .collect();
+    let custkeys: std::collections::HashSet<i64> =
+        rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
     assert_eq!(custkeys, [0i64, 4, 8, 12, 16].into_iter().collect());
 }
 
@@ -133,7 +134,15 @@ fn group_by_aggregation_with_having() {
     assert_eq!(rs.rows[0][0], Value::from("F"));
     assert_eq!(rs.rows[0][1], Value::Int(50));
     // F orders are the odd i: totals 101, 103, ..., 199.
-    assert_eq!(rs.rows[0][2], Value::Double((0..100).filter(|i| i % 2 == 1).map(|i| 100.0 + i as f64).sum()));
+    assert_eq!(
+        rs.rows[0][2],
+        Value::Double(
+            (0..100)
+                .filter(|i| i % 2 == 1)
+                .map(|i| 100.0 + i as f64)
+                .sum()
+        )
+    );
 }
 
 #[test]
@@ -183,13 +192,15 @@ fn distinct_and_limit() {
 #[test]
 fn ctas_is_two_phase_and_registers_stats() {
     let hive = setup_hive();
-    let Statement::Query(q) = parse_statement(
-        "SELECT c_custkey, c_name FROM customer WHERE c_mktsegment = 'HOUSEHOLD'",
-    )
-    .unwrap() else {
+    let Statement::Query(q) =
+        parse_statement("SELECT c_custkey, c_name FROM customer WHERE c_mktsegment = 'HOUSEHOLD'")
+            .unwrap()
+    else {
         panic!()
     };
-    let stats = hive.create_table_as_select("household_customers", &q).unwrap();
+    let stats = hive
+        .create_table_as_select("household_customers", &q)
+        .unwrap();
     assert_eq!(stats.rows, 5);
     assert!(stats.select_jobs >= 1);
     let ts = hive.table_stats("household_customers").unwrap();
@@ -244,7 +255,10 @@ fn virtual_function_registry_runs_custom_jobs() {
                 .iter()
                 .filter_map(|v| v.parse::<f64>().ok())
                 .fold(f64::MIN, f64::max);
-            out.push(hana_hadoop::output_line(&[key.to_string(), max.to_string()]));
+            out.push(hana_hadoop::output_line(&[
+                key.to_string(),
+                max.to_string(),
+            ]));
         }
     }
     registry.register(
@@ -261,7 +275,9 @@ fn virtual_function_registry_runs_custom_jobs() {
         },
     );
     assert!(registry.has("com.customer.hadoop.SensorMRDriver"));
-    let rs = registry.invoke("com.customer.hadoop.SensorMRDriver").unwrap();
+    let rs = registry
+        .invoke("com.customer.hadoop.SensorMRDriver")
+        .unwrap();
     assert_eq!(rs.len(), 3);
     let sorted = rs.sorted_by(&[0]);
     assert_eq!(sorted.rows[0][0], Value::from("P-100"));

@@ -16,12 +16,20 @@ use hana_types::Result;
 use crate::page::{PageFile, PageId};
 
 /// A read-through, write-through LRU page cache.
+///
+/// Hit/miss totals are mirrored into the global observability
+/// registry (`hana_iq_cache_hits_total`, `hana_iq_cache_misses_total`,
+/// `hana_iq_pages_read_total`) so the platform snapshot can derive the
+/// buffer-cache hit ratio without reaching into each engine.
 pub struct BufferCache {
     file: Arc<PageFile>,
     capacity: usize,
     inner: Mutex<Lru>,
     hits: AtomicU64,
     misses: AtomicU64,
+    obs_hits: Arc<hana_obs::Counter>,
+    obs_misses: Arc<hana_obs::Counter>,
+    obs_pages_read: Arc<hana_obs::Counter>,
 }
 
 #[derive(Default)]
@@ -34,12 +42,16 @@ struct Lru {
 impl BufferCache {
     /// A cache of `capacity` pages over `file`.
     pub fn new(file: Arc<PageFile>, capacity: usize) -> BufferCache {
+        let obs = hana_obs::registry();
         BufferCache {
             file,
             capacity: capacity.max(1),
             inner: Mutex::new(Lru::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            obs_hits: obs.counter("hana_iq_cache_hits_total"),
+            obs_misses: obs.counter("hana_iq_cache_misses_total"),
+            obs_pages_read: obs.counter("hana_iq_pages_read_total"),
         }
     }
 
@@ -57,11 +69,14 @@ impl BufferCache {
             if let Some((data, last)) = lru.map.get_mut(&page) {
                 *last = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs_hits.inc();
                 return Ok(Arc::clone(data));
             }
         }
         // Miss: read outside the lock, then insert.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs_misses.inc();
+        self.obs_pages_read.inc();
         let data = Arc::new(self.file.read_page(page)?);
         self.insert(page, Arc::clone(&data));
         Ok(data)
@@ -79,6 +94,12 @@ impl BufferCache {
     /// Drop a page from the cache (e.g. after freeing it on disk).
     pub fn evict(&self, page: PageId) {
         self.inner.lock().map.remove(&page);
+    }
+
+    /// Drop every resident page, forcing the next reads back to disk
+    /// (cold-start drills and cache-metric tests).
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
     }
 
     fn insert(&self, page: PageId, data: Arc<Vec<u8>>) {

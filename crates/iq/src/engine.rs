@@ -16,9 +16,7 @@ use parking_lot::{Mutex, RwLock};
 
 use hana_columnar::ColumnPredicate;
 use hana_txn::{TwoPhaseParticipant, Vote};
-use hana_types::{
-    AggFunc, ColumnDef, DataType, HanaError, ResultSet, Result, Row, Schema, Value,
-};
+use hana_types::{AggFunc, ColumnDef, DataType, HanaError, Result, ResultSet, Row, Schema, Value};
 
 use crate::cache::BufferCache;
 use crate::page::PageFile;
@@ -181,10 +179,7 @@ impl IqEngine {
     /// table-relocation support). Returns its generated name.
     pub fn create_temp_table(&self, schema: Schema, rows: &[Row], cid: u64) -> Result<String> {
         self.check_up()?;
-        let name = format!(
-            "#tmp_{}",
-            self.temp_counter.fetch_add(1, Ordering::Relaxed)
-        );
+        let name = format!("#tmp_{}", self.temp_counter.fetch_add(1, Ordering::Relaxed));
         self.create_table(&name, schema)?;
         self.direct_load(&name, rows, cid)?;
         Ok(name)
@@ -296,11 +291,7 @@ impl IqEngine {
             };
             candidates = Some(match candidates {
                 None => mask,
-                Some(prev) => prev
-                    .into_iter()
-                    .zip(mask)
-                    .map(|(a, b)| a && b)
-                    .collect(),
+                Some(prev) => prev.into_iter().zip(mask).map(|(a, b)| a && b).collect(),
             });
         }
         let mask = candidates.unwrap_or_else(|| vec![true; chunk.rows]);
@@ -349,6 +340,8 @@ impl IqEngine {
         cid: u64,
     ) -> Result<ResultSet> {
         self.check_up()?;
+        let span = hana_obs::span("iq_scan");
+        let (hits_before, misses_before) = self.cache.stats();
         let tables = self.tables.read();
         let t = tables
             .get(&Self::key(table))
@@ -387,6 +380,10 @@ impl IqEngine {
         for chunk_rows in per_chunk {
             rows.extend(chunk_rows?);
         }
+        let (hits_after, misses_after) = self.cache.stats();
+        span.set_rows(rows.len() as u64);
+        span.attr("cache_hits", hits_after - hits_before);
+        span.attr("pages_read", misses_after - misses_before);
         Ok(ResultSet::new(out_schema, rows))
     }
 
@@ -416,11 +413,10 @@ impl IqEngine {
                         build.entry(row[lc].clone()).or_default().push(i);
                     }
                 }
-                let schema = l.schema.join(&r.schema).or_else(|_| {
-                    l.schema
-                        .qualified("l")
-                        .join(&r.schema.qualified("r"))
-                })?;
+                let schema = l
+                    .schema
+                    .join(&r.schema)
+                    .or_else(|_| l.schema.qualified("l").join(&r.schema.qualified("r")))?;
                 let mut rows = Vec::new();
                 for rrow in &r.rows {
                     if let Some(matches) = build.get(&rrow[rc]) {
@@ -466,7 +462,11 @@ impl IqEngine {
 
     /// Column `(distinct_estimate, min, max)` over visible chunks —
     /// feeds the federated optimizer's cost model.
-    pub fn column_range(&self, table: &str, column: &str) -> Result<(Option<Value>, Option<Value>)> {
+    pub fn column_range(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Result<(Option<Value>, Option<Value>)> {
         let tables = self.tables.read();
         let t = tables
             .get(&Self::key(table))
@@ -546,9 +546,9 @@ pub fn aggregate_rows(
     let mut groups: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> = HashMap::new();
     for row in &input.rows {
         let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
-        let accs = groups.entry(key).or_insert_with(|| {
-            agg_idx.iter().map(|(f, _)| f.accumulator()).collect()
-        });
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| agg_idx.iter().map(|(f, _)| f.accumulator()).collect());
         for (acc, (_, col)) in accs.iter_mut().zip(&agg_idx) {
             match col {
                 Some(c) => acc.add(&row[*c]),

@@ -148,7 +148,10 @@ mod tests {
     #[test]
     fn corrupt_data_is_an_error() {
         assert!(decode_segment(&[]).is_err());
-        assert!(decode_segment(&[1, 0, 0, 0]).is_err(), "count=1 but no value");
+        assert!(
+            decode_segment(&[1, 0, 0, 0]).is_err(),
+            "count=1 but no value"
+        );
         let mut bytes = encode_segment(&[Value::Int(1)]).to_vec();
         bytes.truncate(bytes.len() - 2);
         assert!(decode_segment(&bytes).is_err());

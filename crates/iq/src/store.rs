@@ -266,8 +266,8 @@ impl IqTable {
 mod tests {
     use super::*;
     use crate::page::PageFile;
-    use std::sync::Arc;
     use hana_types::DataType;
+    use std::sync::Arc;
 
     fn cache() -> BufferCache {
         BufferCache::new(Arc::new(PageFile::temp("store").unwrap()), 64)
@@ -276,10 +276,7 @@ mod tests {
     fn rows(n: usize) -> Vec<Row> {
         (0..n)
             .map(|i| {
-                Row::from_values([
-                    Value::Int(i as i64),
-                    Value::from(format!("cat-{}", i % 4)),
-                ])
+                Row::from_values([Value::Int(i as i64), Value::from(format!("cat-{}", i % 4))])
             })
             .collect()
     }
@@ -322,7 +319,10 @@ mod tests {
     fn bitmap_index_on_low_cardinality() {
         let c = cache();
         let chunk = Chunk::build(&c, &schema(), &rows(100), 0, 1).unwrap();
-        assert!(chunk.bitmap_index[0].is_none(), "id has 100 distinct values");
+        assert!(
+            chunk.bitmap_index[0].is_none(),
+            "id has 100 distinct values"
+        );
         let idx = chunk.bitmap_index[1].as_ref().expect("cat has 4 values");
         let b = idx.get(&Value::from("cat-0")).unwrap();
         assert_eq!(b.count(), 25);

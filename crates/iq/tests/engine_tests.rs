@@ -43,10 +43,7 @@ fn scan_with_predicates_and_projection() {
             "orders",
             &[
                 ("o_status".into(), ColumnPredicate::Eq(Value::from("OPEN"))),
-                (
-                    "o_total".into(),
-                    ColumnPredicate::Lt(Value::Double(15.0)),
-                ),
+                ("o_total".into(), ColumnPredicate::Lt(Value::Double(15.0))),
             ],
             Some(&["o_id".to_string()]),
             1,
@@ -71,8 +68,14 @@ fn zone_maps_prune_chunks() {
         1,
     )
     .unwrap();
-    let pruned = iq.stats.chunks_pruned.load(std::sync::atomic::Ordering::Relaxed);
-    assert!(pruned >= 4, "expected at least 4 pruned chunks, got {pruned}");
+    let pruned = iq
+        .stats
+        .chunks_pruned
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        pruned >= 4,
+        "expected at least 4 pruned chunks, got {pruned}"
+    );
 }
 
 #[test]
@@ -163,11 +166,19 @@ fn transactional_insert_via_2pc() {
     iq.buffer_insert(txn.tid, "orders", order_rows(5)).unwrap();
     let before = tm.current_snapshot().cid();
     assert_eq!(before, 1);
-    assert_eq!(iq.row_count("orders", before).unwrap(), 10, "not visible yet");
+    assert_eq!(
+        iq.row_count("orders", before).unwrap(),
+        10,
+        "not visible yet"
+    );
     let participants: Vec<Arc<dyn TwoPhaseParticipant>> = vec![iq.clone()];
     let receipt = tm.commit(txn, &participants).unwrap();
     assert_eq!(iq.row_count("orders", receipt.cid).unwrap(), 15);
-    assert_eq!(iq.row_count("orders", before).unwrap(), 10, "old snapshot stable");
+    assert_eq!(
+        iq.row_count("orders", before).unwrap(),
+        10,
+        "old snapshot stable"
+    );
 }
 
 #[test]
@@ -248,7 +259,10 @@ fn catalog_errors() {
     let iq = IqEngine::new("iq", 16).unwrap();
     assert!(iq.scan("missing", &[], None, 1).is_err());
     iq.create_table("t", orders_schema()).unwrap();
-    assert!(iq.create_table("T", orders_schema()).is_err(), "case-insensitive");
+    assert!(
+        iq.create_table("T", orders_schema()).is_err(),
+        "case-insensitive"
+    );
     assert!(iq.drop_table("nope").is_err());
     // Bad rows rejected on direct load.
     assert!(iq

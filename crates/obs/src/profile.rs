@@ -1,0 +1,252 @@
+//! Per-query profile trees assembled from finished spans.
+//!
+//! A [`QueryProfile`] is the `EXPLAIN ANALYZE` counterpart of a trace:
+//! the spans of one query arranged by parent id, each node carrying
+//! wall time, rows, bytes and worker count. [`QueryProfile::render`]
+//! prints the tree as an indented report.
+
+use crate::trace::SpanRecord;
+
+/// One operator in the profile tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// Operator / phase name.
+    pub name: String,
+    /// Wall time of the span in nanoseconds.
+    pub wall_ns: u64,
+    /// Output rows, when reported.
+    pub rows: Option<u64>,
+    /// Output bytes (estimated), when reported.
+    pub bytes: Option<u64>,
+    /// Worker threads used, when reported.
+    pub workers: Option<u64>,
+    /// Free-form numeric attributes.
+    pub attrs: Vec<(String, u64)>,
+    /// Child operators, in span-start order.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// Total number of nodes in this subtree (including self).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(ProfileNode::size).sum::<usize>()
+    }
+
+    /// Whether every child's wall time is at most this node's
+    /// (recursively) — the consistency property of nested spans.
+    pub fn nests_consistently(&self) -> bool {
+        self.children
+            .iter()
+            .all(|c| c.wall_ns <= self.wall_ns && c.nests_consistently())
+    }
+}
+
+/// The profile tree of one traced query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryProfile {
+    /// Top-level spans (usually exactly one `query` root).
+    pub roots: Vec<ProfileNode>,
+    /// Spans started during the trace.
+    pub spans_started: u64,
+    /// Spans finished during the trace.
+    pub spans_finished: u64,
+}
+
+impl QueryProfile {
+    /// Build a tree from raw span records. Open (unfinished) spans are
+    /// included with their wall time so far set to zero.
+    pub fn from_spans(spans: &[SpanRecord], started: u64, finished: u64) -> QueryProfile {
+        let mut nodes: Vec<ProfileNode> = spans
+            .iter()
+            .map(|s| ProfileNode {
+                name: s.name.clone(),
+                wall_ns: s.wall_ns(),
+                rows: s.rows,
+                bytes: s.bytes,
+                workers: s.workers,
+                attrs: s.attrs.clone(),
+                children: Vec::new(),
+            })
+            .collect();
+        // Attach children to parents from the back: span ids are
+        // allocated in start order, so a child's id is always greater
+        // than its parent's and each node is final before it is moved.
+        let mut roots = Vec::new();
+        for (idx, span) in spans.iter().enumerate().rev() {
+            let node = std::mem::replace(
+                &mut nodes[idx],
+                ProfileNode {
+                    name: String::new(),
+                    wall_ns: 0,
+                    rows: None,
+                    bytes: None,
+                    workers: None,
+                    attrs: Vec::new(),
+                    children: Vec::new(),
+                },
+            );
+            match span.parent {
+                Some(p) if (p as usize) < idx => nodes[p as usize].children.insert(0, node),
+                _ => roots.insert(0, node),
+            }
+        }
+        QueryProfile {
+            roots,
+            spans_started: started,
+            spans_finished: finished,
+        }
+    }
+
+    /// Total wall time: the sum over root spans.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.roots.iter().map(|r| r.wall_ns).sum()
+    }
+
+    /// Whether child wall times never exceed their parent's, across
+    /// the whole tree.
+    pub fn nests_consistently(&self) -> bool {
+        self.roots.iter().all(ProfileNode::nests_consistently)
+    }
+
+    /// Total number of operators in the profile.
+    pub fn node_count(&self) -> usize {
+        self.roots.iter().map(ProfileNode::size).sum()
+    }
+
+    /// Find the first node with `name` in pre-order, if any.
+    pub fn find(&self, name: &str) -> Option<&ProfileNode> {
+        fn walk<'a>(nodes: &'a [ProfileNode], name: &str) -> Option<&'a ProfileNode> {
+            for n in nodes {
+                if n.name == name {
+                    return Some(n);
+                }
+                if let Some(hit) = walk(&n.children, name) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        walk(&self.roots, name)
+    }
+
+    /// Render as an indented `EXPLAIN ANALYZE`-style report.
+    pub fn render(&self) -> String {
+        fn fmt_ns(ns: u64) -> String {
+            if ns >= 1_000_000_000 {
+                format!("{:.2}s", ns as f64 / 1e9)
+            } else if ns >= 1_000_000 {
+                format!("{:.2}ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.1}us", ns as f64 / 1e3)
+            } else {
+                format!("{ns}ns")
+            }
+        }
+        fn walk(node: &ProfileNode, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(if depth == 0 { "" } else { "-> " });
+            out.push_str(&node.name);
+            let mut parts = vec![format!("time={}", fmt_ns(node.wall_ns))];
+            if let Some(r) = node.rows {
+                parts.push(format!("rows={r}"));
+            }
+            if let Some(b) = node.bytes {
+                parts.push(format!("bytes={b}"));
+            }
+            if let Some(w) = node.workers {
+                parts.push(format!("workers={w}"));
+            }
+            for (k, v) in &node.attrs {
+                parts.push(format!("{k}={v}"));
+            }
+            out.push_str(&format!(" ({})\n", parts.join(", ")));
+            for c in &node.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        for r in &self.roots {
+            walk(r, 0, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn sample_profile() -> QueryProfile {
+        let tracer = Tracer::new();
+        {
+            let _g = tracer.install();
+            let root = crate::span("query");
+            {
+                let agg = crate::span("aggregate");
+                {
+                    let scan = crate::span("column_scan");
+                    scan.set_rows(100_000);
+                    scan.set_workers(4);
+                }
+                agg.set_rows(10);
+            }
+            root.set_rows(10);
+            root.set_bytes(320);
+        }
+        tracer.profile()
+    }
+
+    #[test]
+    fn tree_structure_matches_nesting() {
+        let p = sample_profile();
+        assert_eq!(p.roots.len(), 1);
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.roots[0].name, "query");
+        assert_eq!(p.roots[0].children[0].name, "aggregate");
+        assert_eq!(p.roots[0].children[0].children[0].name, "column_scan");
+        assert!(p.nests_consistently());
+        assert_eq!(p.spans_started, 3);
+        assert_eq!(p.spans_finished, 3);
+    }
+
+    #[test]
+    fn find_locates_nodes() {
+        let p = sample_profile();
+        let scan = p.find("column_scan").expect("scan node");
+        assert_eq!(scan.rows, Some(100_000));
+        assert_eq!(scan.workers, Some(4));
+        assert!(p.find("missing").is_none());
+    }
+
+    #[test]
+    fn render_lists_all_operators() {
+        let p = sample_profile();
+        let text = p.render();
+        assert!(text.contains("query (time="), "{text}");
+        assert!(text.contains("-> aggregate"), "{text}");
+        assert!(text.contains("-> column_scan"), "{text}");
+        assert!(text.contains("rows=100000"), "{text}");
+        assert!(text.contains("workers=4"), "{text}");
+        assert!(text.contains("bytes=320"), "{text}");
+    }
+
+    #[test]
+    fn sibling_order_is_start_order() {
+        let tracer = Tracer::new();
+        {
+            let _g = tracer.install();
+            let _root = crate::span("root");
+            crate::span("a").finish();
+            crate::span("b").finish();
+            crate::span("c").finish();
+        }
+        let p = tracer.profile();
+        let names: Vec<&str> = p.roots[0]
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

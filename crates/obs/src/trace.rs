@@ -1,0 +1,311 @@
+//! Span-based tracing with explicit start/finish and parent ids.
+//!
+//! A [`Tracer`] is installed on the current thread with
+//! [`Tracer::install`]; while the guard lives, [`span`] opens a span
+//! parented to the innermost open span on this thread and finishes it
+//! when the returned [`Span`] guard drops. Code that runs without an
+//! installed tracer pays one thread-local read — the returned guard is
+//! inert. There is no background machinery: spans are plain records
+//! with relative start/end nanoseconds, collected inside the tracer
+//! and assembled into a [`crate::QueryProfile`] afterwards.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of installed tracers (innermost last).
+    static TRACERS: RefCell<Vec<Arc<Tracer>>> = const { RefCell::new(Vec::new()) };
+    /// Stack of open spans on this thread: (tracer ptr, span id).
+    static OPEN_SPANS: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One recorded span. Times are nanoseconds since the tracer's epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span id (index into the tracer's span list).
+    pub id: u64,
+    /// Parent span id, if any.
+    pub parent: Option<u64>,
+    /// Operator / phase name.
+    pub name: String,
+    /// Start offset (ns since tracer creation).
+    pub start_ns: u64,
+    /// End offset; `None` while the span is still open.
+    pub end_ns: Option<u64>,
+    /// Output rows, when the operator reported them.
+    pub rows: Option<u64>,
+    /// Output bytes (estimated), when reported.
+    pub bytes: Option<u64>,
+    /// Worker threads used, when reported.
+    pub workers: Option<u64>,
+    /// Free-form numeric attributes.
+    pub attrs: Vec<(String, u64)>,
+}
+
+impl SpanRecord {
+    /// Wall time of a finished span (0 while open).
+    pub fn wall_ns(&self) -> u64 {
+        self.end_ns.unwrap_or(self.start_ns) - self.start_ns
+    }
+}
+
+#[derive(Default)]
+struct TracerState {
+    spans: Vec<SpanRecord>,
+    started: u64,
+    finished: u64,
+}
+
+/// Collects the spans of one traced execution (typically one query).
+pub struct Tracer {
+    epoch: Instant,
+    state: Mutex<TracerState>,
+}
+
+impl Tracer {
+    /// A fresh tracer.
+    pub fn new() -> Arc<Tracer> {
+        Arc::new(Tracer {
+            epoch: Instant::now(),
+            state: Mutex::new(TracerState::default()),
+        })
+    }
+
+    /// Install this tracer as the current one on the calling thread
+    /// until the guard drops. Installs nest (innermost wins).
+    pub fn install(self: &Arc<Tracer>) -> TracerGuard {
+        TRACERS.with(|t| t.borrow_mut().push(Arc::clone(self)));
+        TracerGuard {
+            tracer: Arc::clone(self),
+        }
+    }
+
+    /// Start a span with an explicit parent (the [`span`] free function
+    /// derives the parent from the thread's innermost open span).
+    pub fn start_span(self: &Arc<Tracer>, name: &str, parent: Option<u64>) -> Span {
+        let id = {
+            let mut st = self.state.lock().unwrap();
+            let id = st.spans.len() as u64;
+            st.started += 1;
+            st.spans.push(SpanRecord {
+                id,
+                parent,
+                name: name.to_string(),
+                start_ns: self.epoch.elapsed().as_nanos() as u64,
+                end_ns: None,
+                rows: None,
+                bytes: None,
+                workers: None,
+                attrs: Vec::new(),
+            });
+            id
+        };
+        OPEN_SPANS.with(|s| s.borrow_mut().push((Arc::as_ptr(self) as usize, id)));
+        Span {
+            inner: Some((Arc::clone(self), id)),
+        }
+    }
+
+    /// `(started, finished)` span counts so far.
+    pub fn span_counts(&self) -> (u64, u64) {
+        let st = self.state.lock().unwrap();
+        (st.started, st.finished)
+    }
+
+    /// Copies of all recorded spans (finished or open).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.state.lock().unwrap().spans.clone()
+    }
+
+    /// Assemble the finished spans into a profile tree.
+    pub fn profile(&self) -> crate::QueryProfile {
+        let st = self.state.lock().unwrap();
+        crate::QueryProfile::from_spans(&st.spans, st.started, st.finished)
+    }
+
+    fn finish_span(&self, id: u64) {
+        let end = self.epoch.elapsed().as_nanos() as u64;
+        let mut st = self.state.lock().unwrap();
+        st.finished += 1;
+        st.spans[id as usize].end_ns = Some(end);
+    }
+
+    fn update_span(&self, id: u64, f: impl FnOnce(&mut SpanRecord)) {
+        f(&mut self.state.lock().unwrap().spans[id as usize]);
+    }
+}
+
+/// Keeps a tracer installed on the current thread.
+pub struct TracerGuard {
+    tracer: Arc<Tracer>,
+}
+
+impl Drop for TracerGuard {
+    fn drop(&mut self) {
+        TRACERS.with(|t| {
+            let mut stack = t.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|x| Arc::ptr_eq(x, &self.tracer)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// The tracer currently installed on this thread, if any.
+pub fn current_tracer() -> Option<Arc<Tracer>> {
+    TRACERS.with(|t| t.borrow().last().cloned())
+}
+
+/// Open a span under the thread's current tracer, parented to the
+/// innermost open span. Without an installed tracer this is a no-op
+/// and returns an inert guard.
+pub fn span(name: &str) -> Span {
+    let Some(tracer) = current_tracer() else {
+        return Span { inner: None };
+    };
+    let ptr = Arc::as_ptr(&tracer) as usize;
+    let parent = OPEN_SPANS.with(|s| {
+        s.borrow()
+            .iter()
+            .rev()
+            .find(|(p, _)| *p == ptr)
+            .map(|&(_, id)| id)
+    });
+    tracer.start_span(name, parent)
+}
+
+/// RAII span guard: finished exactly once, when dropped (or via the
+/// explicit [`Span::finish`]).
+pub struct Span {
+    inner: Option<(Arc<Tracer>, u64)>,
+}
+
+impl Span {
+    /// Whether this guard records anything (false without a tracer).
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This span's id, when recording.
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|(_, id)| *id)
+    }
+
+    /// Report output rows.
+    pub fn set_rows(&self, n: u64) {
+        self.update(|rec| rec.rows = Some(n));
+    }
+
+    /// Report output bytes (estimated).
+    pub fn set_bytes(&self, n: u64) {
+        self.update(|rec| rec.bytes = Some(n));
+    }
+
+    /// Report worker threads used.
+    pub fn set_workers(&self, n: u64) {
+        self.update(|rec| rec.workers = Some(n));
+    }
+
+    /// Attach a named numeric attribute.
+    pub fn attr(&self, name: &str, value: u64) {
+        self.update(|rec| rec.attrs.push((name.to_string(), value)));
+    }
+
+    fn update(&self, f: impl FnOnce(&mut SpanRecord)) {
+        if let Some((tracer, id)) = &self.inner {
+            tracer.update_span(*id, f);
+        }
+    }
+
+    /// Finish explicitly (equivalent to dropping).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((tracer, id)) = self.inner.take() {
+            OPEN_SPANS.with(|s| {
+                let mut stack = s.borrow_mut();
+                let ptr = Arc::as_ptr(&tracer) as usize;
+                if let Some(pos) = stack.iter().rposition(|&e| e == (ptr, id)) {
+                    stack.remove(pos);
+                }
+            });
+            tracer.finish_span(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_without_tracer_is_inert() {
+        assert!(current_tracer().is_none());
+        let s = span("orphan");
+        assert!(!s.is_recording());
+        s.set_rows(5); // no-op, must not panic
+    }
+
+    #[test]
+    fn spans_nest_and_finish_once() {
+        let tracer = Tracer::new();
+        {
+            let _g = tracer.install();
+            let root = span("root");
+            {
+                let child = span("child");
+                child.set_rows(7);
+                child.attr("chunks", 3);
+            }
+            root.set_rows(1);
+        }
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "root");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].rows, Some(7));
+        assert_eq!(spans[1].attrs, vec![("chunks".to_string(), 3)]);
+        assert!(spans.iter().all(|s| s.end_ns.is_some()));
+        // Child finished before root, so child end <= root end and
+        // child start >= root start (wall times nest).
+        assert!(spans[1].start_ns >= spans[0].start_ns);
+        assert!(spans[1].end_ns.unwrap() <= spans[0].end_ns.unwrap());
+        assert_eq!(tracer.span_counts(), (2, 2));
+    }
+
+    #[test]
+    fn uninstalled_tracer_gets_no_spans() {
+        let a = Tracer::new();
+        let b = Tracer::new();
+        {
+            let _ga = a.install();
+            {
+                let _gb = b.install();
+                let _s = span("inner"); // goes to b (innermost)
+            }
+            let _s = span("outer"); // goes to a
+        }
+        assert_eq!(a.spans().len(), 1);
+        assert_eq!(a.spans()[0].name, "outer");
+        assert_eq!(b.spans().len(), 1);
+        assert_eq!(b.spans()[0].name, "inner");
+    }
+
+    #[test]
+    fn explicit_parent_and_wall_ns() {
+        let tracer = Tracer::new();
+        let root = tracer.start_span("r", None);
+        let child = tracer.start_span("c", root.id());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(child);
+        drop(root);
+        let spans = tracer.spans();
+        assert_eq!(spans[1].parent, Some(0));
+        assert!(spans[1].wall_ns() > 0);
+        assert!(spans[1].wall_ns() <= spans[0].wall_ns());
+    }
+}

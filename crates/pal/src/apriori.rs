@@ -53,8 +53,7 @@ pub fn apriori(
     transactions: &[Vec<String>],
     params: AprioriParams,
 ) -> Result<Vec<AssociationRule>> {
-    if !(0.0..=1.0).contains(&params.min_support) || !(0.0..=1.0).contains(&params.min_confidence)
-    {
+    if !(0.0..=1.0).contains(&params.min_support) || !(0.0..=1.0).contains(&params.min_confidence) {
         return Err(HanaError::Config(
             "apriori thresholds must be within [0, 1]".into(),
         ));
@@ -357,9 +356,7 @@ mod tests {
 
     #[test]
     fn max_len_bounds_exploration() {
-        let txs: Vec<Vec<String>> = (0..20)
-            .map(|_| tx(&["a", "b", "c", "d", "e"]))
-            .collect();
+        let txs: Vec<Vec<String>> = (0..20).map(|_| tx(&["a", "b", "c", "d", "e"])).collect();
         let rules = apriori(
             &txs,
             AprioriParams {

@@ -14,7 +14,7 @@ use hana_columnar::ColumnTable;
 use hana_iq::IqEngine;
 use hana_rowstore::RowTable;
 use hana_sda::SdaRegistry;
-use hana_types::{HanaError, ResultSet, Result, Schema, Value};
+use hana_types::{HanaError, Result, ResultSet, Schema, Value};
 
 /// A table-valued function (virtual MR function, ESP window, …).
 pub trait TableFunction: Send + Sync {

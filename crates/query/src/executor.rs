@@ -6,7 +6,7 @@ use hana_exec::ExecContext;
 use hana_sda::RemoteContext;
 use hana_sql::finish::finish_query;
 use hana_sql::{evaluate, evaluate_predicate, resolve_column, Expr, JoinKind, Query, TableRef};
-use hana_types::{HanaError, ResultSet, Result, Row, Schema, Value};
+use hana_types::{HanaError, Result, ResultSet, Row, Schema, Value};
 
 use crate::catalog::{Catalog, TableSource};
 use crate::plan::{PlanNode, PlanOp};
@@ -32,7 +32,10 @@ pub fn execute_query_with(
     catalog: &dyn Catalog,
     cid: u64,
 ) -> Result<ResultSet> {
-    let plan = Planner::new(catalog).plan(q)?;
+    let plan = {
+        let _span = hana_obs::span("plan");
+        Planner::new(catalog).plan(q)?
+    };
     execute_plan_with(exec, &plan, catalog, cid)
 }
 
@@ -48,12 +51,56 @@ pub fn execute_plan(plan: &PlanNode, catalog: &dyn Catalog, cid: u64) -> Result<
     execute_plan_with(ExecContext::global(), plan, catalog, cid)
 }
 
+/// Operator name a plan node reports its span under.
+fn span_name(op: &PlanOp) -> String {
+    match op {
+        PlanOp::ColumnScan { table, .. } => format!("column_scan[{table}]"),
+        PlanOp::RowScan { table, .. } => format!("row_scan[{table}]"),
+        PlanOp::HybridScan { table, .. } => format!("hybrid_scan[{table}]"),
+        PlanOp::RemoteQuery { source, .. } => format!("remote_query[{source}]"),
+        PlanOp::FunctionScan { function, .. } => format!("function_scan[{function}]"),
+        PlanOp::HashJoin { .. } => "hash_join".into(),
+        PlanOp::NestedLoopJoin { .. } => "nested_loop_join".into(),
+        PlanOp::SemiJoin { source, .. } => format!("semi_join[{source}]"),
+        PlanOp::RelocateJoin { source, .. } => format!("relocate_join[{source}]"),
+        PlanOp::Filter { .. } => "filter".into(),
+        PlanOp::Aggregate { group_by, .. } => {
+            if group_by.is_empty() {
+                "aggregate".into()
+            } else {
+                "group_by".into()
+            }
+        }
+        PlanOp::Finish { .. } => "finish".into(),
+    }
+}
+
 /// Execute a physical plan with an explicit execution context.
+///
+/// Every operator runs under an observability span named after the
+/// plan node (`column_scan[t]`, `group_by`, `hash_join`, …) carrying
+/// output rows/bytes — [`hana_obs::Tracer::profile`] turns the spans of
+/// one query into an `EXPLAIN ANALYZE`-style tree. Without an installed
+/// tracer the spans are inert.
 pub fn execute_plan_with(
     exec: &ExecContext,
     plan: &PlanNode,
     catalog: &dyn Catalog,
     cid: u64,
+) -> Result<ResultSet> {
+    let span = hana_obs::span(&span_name(&plan.op));
+    let rs = execute_plan_inner(exec, plan, catalog, cid, &span)?;
+    span.set_rows(rs.rows.len() as u64);
+    span.set_bytes(rs.approx_bytes());
+    Ok(rs)
+}
+
+fn execute_plan_inner(
+    exec: &ExecContext,
+    plan: &PlanNode,
+    catalog: &dyn Catalog,
+    cid: u64,
+    span: &hana_obs::Span,
 ) -> Result<ResultSet> {
     match &plan.op {
         PlanOp::ColumnScan { table, preds, .. } => {
@@ -68,11 +115,16 @@ pub fn execute_plan_with(
             // Morsel-parallel above the row threshold; bit-identical to
             // the serial scan (see ColumnTable::par_scan_all).
             let hits = if t.row_count() >= PARALLEL_ROW_THRESHOLD {
+                span.set_workers(exec.config().workers as u64);
                 t.par_scan_all(exec, &resolved, cid)?
             } else {
                 t.scan_all(&resolved, cid)?
             };
-            Ok(ResultSet::new(plan.schema.clone(), t.collect_rows(&hits, &[])))
+            span.attr("input_rows", t.row_count() as u64);
+            Ok(ResultSet::new(
+                plan.schema.clone(),
+                t.collect_rows(&hits, &[]),
+            ))
         }
         PlanOp::RowScan { table, preds, .. } => {
             let TableSource::Row(t) = catalog.resolve_table(table)? else {
@@ -114,9 +166,10 @@ pub fn execute_plan_with(
             Ok(ResultSet::new(plan.schema.clone(), rows))
         }
         PlanOp::RemoteQuery { source, query, .. } => {
-            let (rs, _) = catalog
-                .sda()
-                .execute_remote(source, query, &RemoteContext::snapshot(cid))?;
+            let (rs, _) =
+                catalog
+                    .sda()
+                    .execute_remote(source, query, &RemoteContext::snapshot(cid))?;
             // Positional alignment: trust the planner's schema when the
             // arity matches (names may differ between engines).
             if rs.schema.len() == plan.schema.len() {
@@ -205,10 +258,18 @@ pub fn execute_plan_with(
                 filter: Some(filter),
                 ..Query::default()
             };
-            let (reduced, _) = catalog
-                .sda()
-                .execute_remote(source, &sub, &RemoteContext::snapshot(cid))?;
-            hash_join(&l, &reduced, local_key, remote_key, JoinKind::Inner, &plan.schema)
+            let (reduced, _) =
+                catalog
+                    .sda()
+                    .execute_remote(source, &sub, &RemoteContext::snapshot(cid))?;
+            hash_join(
+                &l,
+                &reduced,
+                local_key,
+                remote_key,
+                JoinKind::Inner,
+                &plan.schema,
+            )
         }
         PlanOp::RelocateJoin {
             local,
@@ -288,37 +349,39 @@ pub fn execute_plan_with(
             // Above the threshold, aggregate row chunks into partial
             // hash tables on the pool and merge the accumulators
             // (partial aggregation, MapReduce-combiner style).
-            let mut groups: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> =
-                if inp.rows.len() >= PARALLEL_ROW_THRESHOLD {
-                    let chunk_rows = exec.config().aligned_morsel_rows();
-                    let chunks: Vec<&[Row]> = inp.rows.chunks(chunk_rows).collect();
-                    if let Some(q) = hana_exec::current_query_metrics() {
-                        q.add_morsels(chunks.len() as u64);
-                        q.add_tasks(chunks.len() as u64);
-                    }
-                    let partials = exec.scatter(chunks, |rows| {
-                        aggregate_chunk(rows, group_by, aggs, &inp.schema)
-                    });
-                    let mut merged: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> =
-                        HashMap::new();
-                    for partial in partials {
-                        for (key, accs) in partial? {
-                            match merged.entry(key) {
-                                std::collections::hash_map::Entry::Occupied(mut e) => {
-                                    for (into, from) in e.get_mut().iter_mut().zip(&accs) {
-                                        into.merge(from);
-                                    }
+            let mut groups: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> = if inp.rows.len()
+                >= PARALLEL_ROW_THRESHOLD
+            {
+                let chunk_rows = exec.config().aligned_morsel_rows();
+                let chunks: Vec<&[Row]> = inp.rows.chunks(chunk_rows).collect();
+                if let Some(q) = hana_exec::current_query_metrics() {
+                    q.add_morsels(chunks.len() as u64);
+                    q.add_tasks(chunks.len() as u64);
+                }
+                span.set_workers(exec.config().workers as u64);
+                span.attr("partials", chunks.len() as u64);
+                let partials = exec.scatter(chunks, |rows| {
+                    aggregate_chunk(rows, group_by, aggs, &inp.schema)
+                });
+                let mut merged: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> = HashMap::new();
+                for partial in partials {
+                    for (key, accs) in partial? {
+                        match merged.entry(key) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                for (into, from) in e.get_mut().iter_mut().zip(&accs) {
+                                    into.merge(from);
                                 }
-                                std::collections::hash_map::Entry::Vacant(e) => {
-                                    e.insert(accs);
-                                }
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(accs);
                             }
                         }
                     }
-                    merged
-                } else {
-                    aggregate_chunk(&inp.rows, group_by, aggs, &inp.schema)?
-                };
+                }
+                merged
+            } else {
+                aggregate_chunk(&inp.rows, group_by, aggs, &inp.schema)?
+            };
             if groups.is_empty() && group_by.is_empty() {
                 groups.insert(
                     Vec::new(),

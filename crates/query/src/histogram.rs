@@ -151,19 +151,13 @@ impl QHistogram {
             ColumnPredicate::Ne(v) => {
                 (self.total_rows - self.null_rows) as f64 - self.estimate_eq(v)
             }
-            ColumnPredicate::Lt(v) | ColumnPredicate::Le(v) => {
-                self.estimate_range(None, Some(v))
-            }
-            ColumnPredicate::Gt(v) | ColumnPredicate::Ge(v) => {
-                self.estimate_range(Some(v), None)
-            }
+            ColumnPredicate::Lt(v) | ColumnPredicate::Le(v) => self.estimate_range(None, Some(v)),
+            ColumnPredicate::Gt(v) | ColumnPredicate::Ge(v) => self.estimate_range(Some(v), None),
             ColumnPredicate::Between(lo, hi) => self.estimate_range(Some(lo), Some(hi)),
             ColumnPredicate::InList(vs) => vs.iter().map(|v| self.estimate_eq(v)).sum(),
             ColumnPredicate::IsNull => self.null_rows as f64,
             ColumnPredicate::IsNotNull => (self.total_rows - self.null_rows) as f64,
-            ColumnPredicate::Like(_) => {
-                0.1 * (self.total_rows - self.null_rows) as f64
-            }
+            ColumnPredicate::Like(_) => 0.1 * (self.total_rows - self.null_rows) as f64,
         }
     }
 

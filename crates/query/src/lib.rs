@@ -31,8 +31,6 @@ pub use planner::Planner;
 
 /// Lower a conjunct into a pushable column predicate (re-exported from
 /// SDA so the planner and external callers share one definition).
-pub fn pushdown_expr(
-    e: &hana_sql::Expr,
-) -> Option<(String, hana_columnar::ColumnPredicate)> {
+pub fn pushdown_expr(e: &hana_sql::Expr) -> Option<(String, hana_columnar::ColumnPredicate)> {
     hana_sda::expr_to_column_predicate(e)
 }

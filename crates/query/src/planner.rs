@@ -531,7 +531,13 @@ impl<'a> Planner<'a> {
         match strategy {
             FederationStrategy::RemoteScan => {
                 let right = self.leaf(b, hints)?;
-                join_node(acc, right, left_key.to_string(), right_key.to_string(), JoinKind::Inner)
+                join_node(
+                    acc,
+                    right,
+                    left_key.to_string(),
+                    right_key.to_string(),
+                    JoinKind::Inner,
+                )
             }
             FederationStrategy::SemiJoin => Ok(PlanNode {
                 op: PlanOp::SemiJoin {
@@ -576,8 +582,7 @@ impl<'a> Planner<'a> {
                     for (col, pred) in &lowered {
                         // Histogram over the ordered dictionary ([16]).
                         if let Some(idx) = t.schema().index_of(col) {
-                            let hist =
-                                QHistogram::build(&t.value_frequencies(idx), 0, 2.0);
+                            let hist = QHistogram::build(&t.value_frequencies(idx), 0, 2.0);
                             est *= hist.selectivity(pred);
                         } else {
                             est *= pred.default_selectivity();
@@ -591,7 +596,12 @@ impl<'a> Planner<'a> {
                         .iter()
                         .fold(rows, |e, (_, p)| e * p.default_selectivity())
                 }
-                TableSource::Hybrid { hot, source, cold_table, .. } => {
+                TableSource::Hybrid {
+                    hot,
+                    source,
+                    cold_table,
+                    ..
+                } => {
                     let hot_rows = hot.read().row_count() as f64;
                     let cold_rows = self.remote_rows(source, cold_table);
                     let sel: f64 = lowered
@@ -600,8 +610,16 @@ impl<'a> Planner<'a> {
                         .product();
                     (hot_rows + cold_rows) * sel
                 }
-                TableSource::Extended { source, remote_table, .. }
-                | TableSource::Virtual { source, remote_table, .. } => {
+                TableSource::Extended {
+                    source,
+                    remote_table,
+                    ..
+                }
+                | TableSource::Virtual {
+                    source,
+                    remote_table,
+                    ..
+                } => {
                     let total = self.remote_rows(source, remote_table);
                     let sel: f64 = lowered
                         .iter()
@@ -640,10 +658,7 @@ impl Binding {
 /// Lower assigned conjuncts to column predicates, dropping the ones that
 /// cannot be lowered (they are still shipped/evaluated as expressions).
 fn lower_preds(preds: &[Expr]) -> Vec<(String, hana_columnar::ColumnPredicate)> {
-    preds
-        .iter()
-        .filter_map(crate::pushdown_expr)
-        .collect()
+    preds.iter().filter_map(crate::pushdown_expr).collect()
 }
 
 /// Which binding owns column `(qualifier, name)`? `None` if ambiguous or
@@ -652,9 +667,7 @@ fn binding_of_column(bindings: &[Binding], qualifier: Option<&str>, name: &str) 
     let mut found = None;
     for (i, b) in bindings.iter().enumerate() {
         let hit = match qualifier {
-            Some(q) => {
-                q == b.name && b.schema.index_of(&format!("{q}.{name}")).is_some()
-            }
+            Some(q) => q == b.name && b.schema.index_of(&format!("{q}.{name}")).is_some(),
             None => b.schema.index_of(&format!("{}.{name}", b.name)).is_some(),
         };
         if hit {
@@ -683,8 +696,16 @@ fn equi_keys(on: &Expr, left: &Schema, right: &Schema) -> Result<(String, String
         right: r,
     } = on
     {
-        if let (Expr::Column { qualifier: lq, name: ln }, Expr::Column { qualifier: rq, name: rn }) =
-            (l.as_ref(), r.as_ref())
+        if let (
+            Expr::Column {
+                qualifier: lq,
+                name: ln,
+            },
+            Expr::Column {
+                qualifier: rq,
+                name: rn,
+            },
+        ) = (l.as_ref(), r.as_ref())
         {
             let lref = |q: &Option<String>, n: &str| {
                 q.as_ref()
@@ -711,8 +732,16 @@ fn equi_keys_within(on: &Expr, schema: &Schema) -> Option<()> {
         right,
     } = on
     {
-        if let (Expr::Column { qualifier: lq, name: ln }, Expr::Column { qualifier: rq, name: rn }) =
-            (left.as_ref(), right.as_ref())
+        if let (
+            Expr::Column {
+                qualifier: lq,
+                name: ln,
+            },
+            Expr::Column {
+                qualifier: rq,
+                name: rn,
+            },
+        ) = (left.as_ref(), right.as_ref())
         {
             let ok = |q: &Option<String>, n: &str| {
                 hana_sql::resolve_column(schema, q.as_deref(), n).is_ok()

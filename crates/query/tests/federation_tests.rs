@@ -10,9 +10,7 @@ use parking_lot::RwLock;
 use hana_columnar::ColumnTable;
 use hana_hadoop::{Hdfs, Hive, MrCluster, MrConfig};
 use hana_iq::IqEngine;
-use hana_query::{
-    execute_query, explain_query, Catalog, FederationStrategy, Planner, TableSource,
-};
+use hana_query::{execute_query, explain_query, Catalog, FederationStrategy, Planner, TableSource};
 use hana_rowstore::RowTable;
 use hana_sda::{HiveOdbcAdapter, IqAdapter, SdaAdapter, SdaRegistry};
 use hana_sql::{parse_statement, Statement};
@@ -129,21 +127,14 @@ fn world() -> TestCatalog {
         "ev_orders",
         &(0..2000)
             .map(|i| {
-                Row::from_values([
-                    Value::Int(i),
-                    Value::Int(i % 100),
-                    Value::Double(i as f64),
-                ])
+                Row::from_values([Value::Int(i), Value::Int(i % 100), Value::Double(i as f64)])
             })
             .collect::<Vec<_>>(),
     )
     .unwrap();
     hive.create_table(
         "ev_customer",
-        Schema::of(&[
-            ("c_id", DataType::Int),
-            ("c_seg", DataType::Varchar),
-        ]),
+        Schema::of(&[("c_id", DataType::Int), ("c_seg", DataType::Varchar)]),
     )
     .unwrap();
     hive.load(

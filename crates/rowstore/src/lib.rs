@@ -200,11 +200,7 @@ impl RowTable {
 
     /// Slots of visible rows matching `pred` (for buffered DML: resolve
     /// at statement time, delete at commit time).
-    pub fn slots_matching(
-        &self,
-        snapshot: Snapshot,
-        pred: impl Fn(&Row) -> bool,
-    ) -> Vec<usize> {
+    pub fn slots_matching(&self, snapshot: Snapshot, pred: impl Fn(&Row) -> bool) -> Vec<usize> {
         self.rows
             .iter()
             .enumerate()
@@ -239,7 +235,14 @@ impl RowTable {
     pub fn payload_bytes(&self) -> usize {
         self.rows
             .iter()
-            .map(|r| 16 + r.values.values().iter().map(Value::storage_bytes).sum::<usize>())
+            .map(|r| {
+                16 + r
+                    .values
+                    .values()
+                    .iter()
+                    .map(Value::storage_bytes)
+                    .sum::<usize>()
+            })
             .sum()
     }
 }
@@ -261,7 +264,8 @@ mod tests {
     #[test]
     fn point_lookup_under_snapshots() {
         let mut t = table();
-        t.insert(&[Value::Int(1), Value::Double(100.0)], 10).unwrap();
+        t.insert(&[Value::Int(1), Value::Double(100.0)], 10)
+            .unwrap();
         assert!(t.get(&Value::Int(1), Snapshot::at(9)).is_none());
         let row = t.get(&Value::Int(1), Snapshot::at(10)).unwrap();
         assert_eq!(row[1], Value::Double(100.0));
@@ -334,12 +338,7 @@ mod tests {
 
     #[test]
     fn table_without_pk_scans_only() {
-        let mut t = RowTable::new(
-            "log",
-            Schema::of(&[("msg", DataType::Varchar)]),
-            None,
-        )
-        .unwrap();
+        let mut t = RowTable::new("log", Schema::of(&[("msg", DataType::Varchar)]), None).unwrap();
         t.insert(&[Value::from("a")], 1).unwrap();
         t.insert(&[Value::from("a")], 1).unwrap(); // duplicates fine
         assert_eq!(t.scan(Snapshot::at(1)).len(), 2);

@@ -13,7 +13,7 @@ use hana_hadoop::{Hive, MrFunctionRegistry};
 use hana_iq::{IqEngine, IqPlan};
 use hana_sql::finish::{collect_aggregates, finish_query};
 use hana_sql::{BinOp, Expr, JoinKind, Query, TableRef};
-use hana_types::{AggFunc, HanaError, ResultSet, Result, Row, Schema};
+use hana_types::{AggFunc, HanaError, Result, ResultSet, Row, Schema};
 
 use crate::capability::CapabilitySet;
 use crate::context::RemoteContext;
@@ -89,7 +89,12 @@ pub trait SdaAdapter: Send + Sync {
 
     /// Ship rows into a remote temp table (semi-join reduction / table
     /// relocation). Returns the temp table name. Default: unsupported.
-    fn create_temp_table(&self, schema: Schema, rows: &[Row], ctx: &RemoteContext) -> Result<String> {
+    fn create_temp_table(
+        &self,
+        schema: Schema,
+        rows: &[Row],
+        ctx: &RemoteContext,
+    ) -> Result<String> {
         let _ = (schema, rows, ctx);
         Err(HanaError::Unsupported(format!(
             "adapter '{}' cannot receive shipped rows",
@@ -100,7 +105,12 @@ pub trait SdaAdapter: Send + Sync {
     /// Source-side selectivity estimate for one column predicate, if the
     /// source maintains statistics for it (§3.1: histograms "on the
     /// extended storage"). `None` falls back to default selectivities.
-    fn estimate_selectivity(&self, table: &str, column: &str, pred: &ColumnPredicate) -> Option<f64> {
+    fn estimate_selectivity(
+        &self,
+        table: &str,
+        column: &str,
+        pred: &ColumnPredicate,
+    ) -> Option<f64> {
         let _ = (table, column, pred);
         None
     }
@@ -204,7 +214,12 @@ impl SdaAdapter for HiveOdbcAdapter {
         self.hive.current_tick()
     }
 
-    fn create_temp_table(&self, schema: Schema, rows: &[Row], ctx: &RemoteContext) -> Result<String> {
+    fn create_temp_table(
+        &self,
+        schema: Schema,
+        rows: &[Row],
+        ctx: &RemoteContext,
+    ) -> Result<String> {
         ctx.check_deadline("hive temp-table shipping")?;
         let name = format!("tmp_shipped_{}", self.hive.current_tick());
         self.hive.create_table(&name, schema)?;
@@ -390,10 +405,9 @@ impl IqAdapter {
 
 fn named(t: &TableRef) -> Result<(String, String)> {
     match t {
-        TableRef::Named { name, alias } => Ok((
-            alias.clone().unwrap_or_else(|| name.clone()),
-            name.clone(),
-        )),
+        TableRef::Named { name, alias } => {
+            Ok((alias.clone().unwrap_or_else(|| name.clone()), name.clone()))
+        }
         other => Err(HanaError::Unsupported(format!(
             "IQ FROM supports named tables only, got {other}"
         ))),
@@ -460,7 +474,12 @@ impl SdaAdapter for IqAdapter {
         Ok(ResultSet::new(schema, rows))
     }
 
-    fn create_temp_table(&self, schema: Schema, rows: &[Row], ctx: &RemoteContext) -> Result<String> {
+    fn create_temp_table(
+        &self,
+        schema: Schema,
+        rows: &[Row],
+        ctx: &RemoteContext,
+    ) -> Result<String> {
         ctx.check_deadline("IQ temp-table shipping")?;
         self.engine.create_temp_table(schema, rows, ctx.cid())
     }
@@ -472,7 +491,12 @@ impl SdaAdapter for IqAdapter {
     /// Range-based estimation from the engine's zone-map metadata: a
     /// numeric predicate's selectivity is interpolated over the column's
     /// min/max span.
-    fn estimate_selectivity(&self, table: &str, column: &str, pred: &ColumnPredicate) -> Option<f64> {
+    fn estimate_selectivity(
+        &self,
+        table: &str,
+        column: &str,
+        pred: &ColumnPredicate,
+    ) -> Option<f64> {
         let (min, max) = self.engine.column_range(table, column).ok()?;
         let (lo, hi) = (min?.as_f64()?, max?.as_f64()?);
         if hi <= lo {
@@ -483,9 +507,7 @@ impl SdaAdapter for IqAdapter {
         match pred {
             ColumnPredicate::Lt(v) | ColumnPredicate::Le(v) => frac(v),
             ColumnPredicate::Gt(v) | ColumnPredicate::Ge(v) => frac(v).map(|f| 1.0 - f),
-            ColumnPredicate::Between(a, b) => {
-                Some((frac(b)? - frac(a)?).clamp(0.0, 1.0))
-            }
+            ColumnPredicate::Between(a, b) => Some((frac(b)? - frac(a)?).clamp(0.0, 1.0)),
             ColumnPredicate::Eq(_) => {
                 let rows = self.engine.row_count(table, u64::MAX - 1).ok()? as f64;
                 Some((1.0 / rows.max(1.0)).min(1.0))

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 use hana_sql::Query;
-use hana_types::{ResultSet, Result};
+use hana_types::{Result, ResultSet};
 
 use crate::adapter::SdaAdapter;
 use crate::breaker::BreakerConfig;
@@ -299,11 +299,7 @@ impl RemoteCache {
         let mut fb = self.fallback.lock();
         if !fb.contains_key(&key) && fb.len() >= cfg.stale_fallback_max_entries {
             // Evict the oldest entry to stay bounded.
-            if let Some(oldest) = fb
-                .iter()
-                .min_by_key(|(_, e)| e.stored_at)
-                .map(|(k, _)| *k)
-            {
+            if let Some(oldest) = fb.iter().min_by_key(|(_, e)| e.stored_at).map(|(k, _)| *k) {
                 fb.remove(&oldest);
             }
         }

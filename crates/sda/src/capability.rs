@@ -111,8 +111,7 @@ impl CapabilitySet {
                 return false;
             }
         }
-        if (!q.group_by.is_empty()
-            || q.select.iter().any(|s| s.expr.contains_aggregate()))
+        if (!q.group_by.is_empty() || q.select.iter().any(|s| s.expr.contains_aggregate()))
             && !self.cap_group_by
         {
             return false;
@@ -194,9 +193,7 @@ impl CapabilitySet {
             "CAP_TRANSACTIONS" => self.cap_transactions = v,
             "CAP_SEMI_JOIN" => self.cap_semi_join = v,
             "CAP_REMOTE_CACHE" => self.cap_remote_cache = v,
-            other => {
-                return Err(HanaError::Config(format!("unknown capability '{other}'")))
-            }
+            other => return Err(HanaError::Config(format!("unknown capability '{other}'"))),
         }
         Ok(())
     }
@@ -230,8 +227,7 @@ mod tests {
         assert!(CapabilitySet::from_property_file("CAP_JOINS : maybe").is_err());
         assert!(CapabilitySet::from_property_file("CAP_NOPE : true").is_err());
         // Comments and blanks are fine.
-        let c = CapabilitySet::from_property_file("# all defaults\n\nCAP_SELECT : true\n")
-            .unwrap();
+        let c = CapabilitySet::from_property_file("# all defaults\n\nCAP_SELECT : true\n").unwrap();
         assert!(c.cap_select && !c.cap_joins);
     }
 
@@ -242,9 +238,7 @@ mod tests {
         assert!(hive.supports_query(&query(
             "SELECT a, COUNT(*) FROM t JOIN u ON a = b GROUP BY a"
         )));
-        assert!(!hive.supports_query(&query(
-            "SELECT a FROM t LEFT OUTER JOIN u ON a = b"
-        )));
+        assert!(!hive.supports_query(&query("SELECT a FROM t LEFT OUTER JOIN u ON a = b")));
         let mr = CapabilitySet::hadoop_mr();
         assert!(!mr.supports_query(&query("SELECT a FROM t")));
         let iq = CapabilitySet::iq();

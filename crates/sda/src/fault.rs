@@ -22,7 +22,7 @@ use std::time::Duration;
 
 use hana_columnar::ColumnPredicate;
 use hana_sql::Query;
-use hana_types::{HanaError, ResultSet, Result, Row, Schema};
+use hana_types::{HanaError, Result, ResultSet, Row, Schema};
 
 use crate::adapter::{RemoteStats, SdaAdapter};
 use crate::capability::CapabilitySet;
@@ -169,9 +169,7 @@ impl ChaosAdapter {
                 let as_timeout = unit_f64(splitmix64(self.config.seed ^ n ^ 0x0007_1530_u64))
                     < self.config.timeout_share;
                 return Err(if as_timeout {
-                    HanaError::remote_timeout(format!(
-                        "chaos: injected timeout ({op}, call {n})"
-                    ))
+                    HanaError::remote_timeout(format!("chaos: injected timeout ({op}, call {n})"))
                 } else {
                     HanaError::remote_unavailable(format!(
                         "chaos: injected transient failure ({op}, call {n})"
@@ -227,12 +225,22 @@ impl SdaAdapter for ChaosAdapter {
         self.inner.invoke_function(configuration)
     }
 
-    fn create_temp_table(&self, schema: Schema, rows: &[Row], ctx: &RemoteContext) -> Result<String> {
+    fn create_temp_table(
+        &self,
+        schema: Schema,
+        rows: &[Row],
+        ctx: &RemoteContext,
+    ) -> Result<String> {
         self.perturb("create_temp_table")?;
         self.inner.create_temp_table(schema, rows, ctx)
     }
 
-    fn estimate_selectivity(&self, table: &str, column: &str, pred: &ColumnPredicate) -> Option<f64> {
+    fn estimate_selectivity(
+        &self,
+        table: &str,
+        column: &str,
+        pred: &ColumnPredicate,
+    ) -> Option<f64> {
         self.inner.estimate_selectivity(table, column, pred)
     }
 }
@@ -246,9 +254,7 @@ mod tests {
         let cfg = ChaosConfig::default().with_seed(42).with_failure_rate(0.3);
         let plan = |cfg: &ChaosConfig| -> Vec<bool> {
             (0..64u64)
-                .map(|n| {
-                    unit_f64(splitmix64(cfg.seed ^ n.wrapping_mul(0x9E37))) < cfg.failure_rate
-                })
+                .map(|n| unit_f64(splitmix64(cfg.seed ^ n.wrapping_mul(0x9E37))) < cfg.failure_rate)
                 .collect()
         };
         assert_eq!(plan(&cfg), plan(&cfg.clone()));

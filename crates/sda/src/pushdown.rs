@@ -37,10 +37,7 @@ pub fn expr_to_column_predicate(e: &Expr) -> Option<(String, ColumnPredicate)> {
             negated: false,
         } => {
             let col = column_name(expr)?;
-            Some((
-                col,
-                ColumnPredicate::Between(literal(lo)?, literal(hi)?),
-            ))
+            Some((col, ColumnPredicate::Between(literal(lo)?, literal(hi)?)))
         }
         Expr::InList {
             expr,
@@ -123,8 +120,7 @@ mod tests {
     use hana_sql::{parse_statement, Statement};
 
     fn filter(sql: &str) -> Expr {
-        let Statement::Query(q) =
-            parse_statement(&format!("SELECT * FROM t WHERE {sql}")).unwrap()
+        let Statement::Query(q) = parse_statement(&format!("SELECT * FROM t WHERE {sql}")).unwrap()
         else {
             panic!()
         };

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use hana_types::{HanaError, ResultSet, Result, Schema};
+use hana_types::{HanaError, Result, ResultSet, Schema};
 
 use crate::adapter::SdaAdapter;
 use crate::breaker::{BreakerState, BreakerStats, CircuitBreaker};
@@ -224,9 +224,9 @@ impl SdaRegistry {
     /// what the job produced. MR invocations run under the same
     /// breaker/retry regime as remote queries.
     pub fn invoke_virtual_function(&self, name: &str) -> Result<ResultSet> {
-        let vf = self.virtual_function(name).ok_or_else(|| {
-            HanaError::Catalog(format!("unknown virtual function '{name}'"))
-        })?;
+        let vf = self
+            .virtual_function(name)
+            .ok_or_else(|| HanaError::Catalog(format!("unknown virtual function '{name}'")))?;
         let source = self.source(&vf.source)?;
         let res = self.resilience_for(&source.name);
         if !res.breaker.try_acquire() {
@@ -272,15 +272,27 @@ impl SdaRegistry {
     ) -> Result<(ResultSet, CacheOutcome)> {
         let source = self.source(source_name)?;
         let res = self.resilience_for(&source.name);
+        let obs = hana_obs::registry();
+        let span = hana_obs::span("sda_execute");
         if !res.breaker.try_acquire() {
+            obs.counter(&format!(
+                "hana_sda_breaker_rejections_total_{}",
+                source.name
+            ))
+            .inc();
             if let Some(rs) = self.cache.stale_lookup(q, source.adapter.host()) {
                 res.stale_fallbacks.fetch_add(1, Ordering::Relaxed);
+                obs.counter(&format!("hana_sda_stale_fallbacks_total_{}", source.name))
+                    .inc();
+                span.attr("stale_fallback", 1);
                 return Ok((rs, CacheOutcome::StaleFallback));
             }
             return Err(self.breaker_open_error(&source.name, &res));
         }
         let policy = ctx.retry().copied().unwrap_or(self.cache.config().retry);
         let attempts_before = ctx.attempts();
+        let opened_before = res.breaker.stats().opened;
+        let started = std::time::Instant::now();
         let outcome = self.with_breaker(&res, || {
             run_with_retry(
                 &policy,
@@ -289,15 +301,36 @@ impl SdaRegistry {
                 |_| self.cache.execute(&source.adapter, q, ctx),
             )
         });
-        res.retries.fetch_add(
-            (ctx.attempts() - attempts_before).saturating_sub(1) as u64,
-            Ordering::Relaxed,
-        );
+        // Per-source observability: attempt/retry/trip counters plus
+        // the remote round-trip latency histogram.
+        let attempts = (ctx.attempts() - attempts_before) as u64;
+        let retries = attempts.saturating_sub(1);
+        res.retries.fetch_add(retries, Ordering::Relaxed);
+        obs.histogram(&format!("hana_sda_roundtrip_ns_{}", source.name))
+            .record(started.elapsed().as_nanos() as u64);
+        obs.counter(&format!("hana_sda_attempts_total_{}", source.name))
+            .add(attempts.max(1));
+        obs.counter(&format!("hana_sda_retries_total_{}", source.name))
+            .add(retries);
+        let tripped = res.breaker.stats().opened - opened_before;
+        if tripped > 0 {
+            obs.counter(&format!("hana_sda_breaker_trips_total_{}", source.name))
+                .add(tripped);
+        }
+        span.attr("attempts", attempts.max(1));
+        span.attr("retries", retries);
         match outcome {
-            Ok(ok) => Ok(ok),
+            Ok((rs, cache_outcome)) => {
+                span.set_rows(rs.rows.len() as u64);
+                span.set_bytes(rs.approx_bytes());
+                Ok((rs, cache_outcome))
+            }
             Err(e) if e.is_retryable() => {
                 if let Some(rs) = self.cache.stale_lookup(q, source.adapter.host()) {
                     res.stale_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    obs.counter(&format!("hana_sda_stale_fallbacks_total_{}", source.name))
+                        .inc();
+                    span.attr("stale_fallback", 1);
                     return Ok((rs, CacheOutcome::StaleFallback));
                 }
                 Err(e)
@@ -363,11 +396,7 @@ impl SdaRegistry {
     /// close the failure streak, retryable failures extend it. Permanent
     /// errors (bad SQL, schema mismatches) say nothing about source
     /// health and leave the breaker alone.
-    fn with_breaker<T>(
-        &self,
-        res: &SourceResilience,
-        f: impl FnOnce() -> Result<T>,
-    ) -> Result<T> {
+    fn with_breaker<T>(&self, res: &SourceResilience, f: impl FnOnce() -> Result<T>) -> Result<T> {
         match f() {
             Ok(v) => {
                 res.breaker.record_success();

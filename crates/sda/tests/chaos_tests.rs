@@ -74,10 +74,12 @@ fn fast_breaker(threshold: u32) -> BreakerConfig {
 }
 
 /// A registry with one chaos-wrapped Hive source named `hive1`.
-fn chaos_registry(chaos_cfg: ChaosConfig, fed_cfg: RemoteCacheConfig) -> (SdaRegistry, Arc<ChaosAdapter>) {
+fn chaos_registry(
+    chaos_cfg: ChaosConfig,
+    fed_cfg: RemoteCacheConfig,
+) -> (SdaRegistry, Arc<ChaosAdapter>) {
     let hive = hive_with_data();
-    let inner: Arc<dyn SdaAdapter> =
-        Arc::new(HiveOdbcAdapter::new(hive, "DSN=hive1"));
+    let inner: Arc<dyn SdaAdapter> = Arc::new(HiveOdbcAdapter::new(hive, "DSN=hive1"));
     let chaos = Arc::new(ChaosAdapter::new(inner, chaos_cfg));
     let registry = SdaRegistry::new();
     registry
@@ -115,7 +117,10 @@ fn transient_chaos_succeeds_within_retry_budget() {
     );
     let stats = registry.source_stats("hive1").unwrap();
     assert_eq!(stats.breaker_state, BreakerState::Closed);
-    assert!(stats.retries > 0, "retries absorbed the failures: {stats:?}");
+    assert!(
+        stats.retries > 0,
+        "retries absorbed the failures: {stats:?}"
+    );
     assert_eq!(stats.breaker.successes, 10, "every logical call succeeded");
 }
 
@@ -158,7 +163,10 @@ fn forced_outage_degrades_to_stale_fallback() {
         .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
         .unwrap();
     assert_eq!(outcome, CacheOutcome::StaleFallback);
-    assert_eq!(stale.rows, fresh.rows, "bounded-stale copy of the last result");
+    assert_eq!(
+        stale.rows, fresh.rows,
+        "bounded-stale copy of the last result"
+    );
 
     // Keep querying until the breaker opens; fallback keeps serving.
     for _ in 0..3 {
@@ -231,10 +239,7 @@ fn breaker_recovers_through_half_open_probe() {
             .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
             .unwrap_err();
     }
-    assert_eq!(
-        registry.breaker_state("hive1").unwrap(),
-        BreakerState::Open
-    );
+    assert_eq!(registry.breaker_state("hive1").unwrap(), BreakerState::Open);
 
     // Outage ends; after the cooldown the next call is the half-open
     // probe, succeeds, and closes the breaker.

@@ -7,8 +7,8 @@ use std::time::Duration;
 use hana_hadoop::{Hdfs, Hive, MrCluster, MrConfig, MrFunction, MrFunctionRegistry, KV};
 use hana_iq::IqEngine;
 use hana_sda::{
-    CacheOutcome, HadoopMrAdapter, HiveOdbcAdapter, IqAdapter, RemoteCacheConfig,
-    RemoteContext, SdaAdapter, SdaRegistry,
+    CacheOutcome, HadoopMrAdapter, HiveOdbcAdapter, IqAdapter, RemoteCacheConfig, RemoteContext,
+    SdaAdapter, SdaRegistry,
 };
 use hana_sql::{parse_statement, Statement};
 use hana_types::{DataType, Row, Schema, Value};
@@ -162,9 +162,7 @@ fn remote_cache_validity_expires() {
             .with_remote_cache(true)
             .with_validity(2), // expires after 2 ticks
     );
-    let q = query(
-        "SELECT product_id FROM product WHERE price > 100 WITH HINT (USE_REMOTE_CACHE)",
-    );
+    let q = query("SELECT product_id FROM product WHERE price > 100 WITH HINT (USE_REMOTE_CACHE)");
     let (_, o1) = registry
         .execute_remote("hive1", &q, &RemoteContext::snapshot(1))
         .unwrap();
@@ -238,7 +236,9 @@ fn hadoop_adapter_invokes_driver_class() {
         ]),
     )
     .unwrap();
-    let rs = sda.invoke_virtual_function("plant100_sensor_records").unwrap();
+    let rs = sda
+        .invoke_virtual_function("plant100_sensor_records")
+        .unwrap();
     assert_eq!(rs.len(), 2);
     assert_eq!(rs.schema.index_of("pressure"), Some(1));
     // Missing driver class in configuration errors.
@@ -257,10 +257,7 @@ fn iq_adapter_ships_plans() {
     let iq = Arc::new(IqEngine::new("iq", 128).unwrap());
     iq.create_table(
         "sales",
-        Schema::of(&[
-            ("region", DataType::Varchar),
-            ("amount", DataType::Double),
-        ]),
+        Schema::of(&[("region", DataType::Varchar), ("amount", DataType::Double)]),
     )
     .unwrap();
     let rows: Vec<Row> = (0..1000)
@@ -307,5 +304,8 @@ fn capability_gates_shape_shipping() {
     assert!(!caps.supports_query(&query(
         "SELECT p.product_id FROM product p LEFT OUTER JOIN product q ON p.product_id = q.product_id"
     )));
-    assert!(!caps.cap_transactions, "Hive has no transactional guarantees");
+    assert!(
+        !caps.cap_transactions,
+        "Hive has no transactional guarantees"
+    );
 }

@@ -480,13 +480,11 @@ mod tests {
 
     #[test]
     fn conjunct_splitting() {
-        let e = Expr::col("a")
-            .and(Expr::col("b"))
-            .and(Expr::Binary {
-                left: Box::new(Expr::col("c")),
-                op: BinOp::Or,
-                right: Box::new(Expr::col("d")),
-            });
+        let e = Expr::col("a").and(Expr::col("b")).and(Expr::Binary {
+            left: Box::new(Expr::col("c")),
+            op: BinOp::Or,
+            right: Box::new(Expr::col("d")),
+        });
         let parts = e.conjuncts();
         assert_eq!(parts.len(), 3);
         // The OR stays intact as a single conjunct.

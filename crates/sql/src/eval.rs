@@ -22,9 +22,7 @@ pub fn evaluate(expr: &Expr, schema: &Schema, row: &Row) -> Result<Value> {
             let idx = resolve_column(schema, qualifier.as_deref(), name)?;
             Ok(row[idx].clone())
         }
-        Expr::Wildcard => Err(HanaError::Plan(
-            "'*' is only valid inside COUNT(*)".into(),
-        )),
+        Expr::Wildcard => Err(HanaError::Plan("'*' is only valid inside COUNT(*)".into())),
         Expr::Unary { op, expr } => {
             let v = evaluate(expr, schema, row)?;
             match op {
@@ -210,12 +208,7 @@ fn apply_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
 }
 
 /// Scalar (non-aggregate) SQL functions.
-fn eval_scalar_function(
-    name: &str,
-    args: &[Expr],
-    schema: &Schema,
-    row: &Row,
-) -> Result<Value> {
+fn eval_scalar_function(name: &str, args: &[Expr], schema: &Schema, row: &Row) -> Result<Value> {
     let eval_arg = |i: usize| evaluate(&args[i], schema, row);
     let need = |n: usize| -> Result<()> {
         if args.len() == n {
@@ -233,9 +226,7 @@ fn eval_scalar_function(
             Ok(match eval_arg(0)? {
                 Value::Date(d) => Value::Int(d.year() as i64),
                 Value::Null => Value::Null,
-                other => {
-                    return Err(HanaError::Execution(format!("YEAR of non-date {other}")))
-                }
+                other => return Err(HanaError::Execution(format!("YEAR of non-date {other}"))),
             })
         }
         "MONTH" => {
@@ -243,9 +234,7 @@ fn eval_scalar_function(
             Ok(match eval_arg(0)? {
                 Value::Date(d) => Value::Int(d.month() as i64),
                 Value::Null => Value::Null,
-                other => {
-                    return Err(HanaError::Execution(format!("MONTH of non-date {other}")))
-                }
+                other => return Err(HanaError::Execution(format!("MONTH of non-date {other}"))),
             })
         }
         "ADD_MONTHS" => {
@@ -396,7 +385,13 @@ mod tests {
         let s = Schema::of(&[("x", DataType::Int)]);
         let null_row = Row::from_values([Value::Null]);
         // NULL comparisons are not true.
-        for pred in ["x = 1", "x <> 1", "x IN (1)", "x BETWEEN 1 AND 2", "x LIKE 'a'"] {
+        for pred in [
+            "x = 1",
+            "x <> 1",
+            "x IN (1)",
+            "x BETWEEN 1 AND 2",
+            "x LIKE 'a'",
+        ] {
             let e = where_expr(pred);
             assert!(!evaluate_predicate(&e, &s, &null_row).unwrap(), "{pred}");
         }

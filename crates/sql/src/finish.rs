@@ -279,9 +279,8 @@ mod tests {
 
     #[test]
     fn collects_aggregates_in_order() {
-        let q = query(
-            "SELECT SUM(a), COUNT(*) FROM t GROUP BY b HAVING AVG(c) > 1 ORDER BY SUM(a)",
-        );
+        let q =
+            query("SELECT SUM(a), COUNT(*) FROM t GROUP BY b HAVING AVG(c) > 1 ORDER BY SUM(a)");
         let aggs = collect_aggregates(&q);
         assert_eq!(aggs.len(), 3);
         assert_eq!(aggs[0].0, AggFunc::Sum);

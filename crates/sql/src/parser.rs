@@ -752,13 +752,15 @@ impl Parser {
             Some(Token::Number(n)) => {
                 self.pos += 1;
                 let v = if n.contains('.') {
-                    Value::Double(n.parse().map_err(|_| {
-                        HanaError::Parse(format!("bad numeric literal '{n}'"))
-                    })?)
+                    Value::Double(
+                        n.parse()
+                            .map_err(|_| HanaError::Parse(format!("bad numeric literal '{n}'")))?,
+                    )
                 } else {
-                    Value::Int(n.parse().map_err(|_| {
-                        HanaError::Parse(format!("bad numeric literal '{n}'"))
-                    })?)
+                    Value::Int(
+                        n.parse()
+                            .map_err(|_| HanaError::Parse(format!("bad numeric literal '{n}'")))?,
+                    )
                 };
                 Ok(Expr::Literal(v))
             }
@@ -861,10 +863,10 @@ impl Parser {
 /// Words that terminate an implicit alias position.
 fn is_reserved(word: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "select", "from", "where", "group", "having", "order", "limit", "with", "join",
-        "inner", "left", "right", "outer", "on", "as", "and", "or", "not", "in", "between",
-        "like", "is", "null", "asc", "desc", "union", "case", "when", "then", "else", "end",
-        "values", "set", "top", "distinct", "using",
+        "select", "from", "where", "group", "having", "order", "limit", "with", "join", "inner",
+        "left", "right", "outer", "on", "as", "and", "or", "not", "in", "between", "like", "is",
+        "null", "asc", "desc", "union", "case", "when", "then", "else", "end", "values", "set",
+        "top", "distinct", "using",
     ];
     RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
 }
@@ -965,7 +967,10 @@ mod tests {
         };
         assert_eq!(name, "plant100_sensor_records");
         assert_eq!(returns.len(), 2);
-        assert_eq!(returns[0], ("equip_id".to_string(), "varchar(30)".to_string()));
+        assert_eq!(
+            returns[0],
+            ("equip_id".to_string(), "varchar(30)".to_string())
+        );
         assert_eq!(source, "mrserver");
     }
 

@@ -216,8 +216,7 @@ mod tests {
             panic!("rendered text did not parse: {rendered}")
         };
         assert_eq!(
-            q1,
-            q2,
+            q1, q2,
             "render/parse round-trip changed the AST:\n{sql}\n-> {rendered}"
         );
     }

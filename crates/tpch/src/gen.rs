@@ -67,7 +67,13 @@ const NATIONS: [(&str, i64); 25] = [
     ("UNITED STATES", 1),
     ("CHINA", 2),
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const INSTRUCTS: [&str; 4] = [
@@ -198,7 +204,9 @@ pub fn generate(scale: f64, seed: u64) -> TpchData {
                     Value::from(TYPES[rng.random_range(0..TYPES.len())]),
                     Value::Int(rng.random_range(1..51)),
                     Value::from(CONTAINERS[rng.random_range(0..CONTAINERS.len())]),
-                    Value::Double(round2(900.0 + (i % 200) as f64 + rng.random_range(0.0..100.0))),
+                    Value::Double(round2(
+                        900.0 + (i % 200) as f64 + rng.random_range(0.0..100.0),
+                    )),
                 ])
             })
             .collect(),
@@ -361,7 +369,10 @@ mod tests {
         assert_eq!(d.table("orders").rows.len(), 3000);
         let li = d.table("lineitem").rows.len();
         assert!((3000..=21_000).contains(&li), "lineitem = {li}");
-        assert_eq!(d.table("partsupp").rows.len(), 2 * d.table("part").rows.len());
+        assert_eq!(
+            d.table("partsupp").rows.len(),
+            2 * d.table("part").rows.len()
+        );
     }
 
     #[test]

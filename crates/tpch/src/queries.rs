@@ -246,7 +246,12 @@ mod tests {
     fn all_queries_parse() {
         for q in queries() {
             let parsed = parse_statement(&q.sql);
-            assert!(parsed.is_ok(), "{} failed to parse: {:?}", q.name, parsed.err());
+            assert!(
+                parsed.is_ok(),
+                "{} failed to parse: {:?}",
+                q.name,
+                parsed.err()
+            );
             assert!(matches!(parsed.unwrap(), Statement::Query(_)));
         }
     }
@@ -256,8 +261,7 @@ mod tests {
         let names: Vec<&str> = queries().iter().map(|q| q.name).collect();
         assert_eq!(names.len(), 12);
         for expected in [
-            "Q4", "Q18*", "Q13*", "Q3*", "Q12*", "Q6", "Q1*", "Q5*", "Q10", "Q19", "Q14",
-            "Q16",
+            "Q4", "Q18*", "Q13*", "Q3*", "Q12*", "Q6", "Q1*", "Q5*", "Q10", "Q19", "Q14", "Q16",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }

@@ -251,9 +251,7 @@ impl TransactionManager {
         let pos = in_doubt
             .iter()
             .position(|(t, _)| *t == tid)
-            .ok_or_else(|| {
-                HanaError::Transaction(format!("transaction {tid} is not in-doubt"))
-            })?;
+            .ok_or_else(|| HanaError::Transaction(format!("transaction {tid} is not in-doubt")))?;
         in_doubt.remove(pos);
         drop(in_doubt);
         for p in participants {

@@ -72,10 +72,7 @@ impl LogRecord {
             "D" => LogRecord::Data {
                 tid,
                 engine: parts.next().ok_or_else(bad)?.to_string(),
-                payload: parts
-                    .next()
-                    .ok_or_else(bad)?
-                    .replace("\\n", "\n"),
+                payload: parts.next().ok_or_else(bad)?.replace("\\n", "\n"),
             },
             "P" => LogRecord::Prepare {
                 tid,
@@ -262,7 +259,10 @@ mod tests {
         }
         let rep = wal.recover_to(100);
         assert_eq!(rep.committed, vec![(1, 100)]);
-        assert!(rep.aborted.contains(&4), "tid 4 committed after the PIT target");
+        assert!(
+            rep.aborted.contains(&4),
+            "tid 4 committed after the PIT target"
+        );
     }
 
     #[test]

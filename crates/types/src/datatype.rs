@@ -89,9 +89,15 @@ mod tests {
 
     #[test]
     fn parse_sql_accepts_aliases_and_lengths() {
-        assert_eq!(DataType::parse_sql("VARCHAR(30)").unwrap(), DataType::Varchar);
+        assert_eq!(
+            DataType::parse_sql("VARCHAR(30)").unwrap(),
+            DataType::Varchar
+        );
         assert_eq!(DataType::parse_sql("integer").unwrap(), DataType::Int);
-        assert_eq!(DataType::parse_sql("DECIMAL(15,2)").unwrap(), DataType::Double);
+        assert_eq!(
+            DataType::parse_sql("DECIMAL(15,2)").unwrap(),
+            DataType::Double
+        );
         assert_eq!(DataType::parse_sql(" date ").unwrap(), DataType::Date);
         assert!(DataType::parse_sql("BLOB").is_err());
     }

@@ -152,7 +152,14 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "1995", "1995-13-01", "1995-02-30", "95-1-1-1", "abcd-ef-gh"] {
+        for bad in [
+            "",
+            "1995",
+            "1995-13-01",
+            "1995-02-30",
+            "95-1-1-1",
+            "abcd-ef-gh",
+        ] {
             assert!(Date::parse(bad).is_err(), "{bad} should not parse");
         }
     }

@@ -126,9 +126,7 @@ impl HanaError {
     pub fn is_remote(&self) -> bool {
         matches!(
             self,
-            HanaError::Remote(_)
-                | HanaError::RemoteTimeout(_)
-                | HanaError::RemoteUnavailable(_)
+            HanaError::Remote(_) | HanaError::RemoteTimeout(_) | HanaError::RemoteUnavailable(_)
         )
     }
 }

@@ -63,6 +63,17 @@ impl ResultSet {
         Ok(self.rows.iter().map(|r| r[idx].clone()).collect())
     }
 
+    /// Approximate payload size in bytes (sum of per-value storage
+    /// footprints) — the `bytes` figure operators report into query
+    /// profiles.
+    pub fn approx_bytes(&self) -> u64 {
+        self.rows
+            .iter()
+            .flat_map(|r| r.values())
+            .map(|v| v.storage_bytes() as u64)
+            .sum()
+    }
+
     /// Sort rows by the given column indices ascending (test helper —
     /// makes unordered results comparable).
     pub fn sorted_by(mut self, cols: &[usize]) -> ResultSet {

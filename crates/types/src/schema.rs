@@ -71,12 +71,8 @@ impl Schema {
     /// Convenience constructor from `(name, type)` pairs; panics on
     /// duplicates (intended for tests and generated schemas).
     pub fn of(cols: &[(&str, DataType)]) -> Schema {
-        Schema::new(
-            cols.iter()
-                .map(|(n, t)| ColumnDef::new(n, *t))
-                .collect(),
-        )
-        .expect("static schema must not contain duplicates")
+        Schema::new(cols.iter().map(|(n, t)| ColumnDef::new(n, *t)).collect())
+            .expect("static schema must not contain duplicates")
     }
 
     /// The columns in declaration order.

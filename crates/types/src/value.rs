@@ -194,9 +194,10 @@ impl Value {
                 "false" | "0" | "f" => Ok(Value::Bool(false)),
                 _ => Err(bad("BOOLEAN")),
             },
-            DataType::Int | DataType::BigInt => {
-                text.parse::<i64>().map(Value::Int).map_err(|_| bad("INTEGER"))
-            }
+            DataType::Int | DataType::BigInt => text
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| bad("INTEGER")),
             DataType::Double => text
                 .parse::<f64>()
                 .map(Value::Double)
@@ -416,18 +417,12 @@ mod tests {
     fn sql_cmp_is_three_valued() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
     }
 
     #[test]
     fn arithmetic_promotes_and_propagates_null() {
-        assert_eq!(
-            Value::Int(2).add(&Value::Int(3)).unwrap(),
-            Value::Int(5)
-        );
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
         assert_eq!(
             Value::Int(2).mul(&Value::Double(1.5)).unwrap(),
             Value::Double(3.0)
@@ -473,7 +468,9 @@ mod tests {
             Value::Date(Date::parse("1995-06-17").unwrap())
         );
         assert!(Value::parse_typed("", DataType::Int).unwrap().is_null());
-        assert!(Value::parse_typed("\\N", DataType::Double).unwrap().is_null());
+        assert!(Value::parse_typed("\\N", DataType::Double)
+            .unwrap()
+            .is_null());
         assert!(Value::parse_typed("xyz", DataType::Int).is_err());
     }
 

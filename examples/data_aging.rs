@@ -41,9 +41,18 @@ fn main() {
     hana.load_rows(&session, "sales", &rows).unwrap();
     hana.execute_sql(&session, "MERGE DELTA OF sales").unwrap();
 
-    let count =
-        |sql: &str| -> i64 { hana.execute_sql(&session, sql).unwrap().scalar().unwrap().as_i64().unwrap() };
-    println!("Loaded {} rows, all hot.", count("SELECT COUNT(*) FROM sales"));
+    let count = |sql: &str| -> i64 {
+        hana.execute_sql(&session, sql)
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_i64()
+            .unwrap()
+    };
+    println!(
+        "Loaded {} rows, all hot.",
+        count("SELECT COUNT(*) FROM sales")
+    );
 
     // The aging daemon moves flagged rows into the extended storage.
     let moved = hana.run_aging(&session, "sales").unwrap();

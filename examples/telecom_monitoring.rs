@@ -40,8 +40,11 @@ fn main() {
     )
     .unwrap();
     for (c, city) in [("c1", "Walldorf"), ("c2", "Dresden"), ("c3", "Berlin")] {
-        hana.execute_sql(&session, &format!("INSERT INTO cells VALUES ('{c}', '{city}')"))
-            .unwrap();
+        hana.execute_sql(
+            &session,
+            &format!("INSERT INTO cells VALUES ('{c}', '{city}')"),
+        )
+        .unwrap();
     }
     hana.execute_sql(
         &session,
@@ -62,7 +65,8 @@ fn main() {
     .unwrap();
     // ESP join (use case 2): push the reference, then deploy the
     // enriched alert stream.
-    hana.push_reference_to_esp(&session, "cells", "cells").unwrap();
+    hana.push_reference_to_esp(&session, "cells", "cells")
+        .unwrap();
     esp.deploy(
         "CREATE OUTPUT STREAM located_alerts AS \
              SELECT e.cell, r.city, e.load FROM network_events e \
@@ -100,11 +104,19 @@ fn main() {
             "c2" => 55.0 + (i % 7) as f64,
             _ => 35.0 + (i % 5) as f64,
         };
-        esp.send("network_events", i * 250_000, event(&cell, "status", load.min(99.0)))
-            .unwrap();
+        esp.send(
+            "network_events",
+            i * 250_000,
+            event(&cell, "status", load.min(99.0)),
+        )
+        .unwrap();
         if i == 2800 {
-            esp.send("network_events", i * 250_000 + 1, event("c3", "outage", 0.0))
-                .unwrap();
+            esp.send(
+                "network_events",
+                i * 250_000 + 1,
+                event("c3", "outage", 0.0),
+            )
+            .unwrap();
         }
     }
 
@@ -130,7 +142,10 @@ fn main() {
     let rs = hana
         .execute_sql(&session, "SELECT COUNT(*) FROM network_health")
         .unwrap();
-    println!("Aggregates forwarded into HANA: {} row(s)\n", rs.scalar().unwrap());
+    println!(
+        "Aggregates forwarded into HANA: {} row(s)\n",
+        rs.scalar().unwrap()
+    );
 
     // ---- offline analysis on the archive (Hadoop) -------------------
     struct MaxLoad;
@@ -202,7 +217,11 @@ fn main() {
         "Replayed {replayed} archived events into the development ESP; \
          improved pattern fired {} time(s) -> {}.\n",
         v2.len(),
-        if v2.is_empty() { "needs more work" } else { "promote to production" }
+        if v2.is_empty() {
+            "needs more work"
+        } else {
+            "promote to production"
+        }
     );
 
     // ---- PAL: cluster cells by load profile -------------------------

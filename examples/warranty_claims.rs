@@ -26,8 +26,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const DTCS: [&str; 8] = [
-    "dtc_P0300", "dtc_P0420", "dtc_P0171", "dtc_B1342", "dtc_C1201", "dtc_U0100",
-    "dtc_P0455", "dtc_P0128",
+    "dtc_P0300",
+    "dtc_P0420",
+    "dtc_P0171",
+    "dtc_B1342",
+    "dtc_C1201",
+    "dtc_U0100",
+    "dtc_P0455",
+    "dtc_P0128",
 ];
 const CONTEXT: [&str; 5] = [
     "hot_climate",
@@ -69,8 +75,7 @@ fn main() {
         }
         let risky = (items.contains(&"dtc_P0300".to_string())
             && items.contains(&"hot_climate".to_string()))
-            || (items.contains(&"dtc_P0171".to_string())
-                && items.contains(&"towing".to_string()));
+            || (items.contains(&"dtc_P0171".to_string()) && items.contains(&"towing".to_string()));
         let claimed = risky && rng.random_range(0..10) < 9;
         items.sort();
         items.dedup();
@@ -94,8 +99,11 @@ fn main() {
          WITH CREDENTIAL TYPE 'PASSWORD' USING 'user=dfuser;password=dfpass'",
     )
     .unwrap();
-    hana.execute_sql(&session, "CREATE VIRTUAL TABLE readouts AT hive1.dflo.dflo.readouts")
-        .unwrap();
+    hana.execute_sql(
+        &session,
+        "CREATE VIRTUAL TABLE readouts AT hive1.dflo.dflo.readouts",
+    )
+    .unwrap();
     hana.set_remote_cache(true, 1_000_000);
 
     // The twelve-month extraction for the X7 series (pushed to Hive).
@@ -162,7 +170,11 @@ fn main() {
         rules.iter().map(|r| r.confidence).fold(1.0, f64::min),
         rules.iter().map(|r| r.confidence).fold(0.0, f64::max),
     );
-    for r in rules.iter().filter(|r| r.consequent == vec!["claim".to_string()]).take(4) {
+    for r in rules
+        .iter()
+        .filter(|r| r.consequent == vec!["claim".to_string()])
+        .take(4)
+    {
         println!(
             "  {:?} => claim  (support {:.3}, confidence {:.2}, lift {:.1})",
             r.antecedent, r.support, r.confidence, r.lift
@@ -171,10 +183,17 @@ fn main() {
 
     // ---- classify new read-outs in real time in HANA ----------------
     let clf = RuleClassifier::new(&rules, "claim");
-    println!("\nClassifier built from {} claim rules; scoring new read-outs:", clf.rule_count());
+    println!(
+        "\nClassifier built from {} claim rules; scoring new read-outs:",
+        clf.rule_count()
+    );
     for obs in [
         vec!["dtc_P0300".to_string(), "hot_climate".to_string()],
-        vec!["dtc_P0171".to_string(), "towing".to_string(), "city_driving".to_string()],
+        vec![
+            "dtc_P0171".to_string(),
+            "towing".to_string(),
+            "city_driving".to_string(),
+        ],
         vec!["dtc_P0420".to_string(), "highway".to_string()],
     ] {
         match clf.score(&obs) {

@@ -24,6 +24,7 @@ pub use hana_columnar as columnar;
 pub use hana_esp as esp;
 pub use hana_hadoop as hadoop;
 pub use hana_iq as iq;
+pub use hana_obs as obs;
 pub use hana_pal as pal;
 pub use hana_query as query;
 pub use hana_rowstore as rowstore;
@@ -34,4 +35,4 @@ pub use hana_txn as txn;
 pub use hana_types as types;
 
 pub use hana_core::HanaPlatform;
-pub use hana_types::{DataType, Date, HanaError, ResultSet, Result, Row, Schema, Value};
+pub use hana_types::{DataType, Date, HanaError, Result, ResultSet, Row, Schema, Value};

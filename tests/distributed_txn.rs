@@ -11,7 +11,8 @@ use hana_data_platform::Value;
 fn setup() -> (HanaPlatform, hana_data_platform::platform::Session) {
     let hana = HanaPlatform::new_in_memory();
     let s = hana.connect("SYSTEM", "manager").unwrap();
-    hana.execute_sql(&s, "CREATE COLUMN TABLE hot (a INTEGER)").unwrap();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE hot (a INTEGER)")
+        .unwrap();
     hana.execute_sql(&s, "CREATE TABLE cold (a INTEGER) USING EXTENDED STORAGE")
         .unwrap();
     (hana, s)
@@ -22,12 +23,16 @@ fn atomic_commit_across_engines() {
     let (hana, s) = setup();
     hana.execute_sql(&s, "BEGIN").unwrap();
     for i in 0..10 {
-        hana.execute_sql(&s, &format!("INSERT INTO hot VALUES ({i})")).unwrap();
-        hana.execute_sql(&s, &format!("INSERT INTO cold VALUES ({i})")).unwrap();
+        hana.execute_sql(&s, &format!("INSERT INTO hot VALUES ({i})"))
+            .unwrap();
+        hana.execute_sql(&s, &format!("INSERT INTO cold VALUES ({i})"))
+            .unwrap();
     }
     // Another session sees nothing before commit.
     let other = hana.connect("SYSTEM", "manager").unwrap();
-    let rs = hana.execute_sql(&other, "SELECT COUNT(*) FROM cold").unwrap();
+    let rs = hana
+        .execute_sql(&other, "SELECT COUNT(*) FROM cold")
+        .unwrap();
     assert_eq!(rs.scalar().unwrap(), &Value::Int(0));
     hana.execute_sql(&s, "COMMIT").unwrap();
     for table in ["hot", "cold"] {
@@ -68,7 +73,9 @@ fn failure_during_access_aborts_query() {
     hana.iq().set_failing(true);
     // "every access to a SAP HANA table may throw a runtime error" —
     // queries touching the extended store abort.
-    let err = hana.execute_sql(&s, "SELECT COUNT(*) FROM cold").unwrap_err();
+    let err = hana
+        .execute_sql(&s, "SELECT COUNT(*) FROM cold")
+        .unwrap_err();
     assert_eq!(err.kind(), "remote_unavailable");
     assert!(err.is_retryable(), "an outage is transient, not permanent");
     // Local tables keep working through the outage.
@@ -112,8 +119,7 @@ fn in_doubt_transactions_surface_and_can_be_aborted() {
             self.0.abort(tid)
         }
     }
-    let flaky: Vec<Arc<dyn TwoPhaseParticipant>> =
-        vec![Arc::new(LostCommit(Arc::clone(&iq)))];
+    let flaky: Vec<Arc<dyn TwoPhaseParticipant>> = vec![Arc::new(LostCommit(Arc::clone(&iq)))];
     let tid = txn.tid;
     // The coordinator's decision is durable; commit succeeds (early
     // ack) and the unreachable participant becomes in-doubt.
@@ -136,16 +142,23 @@ fn snapshot_isolation_across_engines() {
     // A long-running reader pins its snapshot.
     let reader = hana.connect("SYSTEM", "manager").unwrap();
     hana.execute_sql(&reader, "BEGIN").unwrap();
-    let rs = hana.execute_sql(&reader, "SELECT COUNT(*) FROM cold").unwrap();
+    let rs = hana
+        .execute_sql(&reader, "SELECT COUNT(*) FROM cold")
+        .unwrap();
     assert_eq!(rs.scalar().unwrap(), &Value::Int(1));
     // A concurrent writer commits more rows.
-    hana.execute_sql(&s, "INSERT INTO cold VALUES (2), (3)").unwrap();
+    hana.execute_sql(&s, "INSERT INTO cold VALUES (2), (3)")
+        .unwrap();
     // The reader still sees its snapshot…
-    let rs = hana.execute_sql(&reader, "SELECT COUNT(*) FROM cold").unwrap();
+    let rs = hana
+        .execute_sql(&reader, "SELECT COUNT(*) FROM cold")
+        .unwrap();
     assert_eq!(rs.scalar().unwrap(), &Value::Int(1), "repeatable read");
     hana.execute_sql(&reader, "COMMIT").unwrap();
     // …and the new data afterwards.
-    let rs = hana.execute_sql(&reader, "SELECT COUNT(*) FROM cold").unwrap();
+    let rs = hana
+        .execute_sql(&reader, "SELECT COUNT(*) FROM cold")
+        .unwrap();
     assert_eq!(rs.scalar().unwrap(), &Value::Int(3));
 }
 

@@ -16,12 +16,7 @@ fn growth_beyond_memory_lands_on_disk_pages() {
     .unwrap();
     let pages_before = hana.iq().cache().file().allocated_pages();
     let rows: Vec<Row> = (0..50_000)
-        .map(|i| {
-            Row::from_values([
-                Value::Int(i),
-                Value::from(format!("payload-{i:058}")),
-            ])
-        })
+        .map(|i| Row::from_values([Value::Int(i), Value::from(format!("payload-{i:058}"))]))
         .collect();
     hana.load_rows(&s, "bulk", &rows).unwrap();
     let pages_after = hana.iq().cache().file().allocated_pages();
@@ -62,7 +57,10 @@ fn chunk_pruning_limits_disk_reads() {
         .chunks_pruned
         .load(std::sync::atomic::Ordering::Relaxed);
     let rs = hana
-        .execute_sql(&s, "SELECT COUNT(*) FROM series WHERE ts BETWEEN 100 AND 200")
+        .execute_sql(
+            &s,
+            "SELECT COUNT(*) FROM series WHERE ts BETWEEN 100 AND 200",
+        )
         .unwrap();
     assert_eq!(rs.scalar().unwrap(), &Value::Int(101));
     let pruned = hana
@@ -71,7 +69,10 @@ fn chunk_pruning_limits_disk_reads() {
         .chunks_pruned
         .load(std::sync::atomic::Ordering::Relaxed)
         - pruned_before;
-    assert!(pruned >= 8, "zone maps should prune most chunks, got {pruned}");
+    assert!(
+        pruned >= 8,
+        "zone maps should prune most chunks, got {pruned}"
+    );
 }
 
 #[test]

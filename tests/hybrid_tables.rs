@@ -38,7 +38,10 @@ fn aging_moves_rows_and_preserves_query_results() {
 
     let moved = hana.run_aging(&s, "orders").unwrap();
     assert_eq!(moved, 1000, "half the rows carried the flag");
-    assert_eq!(hana.iq().row_count("orders__cold", u64::MAX - 1).unwrap(), 1000);
+    assert_eq!(
+        hana.iq().row_count("orders__cold", u64::MAX - 1).unwrap(),
+        1000
+    );
 
     let after = hana.execute_sql(&s, q).unwrap();
     assert_eq!(before, after, "the logical table is unchanged by aging");
@@ -71,16 +74,26 @@ fn inserts_after_aging_land_hot_and_age_later() {
     hana.execute_sql(&s, "UPDATE orders SET aged = true WHERE id = 2")
         .unwrap();
     assert_eq!(hana.run_aging(&s, "orders").unwrap(), 1);
-    assert_eq!(hana.iq().row_count("orders__cold", u64::MAX - 1).unwrap(), 2);
+    assert_eq!(
+        hana.iq().row_count("orders__cold", u64::MAX - 1).unwrap(),
+        2
+    );
     let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM orders").unwrap();
-    assert_eq!(rs.scalar().unwrap(), &Value::Int(2), "still one logical table");
+    assert_eq!(
+        rs.scalar().unwrap(),
+        &Value::Int(2),
+        "still one logical table"
+    );
 }
 
 #[test]
 fn hybrid_tables_join_with_local_tables() {
     let (hana, s) = setup();
-    hana.execute_sql(&s, "CREATE COLUMN TABLE years (y INTEGER, label VARCHAR(10))")
-        .unwrap();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE years (y INTEGER, label VARCHAR(10))",
+    )
+    .unwrap();
     for y in 2010..2014 {
         hana.execute_sql(&s, &format!("INSERT INTO years VALUES ({y}, 'Y{y}')"))
             .unwrap();
@@ -133,6 +146,7 @@ fn ddl_validation() {
         )
         .is_err());
     // Aging a non-hybrid table fails.
-    hana.execute_sql(&s, "CREATE COLUMN TABLE plain (a INTEGER)").unwrap();
+    hana.execute_sql(&s, "CREATE COLUMN TABLE plain (a INTEGER)")
+        .unwrap();
     assert!(hana.run_aging(&s, "plain").is_err());
 }

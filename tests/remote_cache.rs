@@ -9,7 +9,11 @@ use hana_data_platform::platform::HanaPlatform;
 use hana_data_platform::query::Catalog as _;
 use hana_data_platform::{DataType, Row, Schema, Value};
 
-fn setup() -> (Arc<HanaPlatform>, hana_data_platform::platform::Session, Arc<Hive>) {
+fn setup() -> (
+    Arc<HanaPlatform>,
+    hana_data_platform::platform::Session,
+    Arc<Hive>,
+) {
     let mr = Arc::new(MrCluster::new(
         Arc::new(Hdfs::new(4)),
         MrConfig {
@@ -61,9 +65,7 @@ fn figure_12_13_cache_rewrites_execution() {
     hana.set_remote_cache(true, 1_000_000);
 
     // Figure 12: the shipped plan contains the full query.
-    let plan = hana
-        .execute_sql(&s, &format!("EXPLAIN {QUERY}"))
-        .unwrap();
+    let plan = hana.execute_sql(&s, &format!("EXPLAIN {QUERY}")).unwrap();
     let text: String = plan.rows.iter().map(|r| r[0].to_string() + "\n").collect();
     assert!(text.contains("whole query"), "{text}");
     assert!(text.contains("GROUP BY"), "{text}");
@@ -110,13 +112,24 @@ fn cache_policies_enforced_through_platform() {
     // controlled using the configuration parameter enable_remote_cache").
     let hinted = format!("{QUERY} WITH HINT (USE_REMOTE_CACHE)");
     hana.execute_sql(&s, &hinted).unwrap();
-    assert_eq!(hana.catalog().sda().cache.stats(), (0, 0), "disabled = bypass");
+    assert_eq!(
+        hana.catalog().sda().cache.stats(),
+        (0, 0),
+        "disabled = bypass"
+    );
 
     hana.set_remote_cache(true, 1_000_000);
     // Unpredicated queries are never materialized.
-    hana.execute_sql(&s, "SELECT COUNT(*) FROM orders WITH HINT (USE_REMOTE_CACHE)")
-        .unwrap();
-    assert_eq!(hana.catalog().sda().cache.stats(), (0, 0), "no predicate = bypass");
+    hana.execute_sql(
+        &s,
+        "SELECT COUNT(*) FROM orders WITH HINT (USE_REMOTE_CACHE)",
+    )
+    .unwrap();
+    assert_eq!(
+        hana.catalog().sda().cache.stats(),
+        (0, 0),
+        "no predicate = bypass"
+    );
     // Without the hint, no caching even when enabled.
     hana.execute_sql(&s, QUERY).unwrap();
     assert_eq!(hana.catalog().sda().cache.stats(), (0, 0));

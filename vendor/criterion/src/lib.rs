@@ -130,7 +130,12 @@ fn human_time(ns: f64) -> String {
     }
 }
 
-fn run_one(id: &str, throughput: Option<Throughput>, measure_for: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(
+    id: &str,
+    throughput: Option<Throughput>,
+    measure_for: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     let mut b = Bencher {
         mean_ns: f64::NAN,
         measure_for,

@@ -191,7 +191,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter rejected 1000 samples in a row: {}", self.reason);
+            panic!(
+                "prop_filter rejected 1000 samples in a row: {}",
+                self.reason
+            );
         }
     }
 
