@@ -5,6 +5,12 @@
 //! needed for the dictionary's cardinality. This is the workhorse behind
 //! the "factor of 10 vs. row-oriented storage" compression of Figure 2.
 
+/// Rows per vectorized kernel block: bulk unpacking, block synopses and
+/// skip-scans all operate on ranges of this many rows. A multiple of 64,
+/// so block starts always fall on 64-bit word boundaries for every
+/// element width (`64 * k * bits ≡ 0 (mod 64)`).
+pub const BLOCK_ROWS: usize = 1024;
+
 /// A vector of `len` unsigned integers, each `bits` wide, packed
 /// contiguously into 64-bit words.
 ///
@@ -109,6 +115,87 @@ impl BitPackedVec {
         (0..self.len).map(move |i| self.get(i))
     }
 
+    /// Bulk-unpack `out.len()` elements starting at `start` into `out`.
+    ///
+    /// This is the vectorized replacement for calling [`get`](Self::get)
+    /// in a loop: the bit cursor advances monotonically, so the
+    /// per-element bounds check, division and modulo disappear, and for
+    /// widths that divide 64 an aligned fast path unpacks a whole word
+    /// per inner loop without any cross-word spill handling.
+    ///
+    /// Panics if `start + out.len()` exceeds the vector length.
+    pub fn unpack_range(&self, start: usize, out: &mut [u64]) {
+        let n = out.len();
+        assert!(
+            start.checked_add(n).is_some_and(|end| end <= self.len),
+            "range {start}..{} out of bounds (len {})",
+            start + n,
+            self.len
+        );
+        if n == 0 {
+            return;
+        }
+        let bits = self.bits as usize;
+        if bits == 0 {
+            out.fill(0);
+            return;
+        }
+        if bits == 64 {
+            out.copy_from_slice(&self.words[start..start + n]);
+            return;
+        }
+        let mask = (1u64 << bits) - 1;
+        let mut bit_pos = start * bits;
+        if 64 % bits == 0 {
+            // Aligned widths (1,2,4,8,16,32): elements never straddle a
+            // word boundary. Walk the leading partial word elementwise,
+            // then unpack `per_word` elements per full word.
+            let per_word = 64 / bits;
+            let mut i = 0;
+            while i < n && !bit_pos.is_multiple_of(64) {
+                out[i] = (self.words[bit_pos / 64] >> (bit_pos % 64)) & mask;
+                bit_pos += bits;
+                i += 1;
+            }
+            let mut word = bit_pos / 64;
+            while n - i >= per_word {
+                let mut w = self.words[word];
+                for slot in &mut out[i..i + per_word] {
+                    *slot = w & mask;
+                    w >>= bits;
+                }
+                word += 1;
+                i += per_word;
+            }
+            let mut w = if i < n { self.words[word] } else { 0 };
+            for slot in &mut out[i..n] {
+                *slot = w & mask;
+                w >>= bits;
+            }
+            return;
+        }
+        // Unaligned widths: single forward cursor, one shift (plus a
+        // spill OR when the element crosses a word boundary) per element.
+        for slot in out.iter_mut() {
+            let word = bit_pos >> 6;
+            let off = bit_pos & 63;
+            let mut v = self.words[word] >> off;
+            if off + bits > 64 {
+                v |= self.words[word + 1] << (64 - off);
+            }
+            *slot = v & mask;
+            bit_pos += bits;
+        }
+    }
+
+    /// Unpack elements `start..end` into a freshly allocated `Vec`.
+    pub fn get_range(&self, start: usize, end: usize) -> Vec<u64> {
+        assert!(start <= end, "range start {start} > end {end}");
+        let mut out = vec![0u64; end - start];
+        self.unpack_range(start, &mut out);
+        out
+    }
+
     /// Heap footprint of the packed payload in bytes.
     pub fn payload_bytes(&self) -> usize {
         self.words.len() * 8
@@ -180,5 +267,51 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn get_out_of_bounds_panics() {
         BitPackedVec::from_slice(&[1]).get(1);
+    }
+
+    #[test]
+    fn unpack_range_matches_get_all_widths() {
+        for bits in [0u8, 1, 2, 3, 4, 7, 8, 13, 16, 31, 32, 33, 63, 64] {
+            let mask = if bits == 64 {
+                u64::MAX
+            } else if bits == 0 {
+                0
+            } else {
+                (1 << bits) - 1
+            };
+            let vals: Vec<u64> = (0..BLOCK_ROWS as u64 + 70)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+                .collect();
+            let mut v = BitPackedVec::with_width(bits);
+            for &x in &vals {
+                v.push(x);
+            }
+            for (start, n) in [
+                (0usize, vals.len()),
+                (0, BLOCK_ROWS),
+                (BLOCK_ROWS, 70),
+                (1, 130),
+                (63, 66),
+                (5, 0),
+            ] {
+                let mut out = vec![0u64; n];
+                v.unpack_range(start, &mut out);
+                for (k, &got) in out.iter().enumerate() {
+                    assert_eq!(got, v.get(start + k), "bits={bits} start={start} k={k}");
+                }
+            }
+            assert_eq!(
+                v.get_range(3, 40),
+                (3..40).map(|i| v.get(i)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn unpack_range_out_of_bounds_panics() {
+        let v = BitPackedVec::from_slice(&[1, 2, 3]);
+        let mut out = [0u64; 4];
+        v.unpack_range(1, &mut out);
     }
 }

@@ -138,6 +138,14 @@ impl DeltaColumn {
         &self.dict
     }
 
+    /// The raw (uncompressed) value-ID vector, one entry per row.
+    ///
+    /// Exposed so the executor's late-materializing group-by can key
+    /// delta rows on vids without decoding values.
+    pub fn vids(&self) -> &[u32] {
+        &self.vids
+    }
+
     /// Scan: set bits at `offset + row` for matching rows.
     pub fn scan_into(&self, pred: &ColumnPredicate, out: &mut RowIdBitmap, offset: usize) {
         let m = pred.compile_delta(&self.dict);

@@ -194,6 +194,34 @@ impl VidMatch {
     pub fn is_empty(&self) -> bool {
         !self.null_matches && matches!(self.kind, MatchKind::Empty)
     }
+
+    /// Whether any row of a block summarized by `[min_vid, max_vid]`
+    /// (non-null value IDs only; `min_vid > max_vid` means the block is
+    /// all-null) plus a null-presence flag *could* match.
+    ///
+    /// This is the skip-scan test against a block synopsis: a `false`
+    /// verdict proves the block contributes no hits, so the scan never
+    /// unpacks it. Conservative in the other direction — `true` only
+    /// promises the block must be scanned.
+    #[inline]
+    pub fn may_match_block(&self, min_vid: u32, max_vid: u32, has_null: bool) -> bool {
+        if has_null && self.null_matches {
+            return true;
+        }
+        if min_vid > max_vid {
+            // Only nulls (or nothing) in the block.
+            return false;
+        }
+        match &self.kind {
+            MatchKind::Empty => false,
+            MatchKind::Range(lo, hi) => *lo <= max_vid && min_vid <= *hi,
+            MatchKind::Mask(m) => {
+                let lo = (min_vid.max(1) - 1) as usize;
+                let hi = (max_vid as usize).min(m.len());
+                lo < hi && m[lo..hi].iter().any(|&b| b)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +287,30 @@ mod tests {
         let m = ColumnPredicate::IsNotNull.compile_ordered(&dict());
         assert!(!m.test(NULL_VID));
         assert!(m.test(1) && m.test(4));
+    }
+
+    #[test]
+    fn may_match_block_prunes_correctly() {
+        let range = VidMatch::range(10, 20);
+        assert!(range.may_match_block(5, 12, false));
+        assert!(range.may_match_block(20, 99, false));
+        assert!(!range.may_match_block(1, 9, false));
+        assert!(!range.may_match_block(21, 99, false));
+        // All-null block never matches a pure range…
+        assert!(!range.may_match_block(u32::MAX, 0, true));
+        // …but matches IS NULL.
+        let isnull = ColumnPredicate::IsNull.compile_ordered(&dict());
+        assert!(isnull.may_match_block(u32::MAX, 0, true));
+        assert!(!isnull.may_match_block(1, 4, false));
+
+        let mask = VidMatch {
+            null_matches: false,
+            kind: MatchKind::Mask(vec![false, true, false]),
+        };
+        assert!(mask.may_match_block(1, 2, false));
+        assert!(!mask.may_match_block(3, 3, false));
+        assert!(!mask.may_match_block(4, 9, false));
+        assert!(!VidMatch::empty().may_match_block(1, 100, true));
     }
 
     #[test]

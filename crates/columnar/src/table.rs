@@ -119,6 +119,22 @@ impl ColumnTable {
         self.versions.len() - self.main_rows
     }
 
+    /// Rows living in the main fragments (row IDs `0..main_rows()`).
+    pub fn main_rows(&self) -> usize {
+        self.main_rows
+    }
+
+    /// The main fragment of column `col` (late-materialization path:
+    /// lets the executor work directly on dictionary vids).
+    pub fn main_column(&self, col: usize) -> &MainColumn {
+        &self.columns[col].main
+    }
+
+    /// The delta fragment of column `col`.
+    pub fn delta_column(&self, col: usize) -> &DeltaColumn {
+        &self.columns[col].delta
+    }
+
     /// How many delta merges have run.
     pub fn merge_count(&self) -> u64 {
         self.merges
@@ -220,11 +236,23 @@ impl ColumnTable {
         }
     }
 
+    /// Whether a scatter over `morsels` would actually overlap work:
+    /// with one worker or one morsel the fork-join only adds queue and
+    /// per-morsel bitmap-merge overhead, so scans take a serial path
+    /// (still routed through a single-task scatter for accounting).
+    fn scan_serially(exec: &ExecContext, n_morsels: usize) -> bool {
+        exec.config().workers <= 1 || n_morsels <= 1
+    }
+
     /// Morsel-parallel [`ColumnTable::scan`]: the row domain is sliced
     /// into cache-sized morsels, scanned concurrently on `exec`'s
     /// worker pool, and the per-morsel bitmaps are OR-merged. Morsel
     /// boundaries are 64-row aligned, so tasks touch disjoint bitmap
     /// words and the result is bit-identical to the serial scan.
+    ///
+    /// With an effective worker count of 1 (or a single morsel) the
+    /// scan instead runs [`ColumnTable::scan`] as one task: same
+    /// result, no per-morsel bitmap allocations or OR-merge.
     pub fn par_scan(
         &self,
         exec: &ExecContext,
@@ -238,6 +266,18 @@ impl ColumnTable {
         if let Some(q) = current_query_metrics() {
             q.add_morsels(morsels.len() as u64);
             q.add_tasks(morsels.len() as u64);
+        }
+        if Self::scan_serially(exec, morsels.len()) {
+            let mut parts = exec.scatter(vec![()], |()| {
+                let started = std::time::Instant::now();
+                let out = self.scan(col, pred, cid).expect("column checked");
+                (out, started.elapsed().as_nanos() as u64)
+            });
+            let (out, nanos) = parts.pop().expect("single task");
+            if let Some(q) = current_query_metrics() {
+                q.add_cpu_nanos(nanos);
+            }
+            return Ok(out);
         }
         let parts = exec.scatter(morsels, |m| {
             let started = std::time::Instant::now();
@@ -260,6 +300,10 @@ impl ColumnTable {
     /// Morsel-parallel [`ColumnTable::scan_all`]: each morsel computes
     /// visibility for its row range and intersects every predicate's
     /// range scan, then the disjoint results are OR-merged.
+    ///
+    /// Falls back to serial [`ColumnTable::scan_all`] as a single task
+    /// when a scatter could not overlap any work (see
+    /// [`ColumnTable::par_scan`]).
     pub fn par_scan_all(
         &self,
         exec: &ExecContext,
@@ -274,6 +318,18 @@ impl ColumnTable {
         if let Some(q) = current_query_metrics() {
             q.add_morsels(morsels.len() as u64);
             q.add_tasks(morsels.len() as u64);
+        }
+        if Self::scan_serially(exec, morsels.len()) {
+            let mut parts = exec.scatter(vec![()], |()| {
+                let started = std::time::Instant::now();
+                let out = self.scan_all(preds, cid).expect("columns checked");
+                (out, started.elapsed().as_nanos() as u64)
+            });
+            let (out, nanos) = parts.pop().expect("single task");
+            if let Some(q) = current_query_metrics() {
+                q.add_cpu_nanos(nanos);
+            }
+            return Ok(out);
         }
         let parts = exec.scatter(morsels, |m| {
             let started = std::time::Instant::now();

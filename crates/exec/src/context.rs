@@ -86,6 +86,11 @@ impl ExecContext {
     }
 
     /// Fork-join over items on the pool (see [`WorkerPool::scatter`]).
+    ///
+    /// With a single worker (or a single item) there is nothing to
+    /// overlap, so the items run inline on the calling thread — same
+    /// results, same counters, none of the queue/wake overhead that
+    /// made 1-worker "parallel" scans slower than serial ones.
     pub fn scatter<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
     where
         I: Send,
@@ -95,7 +100,11 @@ impl ExecContext {
         self.obs_tasks.add(items.len() as u64);
         self.obs_scatters.inc();
         let started = Instant::now();
-        let out = self.pool.scatter(items, f);
+        let out = if self.config.workers <= 1 || items.len() <= 1 {
+            items.into_iter().map(f).collect()
+        } else {
+            self.pool.scatter(items, f)
+        };
         self.obs_scatter_ns
             .record(started.elapsed().as_nanos() as u64);
         self.publish_pool_gauges();

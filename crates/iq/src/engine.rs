@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use hana_columnar::ColumnPredicate;
+use hana_columnar::{ColumnPredicate, BLOCK_ROWS};
 use hana_txn::{TwoPhaseParticipant, Vote};
 use hana_types::{AggFunc, ColumnDef, DataType, HanaError, Result, ResultSet, Row, Schema, Value};
 
@@ -44,6 +44,10 @@ pub struct ScanStats {
     pub chunks_pruned: AtomicU64,
     /// Equality predicates answered from a bitmap index.
     pub bitmap_index_hits: AtomicU64,
+    /// Sub-chunk blocks whose values were predicate-evaluated.
+    pub blocks_scanned: AtomicU64,
+    /// Sub-chunk blocks skipped by block-level zone maps.
+    pub blocks_skipped: AtomicU64,
 }
 
 /// The disk-based extended storage engine.
@@ -265,6 +269,37 @@ impl IqEngine {
             }
         }
         self.stats.chunks_scanned.fetch_add(1, Ordering::Relaxed);
+
+        // Block-level pruning: a chunk that survives its zone map may
+        // still have whole [`BLOCK_ROWS`]-row blocks no predicate can
+        // match; those blocks skip predicate evaluation, and if none
+        // survive the chunk's data pages are never read.
+        let nblocks = chunk.rows.div_ceil(BLOCK_ROWS).max(1);
+        let mut block_ok = vec![true; nblocks];
+        for (col, pred) in preds {
+            for (b, ok) in block_ok.iter_mut().enumerate() {
+                if *ok && !chunk.block_zones[*col][b].may_match(pred) {
+                    *ok = false;
+                }
+            }
+        }
+        let live = block_ok.iter().filter(|&&ok| ok).count() as u64;
+        self.stats.blocks_scanned.fetch_add(live, Ordering::Relaxed);
+        self.stats
+            .blocks_skipped
+            .fetch_add(nblocks as u64 - live, Ordering::Relaxed);
+        let obs = hana_obs::registry();
+        if live > 0 {
+            obs.counter("hana_iq_blocks_scanned_total").add(live);
+        }
+        if nblocks as u64 > live {
+            obs.counter("hana_iq_blocks_skipped_total")
+                .add(nblocks as u64 - live);
+        }
+        if live == 0 {
+            return Ok(Vec::new());
+        }
+
         let mut candidates: Option<Vec<bool>> = None;
         for (col, pred) in preds {
             // Equality over an indexed column: use the bitmap index and
@@ -286,7 +321,18 @@ impl IqEngine {
                 Some(m) => m,
                 None => {
                     let values = chunk.read_column(&self.cache, *col)?;
-                    values.iter().map(|v| pred.matches(v)).collect()
+                    let mut mask = vec![false; chunk.rows];
+                    for (b, &ok) in block_ok.iter().enumerate() {
+                        if !ok {
+                            continue;
+                        }
+                        let start = b * BLOCK_ROWS;
+                        let end = ((b + 1) * BLOCK_ROWS).min(chunk.rows);
+                        for (m, v) in mask[start..end].iter_mut().zip(&values[start..end]) {
+                            *m = pred.matches(v);
+                        }
+                    }
+                    mask
                 }
             };
             candidates = Some(match candidates {

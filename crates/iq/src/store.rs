@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use hana_columnar::{ColumnPredicate, RowIdBitmap};
+use hana_columnar::{ColumnPredicate, RowIdBitmap, BLOCK_ROWS};
 use hana_types::{Result, Row, Schema, Value};
 
 use crate::cache::BufferCache;
@@ -129,6 +129,9 @@ pub struct Chunk {
     pub columns: Vec<PageChain>,
     /// One zone map per column.
     pub zones: Vec<ZoneMap>,
+    /// Per-column block synopses: one [`ZoneMap`] per
+    /// [`BLOCK_ROWS`]-row block, for sub-chunk skip-scans.
+    pub block_zones: Vec<Vec<ZoneMap>>,
     /// Optional bitmap index per column (chunk-local row positions).
     pub bitmap_index: Vec<Option<HashMap<Value, RowIdBitmap>>>,
 }
@@ -145,10 +148,12 @@ impl Chunk {
         let ncols = schema.len();
         let mut columns = Vec::with_capacity(ncols);
         let mut zones = Vec::with_capacity(ncols);
+        let mut block_zones = Vec::with_capacity(ncols);
         let mut bitmap_index = Vec::with_capacity(ncols);
         for col in 0..ncols {
             let values: Vec<Value> = rows.iter().map(|r| r[col].clone()).collect();
             zones.push(ZoneMap::build(&values));
+            block_zones.push(values.chunks(BLOCK_ROWS).map(ZoneMap::build).collect());
             bitmap_index.push(build_bitmap_index(&values));
             columns.push(write_chain(cache, &encode_segment(&values))?);
         }
@@ -158,6 +163,7 @@ impl Chunk {
             created_cid,
             columns,
             zones,
+            block_zones,
             bitmap_index,
         })
     }

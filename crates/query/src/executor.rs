@@ -1,14 +1,14 @@
 //! The plan executor.
 
-use std::collections::HashMap;
-
+use hana_columnar::BLOCK_ROWS;
 use hana_exec::ExecContext;
 use hana_sda::RemoteContext;
 use hana_sql::finish::finish_query;
 use hana_sql::{evaluate, evaluate_predicate, resolve_column, Expr, JoinKind, Query, TableRef};
-use hana_types::{HanaError, Result, ResultSet, Row, Schema, Value};
+use hana_types::{Accumulator, AggFunc, HanaError, Result, ResultSet, Row, Schema, Value};
 
 use crate::catalog::{Catalog, TableSource};
+use crate::hash::{FxBuildHasher, FxHashMap};
 use crate::plan::{PlanNode, PlanOp};
 use crate::planner::Planner;
 
@@ -345,43 +345,57 @@ fn execute_plan_inner(
             group_by,
             aggs,
         } => {
+            // Late-materialization fast path: group-by over a single
+            // dictionary-encoded column keys accumulators on packed
+            // vids and decodes each distinct group's value once.
+            if let Some(rs) = try_fused_group_by(
+                exec,
+                &plan.schema,
+                input,
+                group_by,
+                aggs,
+                catalog,
+                cid,
+                span,
+            )? {
+                return Ok(rs);
+            }
             let inp = execute_plan_with(exec, input, catalog, cid)?;
             // Above the threshold, aggregate row chunks into partial
             // hash tables on the pool and merge the accumulators
             // (partial aggregation, MapReduce-combiner style).
-            let mut groups: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> = if inp.rows.len()
-                >= PARALLEL_ROW_THRESHOLD
-            {
-                let chunk_rows = exec.config().aligned_morsel_rows();
-                let chunks: Vec<&[Row]> = inp.rows.chunks(chunk_rows).collect();
-                if let Some(q) = hana_exec::current_query_metrics() {
-                    q.add_morsels(chunks.len() as u64);
-                    q.add_tasks(chunks.len() as u64);
-                }
-                span.set_workers(exec.config().workers as u64);
-                span.attr("partials", chunks.len() as u64);
-                let partials = exec.scatter(chunks, |rows| {
-                    aggregate_chunk(rows, group_by, aggs, &inp.schema)
-                });
-                let mut merged: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> = HashMap::new();
-                for partial in partials {
-                    for (key, accs) in partial? {
-                        match merged.entry(key) {
-                            std::collections::hash_map::Entry::Occupied(mut e) => {
-                                for (into, from) in e.get_mut().iter_mut().zip(&accs) {
-                                    into.merge(from);
+            let mut groups: FxHashMap<Vec<Value>, Vec<Accumulator>> =
+                if inp.rows.len() >= PARALLEL_ROW_THRESHOLD {
+                    let chunk_rows = exec.config().aligned_morsel_rows();
+                    let chunks: Vec<&[Row]> = inp.rows.chunks(chunk_rows).collect();
+                    if let Some(q) = hana_exec::current_query_metrics() {
+                        q.add_morsels(chunks.len() as u64);
+                        q.add_tasks(chunks.len() as u64);
+                    }
+                    span.set_workers(exec.config().workers as u64);
+                    span.attr("partials", chunks.len() as u64);
+                    let partials = exec.scatter(chunks, |rows| {
+                        aggregate_chunk(rows, group_by, aggs, &inp.schema)
+                    });
+                    let mut merged: FxHashMap<Vec<Value>, Vec<Accumulator>> = FxHashMap::default();
+                    for partial in partials {
+                        for (key, accs) in partial? {
+                            match merged.entry(key) {
+                                std::collections::hash_map::Entry::Occupied(mut e) => {
+                                    for (into, from) in e.get_mut().iter_mut().zip(&accs) {
+                                        into.merge(from);
+                                    }
                                 }
-                            }
-                            std::collections::hash_map::Entry::Vacant(e) => {
-                                e.insert(accs);
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    e.insert(accs);
+                                }
                             }
                         }
                     }
-                }
-                merged
-            } else {
-                aggregate_chunk(&inp.rows, group_by, aggs, &inp.schema)?
-            };
+                    merged
+                } else {
+                    aggregate_chunk(&inp.rows, group_by, aggs, &inp.schema)?
+                };
             if groups.is_empty() && group_by.is_empty() {
                 groups.insert(
                     Vec::new(),
@@ -408,30 +422,192 @@ fn execute_plan_inner(
     }
 }
 
+/// Feed one row into a group's accumulators.
+fn accumulate_row(
+    accs: &mut [Accumulator],
+    aggs: &[(AggFunc, Option<Expr>)],
+    schema: &Schema,
+    r: &Row,
+) -> Result<()> {
+    for (acc, (_, arg)) in accs.iter_mut().zip(aggs) {
+        match arg {
+            Some(e) => acc.add(&evaluate(e, schema, r)?),
+            None => acc.add(&Value::Null), // COUNT(*)
+        }
+    }
+    Ok(())
+}
+
 /// Group-and-accumulate one chunk of rows into a partial hash table.
+///
+/// The table is FxHash-keyed and probed with a reused scratch key
+/// (`Vec<Value>: Borrow<[Value]>`), so the per-row hot path does one
+/// lookup and zero allocations; the key is only cloned into the table
+/// once per distinct group.
 fn aggregate_chunk(
     rows: &[Row],
     group_by: &[Expr],
-    aggs: &[(hana_types::AggFunc, Option<Expr>)],
+    aggs: &[(AggFunc, Option<Expr>)],
     schema: &Schema,
-) -> Result<HashMap<Vec<Value>, Vec<hana_types::Accumulator>>> {
-    let mut groups: HashMap<Vec<Value>, Vec<hana_types::Accumulator>> = HashMap::new();
+) -> Result<FxHashMap<Vec<Value>, Vec<Accumulator>>> {
+    let mut groups: FxHashMap<Vec<Value>, Vec<Accumulator>> = FxHashMap::default();
+    let mut key: Vec<Value> = Vec::with_capacity(group_by.len());
     for r in rows {
-        let mut key = Vec::with_capacity(group_by.len());
+        key.clear();
         for g in group_by {
             key.push(evaluate(g, schema, r)?);
         }
-        let accs = groups
-            .entry(key)
-            .or_insert_with(|| aggs.iter().map(|(f, _)| f.accumulator()).collect());
-        for (acc, (_, arg)) in accs.iter_mut().zip(aggs) {
-            match arg {
-                Some(e) => acc.add(&evaluate(e, schema, r)?),
+        if let Some(accs) = groups.get_mut(key.as_slice()) {
+            accumulate_row(accs, aggs, schema, r)?;
+        } else {
+            let mut accs: Vec<Accumulator> = aggs.iter().map(|(f, _)| f.accumulator()).collect();
+            accumulate_row(&mut accs, aggs, schema, r)?;
+            groups.insert(key.clone(), accs);
+        }
+    }
+    Ok(groups)
+}
+
+/// Fused, late-materializing group-by: `GROUP BY c` directly over a
+/// column-table scan, where every aggregate argument is a plain column.
+///
+/// Instead of materializing each hit row and hashing a `Vec<Value>`
+/// key per row, the group key stays a packed dictionary vid all the way
+/// through accumulation: main-fragment vids are bulk-decoded one
+/// [`BLOCK_ROWS`] block at a time, accumulators live in dense
+/// per-fragment tables indexed by vid, and group `Value`s are decoded
+/// once per *distinct group* at finish (then main/delta groups merge by
+/// value). Returns `Ok(None)` when the plan shape does not fit, and the
+/// caller falls back to the generic row-at-a-time aggregation.
+#[allow(clippy::too_many_arguments)]
+fn try_fused_group_by(
+    exec: &ExecContext,
+    out_schema: &Schema,
+    input: &PlanNode,
+    group_by: &[Expr],
+    aggs: &[(AggFunc, Option<Expr>)],
+    catalog: &dyn Catalog,
+    cid: u64,
+    span: &hana_obs::Span,
+) -> Result<Option<ResultSet>> {
+    let PlanOp::ColumnScan { table, preds, .. } = &input.op else {
+        return Ok(None);
+    };
+    let [Expr::Column { qualifier, name }] = group_by else {
+        return Ok(None);
+    };
+    let Ok(TableSource::Column(t)) = catalog.resolve_table(table) else {
+        return Ok(None);
+    };
+    let t = t.read();
+    // The scan emits all table columns in table order; if the plan
+    // schema disagrees, positions cannot be trusted — fall back.
+    if input.schema.len() != t.schema().len() {
+        return Ok(None);
+    }
+    let Ok(group_col) = resolve_column(&input.schema, qualifier.as_deref(), name) else {
+        return Ok(None);
+    };
+    let mut agg_cols: Vec<Option<usize>> = Vec::with_capacity(aggs.len());
+    for (_, arg) in aggs {
+        match arg {
+            None => agg_cols.push(None),
+            Some(Expr::Column { qualifier, name }) => {
+                match resolve_column(&input.schema, qualifier.as_deref(), name) {
+                    Ok(i) => agg_cols.push(Some(i)),
+                    Err(_) => return Ok(None),
+                }
+            }
+            Some(_) => return Ok(None),
+        }
+    }
+    span.attr("fused", 1);
+
+    // The scan itself, reported under its usual operator span so
+    // profiles keep the query -> group_by -> column_scan[t] shape.
+    let resolved: Vec<(usize, hana_columnar::ColumnPredicate)> = preds
+        .iter()
+        .map(|(c, p)| t.schema().require(c).map(|i| (i, p.clone())))
+        .collect::<Result<_>>()?;
+    let scan_span = hana_obs::span(&span_name(&input.op));
+    let hits = if t.row_count() >= PARALLEL_ROW_THRESHOLD {
+        scan_span.set_workers(exec.config().workers as u64);
+        t.par_scan_all(exec, &resolved, cid)?
+    } else {
+        t.scan_all(&resolved, cid)?
+    };
+    scan_span.attr("input_rows", t.row_count() as u64);
+    scan_span.set_rows(hits.count() as u64);
+    drop(scan_span);
+
+    // Dense vid-indexed accumulator tables, one per fragment (slot 0 is
+    // the NULL group).
+    let main_rows = t.main_rows();
+    let mcol = t.main_column(group_col);
+    let codec = mcol.codec();
+    let main_dict = mcol.dictionary();
+    let dcol = t.delta_column(group_col);
+    let delta_dict = dcol.dictionary();
+    let delta_vids = dcol.vids();
+    let mut main_groups: Vec<Option<Vec<Accumulator>>> = vec![None; main_dict.len() + 1];
+    let mut delta_groups: Vec<Option<Vec<Accumulator>>> = vec![None; delta_dict.len() + 1];
+
+    let mut block_buf = [0u32; BLOCK_ROWS];
+    let mut cur_block = usize::MAX;
+    for row in hits.iter() {
+        let (fragment, vid) = if row < main_rows {
+            let block = row / BLOCK_ROWS;
+            if block != cur_block {
+                codec.unpack_block(block, &mut block_buf);
+                cur_block = block;
+            }
+            (&mut main_groups, block_buf[row % BLOCK_ROWS])
+        } else {
+            (&mut delta_groups, delta_vids[row - main_rows])
+        };
+        let accs = fragment[vid as usize]
+            .get_or_insert_with(|| aggs.iter().map(|(f, _)| f.accumulator()).collect());
+        for (acc, col) in accs.iter_mut().zip(&agg_cols) {
+            match col {
+                Some(c) => acc.add(&t.value(row, *c)),
                 None => acc.add(&Value::Null), // COUNT(*)
             }
         }
     }
-    Ok(groups)
+
+    // Materialize each distinct group once; main and delta fragments
+    // dictionary-encode independently, so merge by decoded value.
+    let mut by_value: FxHashMap<Value, Vec<Accumulator>> = FxHashMap::default();
+    for (vid, accs) in main_groups.into_iter().enumerate() {
+        if let Some(accs) = accs {
+            by_value.insert(main_dict.decode(vid as u32), accs);
+        }
+    }
+    for (vid, accs) in delta_groups.into_iter().enumerate() {
+        if let Some(accs) = accs {
+            match by_value.entry(delta_dict.decode(vid as u32)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (into, from) in e.get_mut().iter_mut().zip(&accs) {
+                        into.merge(from);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(accs);
+                }
+            }
+        }
+    }
+    let mut rows: Vec<Row> = by_value
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut vals = Vec::with_capacity(1 + accs.len());
+            vals.push(key);
+            vals.extend(accs.iter().map(|a| a.finish()));
+            Row(vals)
+        })
+        .collect();
+    rows.sort();
+    Ok(Some(ResultSet::new(out_schema.clone(), rows)))
 }
 
 /// Build a column expression from a possibly qualified key name.
@@ -463,14 +639,14 @@ fn hash_join(
 ) -> Result<ResultSet> {
     let li = resolve_key(&l.schema, left_key)?;
     let ri = resolve_key(&r.schema, right_key)?;
-    let mut build: HashMap<&Value, Vec<usize>> = HashMap::new();
+    let mut build: FxHashMap<&Value, Vec<usize>> =
+        FxHashMap::with_capacity_and_hasher(r.rows.len(), FxBuildHasher::default());
     for (i, row) in r.rows.iter().enumerate() {
         if !row[ri].is_null() {
             build.entry(&row[ri]).or_default().push(i);
         }
     }
-    let mut rows = Vec::new();
-    let null_row = Row(vec![Value::Null; r.schema.len()]);
+    let mut rows = Vec::with_capacity(l.rows.len());
     for lr in &l.rows {
         match build.get(&lr[li]) {
             Some(matches) => {
@@ -480,7 +656,11 @@ fn hash_join(
             }
             None => {
                 if kind == JoinKind::LeftOuter {
-                    rows.push(lr.clone().concat(null_row.clone()));
+                    let total = lr.values().len() + r.schema.len();
+                    let mut vals = Vec::with_capacity(total);
+                    vals.extend_from_slice(lr.values());
+                    vals.resize(total, Value::Null);
+                    rows.push(Row(vals));
                 }
             }
         }

@@ -15,6 +15,7 @@
 mod catalog;
 mod cost;
 mod executor;
+mod hash;
 mod histogram;
 mod plan;
 mod planner;
@@ -25,6 +26,7 @@ pub use executor::{
     execute_plan, execute_plan_with, execute_query, execute_query_with, explain_query,
     PARALLEL_ROW_THRESHOLD,
 };
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use histogram::{Bucket, QHistogram};
 pub use plan::{FederationStrategy, PlanNode, PlanOp};
 pub use planner::Planner;

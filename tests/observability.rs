@@ -192,6 +192,13 @@ fn profile_query_group_by_nests_consistently() {
     assert_eq!(root.name, "query");
     let group_by = profile.find("group_by").expect("group_by span");
     assert!(group_by.rows.unwrap_or(0) >= 2);
+    // Single-column GROUP BY over a base-table scan takes the fused,
+    // vid-keyed late-materialization path and marks the span.
+    assert!(
+        group_by.attrs.iter().any(|(k, v)| k == "fused" && *v == 1),
+        "fused group-by should engage: {}",
+        profile.render()
+    );
     let scan = profile.find("column_scan[lineitem]").expect("scan span");
     assert_eq!(scan.rows, Some(70_000));
     assert!(
