@@ -12,7 +12,7 @@ use hana_sda::SdaRegistry;
 use hana_types::{HanaError, Result};
 
 /// Catalog metadata per table (beyond what the query layer needs).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TableKindInfo {
     /// In-memory column table.
     Column,
@@ -29,6 +29,11 @@ pub enum TableKindInfo {
     },
     /// Virtual table at a remote source.
     Virtual,
+    /// Partitioned across the in-process node landscape.
+    Distributed {
+        /// The `PARTITION BY` clause, kept for backup/restore DDL.
+        partition: hana_sql::PartitionBy,
+    },
 }
 
 /// One catalog entry.
@@ -113,6 +118,7 @@ impl PlatformCatalog {
                     TableKindInfo::Extended => "EXTENDED",
                     TableKindInfo::Hybrid { .. } => "HYBRID",
                     TableKindInfo::Virtual => "VIRTUAL",
+                    TableKindInfo::Distributed { .. } => "DISTRIBUTED",
                 };
                 (n.clone(), kind.to_string())
             })

@@ -21,11 +21,11 @@ use hana_query::{execute_query_with, Catalog as _, Planner, TableFunction, Table
 use hana_rowstore::RowTable;
 use hana_sda::{
     ChaosAdapter, ChaosConfig, HadoopMrAdapter, HiveOdbcAdapter, IqAdapter, RemoteCacheConfig,
-    RemoteSourceStats, SdaAdapter,
+    RemoteContext, RemoteSourceStats, RetryPolicy, SdaAdapter,
 };
 use hana_sql::{
     evaluate, evaluate_predicate, parse_script, parse_statement, ColumnSpec, CreateTable, Expr,
-    Statement, TableKind,
+    PartitionBy, Statement, TableKind,
 };
 use hana_txn::{TransactionManager, TwoPhaseParticipant, TxnHandle};
 use hana_types::{ColumnDef, DataType, HanaError, Result, ResultSet, Row, Schema, Value};
@@ -518,6 +518,10 @@ impl HanaPlatform {
                         hot.write().merge_delta();
                         Ok(ok_result())
                     }
+                    TableSource::Distributed(dt) => {
+                        dt.merge_delta();
+                        Ok(ok_result())
+                    }
                     _ => Err(HanaError::Unsupported(format!(
                         "'{table}' has no delta to merge"
                     ))),
@@ -557,6 +561,30 @@ impl HanaPlatform {
 
     fn create_table(&self, ct: CreateTable) -> Result<()> {
         let schema = schema_from_specs(&ct.columns)?;
+        if let Some(p) = &ct.partition {
+            // Partitioned scale-out table: fragments on the in-process
+            // node landscape, one per partition.
+            if ct.extended.is_some() {
+                return Err(HanaError::Unsupported(
+                    "PARTITION BY cannot be combined with extended storage".into(),
+                ));
+            }
+            if ct.kind != TableKind::Column {
+                return Err(HanaError::Unsupported(
+                    "PARTITION BY is supported on column tables only".into(),
+                ));
+            }
+            let dt = hana_dist::DistTable::new(&ct.name, schema, partition_spec(p))?;
+            return self.catalog.add_table(
+                &ct.name,
+                TableEntry {
+                    source: TableSource::Distributed(Arc::new(dt)),
+                    kind: TableKindInfo::Distributed {
+                        partition: p.clone(),
+                    },
+                },
+            );
+        }
         match &ct.extended {
             None => match ct.kind {
                 TableKind::Column => {
@@ -729,6 +757,20 @@ impl HanaPlatform {
                 self.iq
                     .buffer_insert(tid, remote_table, rows.into_iter().map(Row).collect())?;
             }
+            TableSource::Distributed(dt) => {
+                // Routed insert: each row buffers against its home
+                // node's fragment.
+                for row in rows {
+                    let node = dt.route(&row);
+                    self.local_writes.buffer(
+                        tid,
+                        LocalOp::ColumnInsert {
+                            table: Arc::clone(dt.nodes()[node].table()),
+                            row,
+                        },
+                    );
+                }
+            }
             TableSource::Virtual { .. } => {
                 return Err(HanaError::Unsupported(format!(
                     "virtual table '{table}' is read-only (no CAP_DML)"
@@ -806,6 +848,26 @@ impl HanaPlatform {
             }
             TableSource::Extended { remote_table, .. } => {
                 self.iq_delete(tid, cid, remote_table, filter)
+            }
+            TableSource::Distributed(dt) => {
+                let mut n = 0;
+                for node in dt.nodes() {
+                    let victims = {
+                        let tr = node.table().read();
+                        matching_column_rows(&tr, filter, cid)?
+                    };
+                    n += victims.len();
+                    for row_id in victims {
+                        self.local_writes.buffer(
+                            tid,
+                            LocalOp::ColumnDelete {
+                                table: Arc::clone(node.table()),
+                                row_id,
+                            },
+                        );
+                    }
+                }
+                Ok(n)
             }
             TableSource::Virtual { .. } => Err(HanaError::Unsupported(format!(
                 "virtual table '{table}' is read-only (no CAP_DML)"
@@ -921,6 +983,43 @@ impl HanaPlatform {
                 }
                 Ok(n)
             }
+            TableSource::Distributed(dt) => {
+                let mut n = 0;
+                for node in dt.nodes() {
+                    let (victims, new_rows) = {
+                        let tr = node.table().read();
+                        let victims = matching_column_rows(&tr, filter, cid)?;
+                        let new_rows: Vec<Vec<Value>> = victims
+                            .iter()
+                            .map(|&r| {
+                                apply(&Row::from_values((0..schema.len()).map(|c| tr.value(r, c))))
+                            })
+                            .collect::<Result<_>>()?;
+                        (victims, new_rows)
+                    };
+                    n += victims.len();
+                    for (row_id, row) in victims.into_iter().zip(new_rows) {
+                        self.local_writes.buffer(
+                            tid,
+                            LocalOp::ColumnDelete {
+                                table: Arc::clone(node.table()),
+                                row_id,
+                            },
+                        );
+                        // Re-route the new image: a partition-key update
+                        // may move the row to a different node.
+                        let home = dt.route(&row);
+                        self.local_writes.buffer(
+                            tid,
+                            LocalOp::ColumnInsert {
+                                table: Arc::clone(dt.nodes()[home].table()),
+                                row,
+                            },
+                        );
+                    }
+                }
+                Ok(n)
+            }
             _ => Err(HanaError::Unsupported(format!(
                 "UPDATE is supported on local tables only, not '{table}'"
             ))),
@@ -967,6 +1066,25 @@ impl HanaPlatform {
             TableSource::Extended { remote_table, .. } => {
                 self.iq
                     .buffer_insert(txn.tid, remote_table, rows.to_vec())?;
+            }
+            TableSource::Distributed(dt) => {
+                // Bulk load goes through the repartition exchange: rows
+                // are bucketed by partition key and shipped to their
+                // home nodes over the links (accounted + fault-checked).
+                let ctx = RemoteContext::snapshot(txn.snapshot.cid());
+                let buckets =
+                    hana_dist::repartition(dt, &ctx, &RetryPolicy::default(), rows.to_vec())?;
+                for (node, bucket) in buckets.into_iter().enumerate() {
+                    for row in bucket {
+                        self.local_writes.buffer(
+                            txn.tid,
+                            LocalOp::ColumnInsert {
+                                table: Arc::clone(dt.nodes()[node].table()),
+                                row: row.0,
+                            },
+                        );
+                    }
+                }
             }
             TableSource::Virtual { .. } => {
                 return Err(HanaError::Unsupported(format!(
@@ -1168,6 +1286,7 @@ impl HanaPlatform {
                     hot.read().snapshot_rows(cid),
                     self.iq.scan(cold_table, &[], None, cid)?.rows,
                 ),
+                TableSource::Distributed(dt) => (dt.snapshot_rows(cid), Vec::new()),
                 TableSource::Virtual { .. } => continue, // remote data
             };
             entries.push(BackupEntry {
@@ -1201,7 +1320,9 @@ impl HanaPlatform {
                 })
                 .collect();
             let (kind, extended) = match &e.kind {
-                TableKindInfo::Column | TableKindInfo::Virtual => (TableKind::Column, None),
+                TableKindInfo::Column
+                | TableKindInfo::Virtual
+                | TableKindInfo::Distributed { .. } => (TableKind::Column, None),
                 TableKindInfo::Row => (TableKind::Row, None),
                 TableKindInfo::Extended => (
                     TableKind::Column,
@@ -1218,11 +1339,16 @@ impl HanaPlatform {
                     }),
                 ),
             };
+            let partition = match &e.kind {
+                TableKindInfo::Distributed { partition } => Some(partition.clone()),
+                _ => None,
+            };
             self.create_table(CreateTable {
                 name: e.name.clone(),
                 kind,
                 columns: specs,
                 extended,
+                partition,
             })?;
             if !e.rows.is_empty() {
                 self.load_rows(session, &e.name, &e.rows)?;
@@ -1327,6 +1453,23 @@ fn matching_column_rows(
         }
     }
     Ok(out)
+}
+
+/// Translate the parsed `PARTITION BY` clause into a runtime spec.
+fn partition_spec(p: &PartitionBy) -> hana_dist::PartitionSpec {
+    match p {
+        PartitionBy::Hash { column, partitions } => hana_dist::PartitionSpec::Hash {
+            column: column.clone(),
+            partitions: *partitions,
+        },
+        PartitionBy::Range {
+            column,
+            split_points,
+        } => hana_dist::PartitionSpec::Range {
+            column: column.clone(),
+            split_points: split_points.clone(),
+        },
+    }
 }
 
 fn schema_from_specs(specs: &[ColumnSpec]) -> Result<Schema> {

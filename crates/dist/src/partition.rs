@@ -1,0 +1,273 @@
+//! Partition specifications: how rows map to nodes, and which nodes a
+//! predicate can possibly touch.
+
+use std::hash::{Hash, Hasher};
+
+use hana_columnar::ColumnPredicate;
+use hana_types::Value;
+
+/// How a table's rows are split across the nodes of the landscape.
+///
+/// NULL partition-key values always route to partition 0 (both
+/// schemes), so `IS NULL` predicates prune to a single node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionSpec {
+    /// `PARTITION BY HASH(col) PARTITIONS n`: stable value hash modulo
+    /// the partition count.
+    Hash {
+        /// Partitioning column name.
+        column: String,
+        /// Number of partitions (> 0).
+        partitions: usize,
+    },
+    /// `PARTITION BY RANGE(col) SPLIT AT (…)`: partition *i* holds the
+    /// values below `split_points[i]` (and at or above
+    /// `split_points[i-1]`); the final catch-all partition holds
+    /// everything at or above the last split point. `n` split points
+    /// make `n + 1` partitions.
+    Range {
+        /// Partitioning column name.
+        column: String,
+        /// Ascending exclusive upper bounds.
+        split_points: Vec<Value>,
+    },
+}
+
+impl PartitionSpec {
+    /// The partitioning column.
+    pub fn column(&self) -> &str {
+        match self {
+            PartitionSpec::Hash { column, .. } | PartitionSpec::Range { column, .. } => column,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        match self {
+            PartitionSpec::Hash { partitions, .. } => (*partitions).max(1),
+            PartitionSpec::Range { split_points, .. } => split_points.len() + 1,
+        }
+    }
+
+    /// Short display form for EXPLAIN/metrics labels.
+    pub fn describe(&self) -> String {
+        match self {
+            PartitionSpec::Hash { column, partitions } => {
+                format!("hash({column}) x{partitions}")
+            }
+            PartitionSpec::Range {
+                column,
+                split_points,
+            } => format!("range({column}) x{}", split_points.len() + 1),
+        }
+    }
+
+    /// The partition a key value routes to.
+    pub fn partition_of(&self, v: &Value) -> usize {
+        if v.is_null() {
+            return 0;
+        }
+        match self {
+            PartitionSpec::Hash { partitions, .. } => {
+                (stable_value_hash(v) % (*partitions).max(1) as u64) as usize
+            }
+            PartitionSpec::Range { split_points, .. } => split_points
+                .iter()
+                .position(|sp| v < sp)
+                .unwrap_or(split_points.len()),
+        }
+    }
+
+    /// The set of partitions a predicate on the partitioning column can
+    /// possibly match, as a candidate mask; `None` means the predicate
+    /// shape cannot prune (every partition stays a candidate).
+    ///
+    /// Hash partitioning prunes point shapes (`=`, `IN`, `IS NULL`);
+    /// range partitioning additionally prunes the order shapes
+    /// (`<`, `<=`, `>`, `>=`, `BETWEEN`) because routing is
+    /// order-preserving.
+    pub fn prune(&self, pred: &ColumnPredicate) -> Option<Vec<bool>> {
+        let n = self.partitions();
+        let mut mask = vec![false; n];
+        match pred {
+            ColumnPredicate::Eq(v) if !v.is_null() => mask[self.partition_of(v)] = true,
+            ColumnPredicate::InList(vs) => {
+                for v in vs {
+                    if !v.is_null() {
+                        mask[self.partition_of(v)] = true;
+                    }
+                }
+            }
+            ColumnPredicate::IsNull => mask[0] = true,
+            ColumnPredicate::Lt(v) => {
+                if let PartitionSpec::Range { split_points, .. } = self {
+                    // Strict bound: when `v` sits exactly on a split
+                    // point, values below it stay below that partition.
+                    let hi = split_points
+                        .iter()
+                        .position(|sp| v <= sp)
+                        .unwrap_or(split_points.len());
+                    mask[..=hi].fill(true);
+                } else {
+                    return None;
+                }
+            }
+            ColumnPredicate::Le(v) => {
+                if let PartitionSpec::Range { .. } = self {
+                    let hi = self.partition_of(v);
+                    mask[..=hi].fill(true);
+                } else {
+                    return None;
+                }
+            }
+            ColumnPredicate::Gt(v) | ColumnPredicate::Ge(v) => {
+                if let PartitionSpec::Range { .. } = self {
+                    let lo = self.partition_of(v);
+                    mask[lo..].fill(true);
+                } else {
+                    return None;
+                }
+            }
+            ColumnPredicate::Between(lo, hi) => {
+                if let PartitionSpec::Range { .. } = self {
+                    let (a, b) = (self.partition_of(lo), self.partition_of(hi));
+                    mask[a..=b.max(a)].fill(true);
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+        Some(mask)
+    }
+}
+
+/// A process-stable hash of a value, independent of the column it came
+/// from. Built on the `Hash` impl of [`Value`] (f64 by bit pattern) via
+/// a fixed-key SipHash, then finalized with SplitMix64 so low partition
+/// counts still see all input bits.
+pub fn stable_value_hash(v: &Value) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    crate::splitmix64(h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash4() -> PartitionSpec {
+        PartitionSpec::Hash {
+            column: "k".into(),
+            partitions: 4,
+        }
+    }
+
+    fn range4() -> PartitionSpec {
+        PartitionSpec::Range {
+            column: "k".into(),
+            split_points: vec![Value::Int(10), Value::Int(20), Value::Int(30)],
+        }
+    }
+
+    #[test]
+    fn hash_routing_is_stable_and_in_range() {
+        let s = hash4();
+        for i in -100..100 {
+            let p = s.partition_of(&Value::Int(i));
+            assert!(p < 4);
+            assert_eq!(p, s.partition_of(&Value::Int(i)), "stable per value");
+        }
+        assert_eq!(s.partition_of(&Value::Null), 0);
+        // All four partitions receive some traffic.
+        let mut seen = [false; 4];
+        for i in 0..64 {
+            seen[s.partition_of(&Value::Int(i))] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "hash spreads: {seen:?}");
+    }
+
+    #[test]
+    fn range_routing_follows_split_points() {
+        let s = range4();
+        assert_eq!(s.partitions(), 4);
+        assert_eq!(s.partition_of(&Value::Int(-5)), 0);
+        assert_eq!(s.partition_of(&Value::Int(9)), 0);
+        assert_eq!(s.partition_of(&Value::Int(10)), 1, "bounds are exclusive");
+        assert_eq!(s.partition_of(&Value::Int(19)), 1);
+        assert_eq!(s.partition_of(&Value::Int(25)), 2);
+        assert_eq!(s.partition_of(&Value::Int(30)), 3);
+        assert_eq!(s.partition_of(&Value::Int(1000)), 3, "catch-all");
+        assert_eq!(s.partition_of(&Value::Null), 0);
+    }
+
+    #[test]
+    fn hash_pruning_points_only() {
+        let s = hash4();
+        let eq = s.prune(&ColumnPredicate::Eq(Value::Int(7))).unwrap();
+        assert_eq!(eq.iter().filter(|&&b| b).count(), 1);
+        assert!(eq[s.partition_of(&Value::Int(7))]);
+        let inl = s
+            .prune(&ColumnPredicate::InList(vec![Value::Int(1), Value::Int(2)]))
+            .unwrap();
+        assert!(inl.iter().filter(|&&b| b).count() <= 2);
+        assert!(s.prune(&ColumnPredicate::Lt(Value::Int(5))).is_none());
+        assert!(s.prune(&ColumnPredicate::Like("x%".into())).is_none());
+        assert_eq!(
+            s.prune(&ColumnPredicate::IsNull).unwrap(),
+            vec![true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn range_pruning_covers_order_shapes() {
+        let s = range4();
+        assert_eq!(
+            s.prune(&ColumnPredicate::Lt(Value::Int(9))).unwrap(),
+            vec![true, false, false, false]
+        );
+        assert_eq!(
+            s.prune(&ColumnPredicate::Ge(Value::Int(20))).unwrap(),
+            vec![false, false, true, true]
+        );
+        assert_eq!(
+            s.prune(&ColumnPredicate::Between(Value::Int(12), Value::Int(22)))
+                .unwrap(),
+            vec![false, true, true, false]
+        );
+        assert_eq!(
+            s.prune(&ColumnPredicate::Eq(Value::Int(15))).unwrap(),
+            vec![false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn pruning_never_loses_rows() {
+        // Every value routed to partition p must be a candidate of every
+        // predicate it satisfies.
+        let specs = [hash4(), range4()];
+        let preds = [
+            ColumnPredicate::Eq(Value::Int(17)),
+            ColumnPredicate::Lt(Value::Int(13)),
+            ColumnPredicate::Ge(Value::Int(28)),
+            ColumnPredicate::Between(Value::Int(5), Value::Int(25)),
+            ColumnPredicate::InList(vec![Value::Int(3), Value::Int(33)]),
+        ];
+        for spec in &specs {
+            for pred in &preds {
+                let Some(mask) = spec.prune(pred) else {
+                    continue;
+                };
+                for i in -50..50 {
+                    let v = Value::Int(i);
+                    if pred.matches(&v) {
+                        assert!(
+                            mask[spec.partition_of(&v)],
+                            "{spec:?} {pred:?} lost value {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

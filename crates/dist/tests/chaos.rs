@@ -1,0 +1,154 @@
+//! Chaos tests: shuffles over a seeded faulty link must degrade along
+//! the SDA error taxonomy — transient faults retry within the budget
+//! and deliver exactly-once, exhausted budgets and permanent faults
+//! surface their error kind, and expired deadlines report
+//! `remote_timeout` — with no partial or duplicated payload in any
+//! failure mode.
+
+use std::time::Duration;
+
+use hana_dist::{broadcast, gather, repartition, DistTable, FaultPlan, PartitionSpec};
+use hana_sda::{RemoteContext, RetryPolicy};
+use hana_types::{DataType, Row, Schema, Value};
+
+fn table(parts: usize) -> DistTable {
+    let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+    DistTable::new(
+        "chaos",
+        schema,
+        PartitionSpec::Hash {
+            column: "k".into(),
+            partitions: parts,
+        },
+    )
+    .unwrap()
+}
+
+fn rows(n: i64) -> Vec<Row> {
+    (0..n)
+        .map(|i| Row::from_values([Value::Int(i), Value::Int(i * 10)]))
+        .collect()
+}
+
+/// A zero-backoff policy so retry-heavy tests stay fast.
+fn eager(attempts: u32) -> RetryPolicy {
+    RetryPolicy::default()
+        .with_max_attempts(attempts)
+        .with_base_backoff(Duration::from_micros(50))
+        .with_max_backoff(Duration::from_micros(200))
+}
+
+#[test]
+fn flaky_link_recovers_within_retry_budget_exactly_once() {
+    let t = table(3);
+    let ctx = RemoteContext::snapshot(1);
+    // 40 % of sends fail; with 8 attempts per chunk every chunk gets
+    // through eventually.
+    t.link(1).set_fault(Some(FaultPlan::flaky(0xC4A05, 0.4)));
+
+    let payload = rows(500);
+    let delivered = gather(&t, &ctx, &eager(8), vec![(1, payload.clone())]).unwrap();
+    assert_eq!(delivered, payload, "no loss, no duplication, order kept");
+
+    let stats = t.link(1).stats();
+    assert!(stats.faults > 0, "the plan did inject faults");
+    assert!(stats.retries > 0, "faults were absorbed by retries");
+    assert_eq!(stats.rows, 500, "row accounting counts deliveries once");
+}
+
+#[test]
+fn exhausted_retry_budget_is_retryable_and_all_or_nothing() {
+    let t = table(3);
+    let ctx = RemoteContext::snapshot(1);
+    // Every send fails: even a generous budget cannot get through.
+    t.link(0).set_fault(Some(FaultPlan::flaky(7, 1.0)));
+
+    let err = gather(&t, &ctx, &eager(3), vec![(0, rows(100))])
+        .expect_err("a fully faulty link exhausts the budget");
+    assert!(
+        err.kind() == "remote_timeout" || err.kind() == "remote_unavailable",
+        "transient taxonomy, got {}",
+        err.kind()
+    );
+    let stats = t.link(0).stats();
+    assert_eq!(stats.rows, 0, "all-or-nothing: nothing was delivered");
+    assert_eq!(stats.faults, 3, "one fault per attempt");
+    assert_eq!(stats.retries, 2, "attempts beyond the first are retries");
+}
+
+#[test]
+fn permanent_faults_fail_fast_without_retry() {
+    let t = table(3);
+    let ctx = RemoteContext::snapshot(1);
+    t.link(2)
+        .set_fault(Some(FaultPlan::flaky(11, 1.0).with_permanent_share(1.0)));
+
+    let err = broadcast(&t, &ctx, &eager(10), &rows(50), &[2])
+        .expect_err("a permanent fault is not retried");
+    assert_eq!(err.kind(), "remote", "permanent taxonomy");
+    let stats = t.link(2).stats();
+    assert_eq!(stats.retries, 0, "failed fast on the first attempt");
+    assert_eq!(stats.rows, 0, "no partial payload surfaced");
+}
+
+#[test]
+fn expired_deadline_reports_remote_timeout() {
+    let t = table(3);
+    let ctx = RemoteContext::snapshot(1).with_deadline(Duration::from_nanos(1));
+    std::thread::sleep(Duration::from_millis(2));
+
+    let err = repartition(&t, &ctx, &RetryPolicy::none(), rows(60))
+        .expect_err("an expired deadline fails the shuffle");
+    assert_eq!(err.kind(), "remote_timeout");
+    for link in t.links() {
+        assert_eq!(link.stats().rows, 0, "deadline expiry ships nothing");
+    }
+}
+
+#[test]
+fn timeout_share_steers_the_transient_taxonomy() {
+    // With timeout_share = 1.0 every transient fault surfaces as
+    // `remote_timeout`; with 0.0 every one is `remote_unavailable`.
+    for (share, kind) in [(1.0, "remote_timeout"), (0.0, "remote_unavailable")] {
+        let t = table(2);
+        let ctx = RemoteContext::snapshot(1);
+        t.link(0)
+            .set_fault(Some(FaultPlan::flaky(3, 1.0).with_timeout_share(share)));
+        let err = gather(&t, &ctx, &RetryPolicy::none(), vec![(0, rows(10))])
+            .expect_err("fully faulty link");
+        assert_eq!(err.kind(), kind, "timeout_share = {share}");
+    }
+}
+
+#[test]
+fn chunked_transfer_retries_per_chunk_not_per_payload() {
+    // 20 000 rows cross the default 8 192-row chunk bound three times;
+    // with a third of the sends failing, the shuffle still completes
+    // because each chunk retries independently instead of restarting
+    // the payload.
+    let t = table(2);
+    let ctx = RemoteContext::snapshot(1);
+    t.link(1).set_fault(Some(FaultPlan::flaky(0xBEEF, 0.33)));
+
+    let payload = rows(20_000);
+    let delivered = gather(&t, &ctx, &eager(10), vec![(1, payload.clone())]).unwrap();
+    assert_eq!(delivered.len(), 20_000);
+    assert_eq!(delivered, payload);
+    let stats = t.link(1).stats();
+    assert!(
+        stats.chunks >= 3 && stats.rows == 20_000,
+        "chunk accounting covers the whole payload: {stats:?}"
+    );
+}
+
+#[test]
+fn cleared_fault_restores_clean_transfers() {
+    let t = table(2);
+    let ctx = RemoteContext::snapshot(1);
+    t.link(0).set_fault(Some(FaultPlan::flaky(5, 1.0)));
+    gather(&t, &ctx, &RetryPolicy::none(), vec![(0, rows(10))]).expect_err("faulted link fails");
+
+    t.link(0).set_fault(None);
+    let delivered = gather(&t, &ctx, &RetryPolicy::none(), vec![(0, rows(10))]).unwrap();
+    assert_eq!(delivered.len(), 10, "clearing the plan heals the link");
+}

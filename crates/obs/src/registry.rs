@@ -340,16 +340,22 @@ impl RegistrySnapshot {
     }
 
     /// Render in the Prometheus text exposition format. Histograms are
-    /// flattened to `_count`/`_sum`/`_max` plus quantile gauges.
+    /// flattened to `_count`/`_sum`/`_max` plus quantile gauges. Metric
+    /// names are sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*` charset —
+    /// instruments named after spans (`exchange[repartition]`, …) would
+    /// otherwise emit lines Prometheus rejects.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
+            let name = prometheus_name(name);
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
         }
         for (name, v) in &self.gauges {
+            let name = prometheus_name(name);
             out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
         }
         for (name, h) in &self.histograms {
+            let name = prometheus_name(name);
             out.push_str(&format!("# TYPE {name} summary\n"));
             out.push_str(&format!("{name}_count {}\n", h.count));
             out.push_str(&format!("{name}_sum {}\n", h.sum));
@@ -360,6 +366,32 @@ impl RegistrySnapshot {
         }
         out
     }
+}
+
+/// Escape a registry instrument name into a legal Prometheus metric
+/// name (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every illegal character becomes
+/// `_`, a leading digit gets a `_` prefix, trailing runs of `_` from
+/// stripped brackets are trimmed.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | ':' => out.push(c),
+            // Escape runs (`[repartition]_rows`) collapse to one `_`.
+            _ => {
+                if !out.ends_with('_') {
+                    out.push('_');
+                }
+            }
+        }
+    }
+    while out.ends_with('_') && out.len() > 1 {
+        out.pop();
+    }
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
 }
 
 fn push_entries<'a, V: 'a>(
@@ -400,6 +432,36 @@ fn json_escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        let r = Registry::new();
+        r.counter("exchange[repartition]_rows").add(5);
+        r.counter("hana_dist_rows_shuffled_total").add(7);
+        r.gauge("latency[gather]").set(3);
+        r.histogram("span[dist_scan[t]]").record(9);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("exchange_repartition_rows 5"), "{text}");
+        assert!(text.contains("hana_dist_rows_shuffled_total 7"), "{text}");
+        assert!(text.contains("latency_gather 3"), "{text}");
+        assert!(text.contains("span_dist_scan_t_count 1"), "{text}");
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap_or_default();
+            assert!(
+                name.chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "illegal metric name in line: {line}"
+            );
+        }
+
+        assert_eq!(prometheus_name("plain_name_total"), "plain_name_total");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("[]"), "_");
+    }
 
     #[test]
     fn counters_and_gauges_round_trip() {

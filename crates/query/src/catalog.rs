@@ -61,6 +61,9 @@ pub enum TableSource {
         /// Imported schema.
         schema: Schema,
     },
+    /// Partitioned table scaled out across the in-process node
+    /// landscape; scans prune partitions and gather over links.
+    Distributed(Arc<hana_dist::DistTable>),
 }
 
 impl TableSource {
@@ -73,6 +76,7 @@ impl TableSource {
                 schema.clone()
             }
             TableSource::Hybrid { hot, .. } => hot.read().schema().clone(),
+            TableSource::Distributed(t) => t.schema().clone(),
         }
     }
 

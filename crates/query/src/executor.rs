@@ -2,7 +2,7 @@
 
 use hana_columnar::BLOCK_ROWS;
 use hana_exec::ExecContext;
-use hana_sda::RemoteContext;
+use hana_sda::{RemoteContext, RetryPolicy};
 use hana_sql::finish::finish_query;
 use hana_sql::{evaluate, evaluate_predicate, resolve_column, Expr, JoinKind, Query, TableRef};
 use hana_types::{Accumulator, AggFunc, HanaError, Result, ResultSet, Row, Schema, Value};
@@ -17,6 +17,11 @@ use crate::planner::Planner;
 /// inputs run serially — one default morsel's worth of rows, below
 /// which fan-out overhead buys nothing.
 pub const PARALLEL_ROW_THRESHOLD: usize = 65_536;
+
+/// Build sides at or below this many rows are broadcast to the nodes of
+/// a distributed probe side (fragment-local join); larger build sides
+/// fall back to gathering the probe side at the coordinator.
+pub const BROADCAST_BUILD_ROW_LIMIT: usize = 16_384;
 
 /// Execute a SQL query against the catalog under snapshot `cid`, using
 /// the process-wide [`ExecContext`] for parallel operators.
@@ -56,6 +61,7 @@ fn span_name(op: &PlanOp) -> String {
     match op {
         PlanOp::ColumnScan { table, .. } => format!("column_scan[{table}]"),
         PlanOp::RowScan { table, .. } => format!("row_scan[{table}]"),
+        PlanOp::DistScan { table, .. } => format!("dist_scan[{table}]"),
         PlanOp::HybridScan { table, .. } => format!("hybrid_scan[{table}]"),
         PlanOp::RemoteQuery { source, .. } => format!("remote_query[{source}]"),
         PlanOp::FunctionScan { function, .. } => format!("function_scan[{function}]"),
@@ -140,6 +146,20 @@ fn execute_plan_inner(
             });
             Ok(ResultSet::new(plan.schema.clone(), rows))
         }
+        PlanOp::DistScan { table, preds, .. } => {
+            let TableSource::Distributed(t) = catalog.resolve_table(table)? else {
+                return Err(HanaError::Plan(format!(
+                    "'{table}' is not a distributed table"
+                )));
+            };
+            let ctx = RemoteContext::snapshot(cid);
+            let policy = RetryPolicy::default();
+            let (outcome, parts) = t.scan_partitions(preds, cid)?;
+            span.attr("partitions_scanned", outcome.scanned);
+            span.attr("partitions_pruned", outcome.pruned);
+            let rows = hana_dist::gather(&t, &ctx, &policy, parts)?;
+            Ok(ResultSet::new(plan.schema.clone(), rows))
+        }
         PlanOp::HybridScan { table, preds, .. } => {
             let TableSource::Hybrid {
                 hot,
@@ -199,6 +219,32 @@ fn execute_plan_inner(
             right_key,
             kind,
         } => {
+            // Distributed fast path: when the probe side is a
+            // partitioned scan and the build side is small, broadcast
+            // the build rows to the surviving nodes and join
+            // fragment-locally, shipping only join results.
+            if let PlanOp::DistScan { table, preds, .. } = &left.op {
+                if let Ok(TableSource::Distributed(dt)) = catalog.resolve_table(table) {
+                    let r = execute_plan_with(exec, right, catalog, cid)?;
+                    if r.rows.len() <= BROADCAST_BUILD_ROW_LIMIT {
+                        span.attr("broadcast_join", 1);
+                        return dist_broadcast_join(
+                            &dt,
+                            &left.schema,
+                            preds,
+                            &r,
+                            left_key,
+                            right_key,
+                            *kind,
+                            &plan.schema,
+                            cid,
+                            span,
+                        );
+                    }
+                    let l = execute_plan_with(exec, left, catalog, cid)?;
+                    return hash_join(&l, &r, left_key, right_key, *kind, &plan.schema);
+                }
+            }
             let l = execute_plan_with(exec, left, catalog, cid)?;
             let r = execute_plan_with(exec, right, catalog, cid)?;
             hash_join(&l, &r, left_key, right_key, *kind, &plan.schema)
@@ -345,6 +391,14 @@ fn execute_plan_inner(
             group_by,
             aggs,
         } => {
+            // Distributed fast path: aggregate each partition on its
+            // node and ship only the partial aggregate states — the
+            // shuffle carries groups, not rows.
+            if let Some(rs) =
+                try_distributed_group_by(&plan.schema, input, group_by, aggs, catalog, cid, span)?
+            {
+                return Ok(rs);
+            }
             // Late-materialization fast path: group-by over a single
             // dictionary-encoded column keys accumulators on packed
             // vids and decodes each distinct group's value once.
@@ -608,6 +662,132 @@ fn try_fused_group_by(
         .collect();
     rows.sort();
     Ok(Some(ResultSet::new(out_schema.clone(), rows)))
+}
+
+/// Partition-wise partial aggregation over a distributed scan.
+///
+/// Each node aggregates its fragment locally; only the partial
+/// accumulator states cross the links (under an
+/// `exchange[partial_agg]` span and the `hana_dist_rows_shuffled_total`
+/// counter, where "rows" are groups). The coordinator merges the
+/// partials and finishes — byte-identical to gathering all rows first
+/// because accumulator merge is the same algebra the parallel
+/// aggregation path already relies on. Returns `Ok(None)` when the
+/// input is not a distributed scan.
+fn try_distributed_group_by(
+    out_schema: &Schema,
+    input: &PlanNode,
+    group_by: &[Expr],
+    aggs: &[(AggFunc, Option<Expr>)],
+    catalog: &dyn Catalog,
+    cid: u64,
+    span: &hana_obs::Span,
+) -> Result<Option<ResultSet>> {
+    let PlanOp::DistScan { table, preds, .. } = &input.op else {
+        return Ok(None);
+    };
+    let Ok(TableSource::Distributed(t)) = catalog.resolve_table(table) else {
+        return Ok(None);
+    };
+    span.attr("distributed", 1);
+    let ctx = RemoteContext::snapshot(cid);
+    let policy = RetryPolicy::default();
+
+    // The scan itself, reported under its usual operator span so
+    // profiles keep the query -> group_by -> dist_scan[t] shape.
+    let scan_span = hana_obs::span(&span_name(&input.op));
+    let (outcome, parts) = t.scan_partitions(preds, cid)?;
+    scan_span.attr("partitions_scanned", outcome.scanned);
+    scan_span.attr("partitions_pruned", outcome.pruned);
+    scan_span.set_rows(parts.iter().map(|(_, r)| r.len() as u64).sum());
+    drop(scan_span);
+
+    let xspan = hana_obs::span("exchange[partial_agg]");
+    xspan.attr("nodes", parts.len() as u64);
+    let mut merged: FxHashMap<Vec<Value>, Vec<Accumulator>> = FxHashMap::default();
+    let mut shipped_groups = 0u64;
+    let mut shipped_bytes = 0u64;
+    for (node, rows) in parts {
+        let partial = aggregate_chunk(&rows, group_by, aggs, &input.schema)?;
+        let items: Vec<(Vec<Value>, Vec<Accumulator>)> = partial.into_iter().collect();
+        let (delivered, bytes) = hana_dist::transfer_accounted(
+            t.link(node),
+            &ctx,
+            &policy,
+            &format!("partial_agg[{}#p{node}]", t.name()),
+            items,
+            |(key, accs)| {
+                key.iter().map(|v| v.storage_bytes() as u64).sum::<u64>() + 16 * accs.len() as u64
+            },
+        )?;
+        shipped_groups += delivered.len() as u64;
+        shipped_bytes += bytes;
+        for (key, accs) in delivered {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (into, from) in e.get_mut().iter_mut().zip(&accs) {
+                        into.merge(from);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(accs);
+                }
+            }
+        }
+    }
+    xspan.set_rows(shipped_groups);
+    xspan.set_bytes(shipped_bytes);
+    drop(xspan);
+
+    if merged.is_empty() && group_by.is_empty() {
+        merged.insert(
+            Vec::new(),
+            aggs.iter().map(|(f, _)| f.accumulator()).collect(),
+        );
+    }
+    let mut rows: Vec<Row> = merged
+        .into_iter()
+        .map(|(mut key, accs)| {
+            key.extend(accs.iter().map(|a| a.finish()));
+            Row(key)
+        })
+        .collect();
+    rows.sort();
+    Ok(Some(ResultSet::new(out_schema.clone(), rows)))
+}
+
+/// Broadcast-build distributed hash join: replicate the build rows to
+/// every surviving node of the partitioned probe side, join each
+/// fragment locally, gather only the join results.
+#[allow(clippy::too_many_arguments)]
+fn dist_broadcast_join(
+    dt: &hana_dist::DistTable,
+    left_schema: &Schema,
+    preds: &[(String, hana_columnar::ColumnPredicate)],
+    r: &ResultSet,
+    left_key: &str,
+    right_key: &str,
+    kind: JoinKind,
+    out_schema: &Schema,
+    cid: u64,
+    span: &hana_obs::Span,
+) -> Result<ResultSet> {
+    let ctx = RemoteContext::snapshot(cid);
+    let policy = RetryPolicy::default();
+    let (outcome, parts) = dt.scan_partitions(preds, cid)?;
+    span.attr("partitions_scanned", outcome.scanned);
+    span.attr("partitions_pruned", outcome.pruned);
+    let targets: Vec<usize> = parts.iter().map(|(n, _)| *n).collect();
+    let copies = hana_dist::broadcast(dt, &ctx, &policy, &r.rows, &targets)?;
+    let mut joined_parts = Vec::with_capacity(parts.len());
+    for ((node, rows), (_, build)) in parts.into_iter().zip(copies) {
+        let l = ResultSet::new(left_schema.clone(), rows);
+        let b = ResultSet::new(r.schema.clone(), build);
+        let out = hash_join(&l, &b, left_key, right_key, kind, out_schema)?;
+        joined_parts.push((node, out.rows));
+    }
+    let rows = hana_dist::gather(dt, &ctx, &policy, joined_parts)?;
+    Ok(ResultSet::new(out_schema.clone(), rows))
 }
 
 /// Build a column expression from a possibly qualified key name.

@@ -62,6 +62,17 @@ pub enum PlanOp {
         /// Pushed-down predicates.
         preds: Vec<(String, ColumnPredicate)>,
     },
+    /// Scan of a distributed (partitioned) table: prune partitions by
+    /// the pushed-down predicates, scan the surviving fragments on their
+    /// nodes, gather to the coordinator over the links.
+    DistScan {
+        /// Binding name in the query.
+        binding: String,
+        /// Catalog table name.
+        table: String,
+        /// Pushed-down predicates.
+        preds: Vec<(String, ColumnPredicate)>,
+    },
     /// Hybrid table scan: hot partition locally, cold partition at the
     /// extended store, unioned (the §3.1 "Union Plan" at scan level).
     HybridScan {
@@ -215,6 +226,19 @@ impl PlanNode {
                 out,
                 &format!(
                     "Row Scan {table} [{binding}] ({} preds, est {:.0} rows)",
+                    preds.len(),
+                    self.est_rows
+                ),
+            ),
+            PlanOp::DistScan {
+                binding,
+                table,
+                preds,
+            } => Self::line(
+                indent,
+                out,
+                &format!(
+                    "Dist Scan {table} [{binding}] ({} preds, partition pruning + gather, est {:.0} rows)",
                     preds.len(),
                     self.est_rows
                 ),

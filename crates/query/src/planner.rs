@@ -450,6 +450,15 @@ impl<'a> Planner<'a> {
                     schema: b.schema.clone(),
                     est_rows: est,
                 }),
+                TableSource::Distributed(_) => Ok(PlanNode {
+                    op: PlanOp::DistScan {
+                        binding: b.name.clone(),
+                        table: b.table.clone(),
+                        preds: lowered,
+                    },
+                    schema: b.schema.clone(),
+                    est_rows: est,
+                }),
                 TableSource::Hybrid { .. } => Ok(PlanNode {
                     op: PlanOp::HybridScan {
                         binding: b.name.clone(),
@@ -595,6 +604,29 @@ impl<'a> Planner<'a> {
                     lowered
                         .iter()
                         .fold(rows, |e, (_, p)| e * p.default_selectivity())
+                }
+                TableSource::Distributed(t) => {
+                    // Pruning scales the scanned fraction; per-row
+                    // selectivity applies on top.
+                    let rows = t.row_count() as f64;
+                    let outcome_fraction = {
+                        let mut mask = vec![true; t.node_count()];
+                        for (col, pred) in &lowered {
+                            if col == t.spec().column() {
+                                if let Some(c) = t.spec().prune(pred) {
+                                    for (m, keep) in mask.iter_mut().zip(&c) {
+                                        *m &= *keep;
+                                    }
+                                }
+                            }
+                        }
+                        mask.iter().filter(|&&b| b).count() as f64 / mask.len().max(1) as f64
+                    };
+                    let sel: f64 = lowered
+                        .iter()
+                        .map(|(_, p)| p.default_selectivity())
+                        .product();
+                    (rows * outcome_fraction * sel).max(1.0)
                 }
                 TableSource::Hybrid {
                     hot,

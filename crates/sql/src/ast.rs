@@ -114,6 +114,48 @@ pub struct CreateTable {
     pub columns: Vec<ColumnSpec>,
     /// `USING [HYBRID] EXTENDED STORAGE` clause, if present.
     pub extended: Option<ExtendedSpec>,
+    /// `PARTITION BY …` clause, if present (scale-out tables).
+    pub partition: Option<PartitionBy>,
+}
+
+/// The `PARTITION BY` clause of scale-out DDL: how rows are mapped to
+/// the nodes of the landscape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionBy {
+    /// `PARTITION BY HASH(col) PARTITIONS n`
+    Hash {
+        /// Partitioning column, lower-cased.
+        column: String,
+        /// Number of partitions (> 0).
+        partitions: usize,
+    },
+    /// `PARTITION BY RANGE(col) (PARTITION VALUES < v1, …, PARTITION
+    /// OTHERS)` — `split_points` are the ascending exclusive upper
+    /// bounds; rows at or above the last one land in the final
+    /// catch-all partition, so `n` split points make `n + 1` partitions.
+    Range {
+        /// Partitioning column, lower-cased.
+        column: String,
+        /// Ascending exclusive upper bounds of the first `n` partitions.
+        split_points: Vec<Value>,
+    },
+}
+
+impl PartitionBy {
+    /// The partitioning column.
+    pub fn column(&self) -> &str {
+        match self {
+            PartitionBy::Hash { column, .. } | PartitionBy::Range { column, .. } => column,
+        }
+    }
+
+    /// Total number of partitions the clause produces.
+    pub fn partitions(&self) -> usize {
+        match self {
+            PartitionBy::Hash { partitions, .. } => *partitions,
+            PartitionBy::Range { split_points, .. } => split_points.len() + 1,
+        }
+    }
 }
 
 /// One column in DDL.

@@ -25,8 +25,8 @@ mod parser;
 mod render;
 
 pub use ast::{
-    BinOp, ColumnSpec, CreateTable, Expr, ExtendedSpec, JoinClause, JoinKind, Query, SelectItem,
-    Statement, TableKind, TableRef, UnaryOp,
+    BinOp, ColumnSpec, CreateTable, Expr, ExtendedSpec, JoinClause, JoinKind, PartitionBy, Query,
+    SelectItem, Statement, TableKind, TableRef, UnaryOp,
 };
 pub use eval::{evaluate, evaluate_predicate, resolve_column};
 pub use lexer::{tokenize, Symbol, Token};

@@ -265,12 +265,75 @@ impl Parser {
         } else {
             None
         };
+        let partition = self.partition_clause()?;
+        if let Some(p) = &partition {
+            if !columns.iter().any(|c| c.name == p.column()) {
+                return Err(HanaError::Parse(format!(
+                    "unknown partitioning column '{}'",
+                    p.column()
+                )));
+            }
+        }
         Ok(Statement::CreateTable(CreateTable {
             name,
             kind,
             columns,
             extended,
+            partition,
         }))
+    }
+
+    /// `PARTITION BY HASH(col) PARTITIONS n` or
+    /// `PARTITION BY RANGE(col) SPLIT AT (v1, v2, …)`.
+    fn partition_clause(&mut self) -> Result<Option<PartitionBy>> {
+        if !self.eat_kw("partition") {
+            return Ok(None);
+        }
+        self.expect_kw("by")?;
+        if self.eat_kw("hash") {
+            self.expect_symbol(Symbol::LParen)?;
+            let column = self.identifier()?;
+            self.expect_symbol(Symbol::RParen)?;
+            self.expect_kw("partitions")?;
+            let partitions = self.usize_lit()?;
+            if partitions == 0 {
+                return self.err("PARTITIONS must be at least 1");
+            }
+            return Ok(Some(PartitionBy::Hash { column, partitions }));
+        }
+        if self.eat_kw("range") {
+            self.expect_symbol(Symbol::LParen)?;
+            let column = self.identifier()?;
+            self.expect_symbol(Symbol::RParen)?;
+            self.expect_kw("split")?;
+            self.expect_kw("at")?;
+            self.expect_symbol(Symbol::LParen)?;
+            let mut split_points = Vec::new();
+            loop {
+                split_points.push(self.literal_value()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            if split_points.windows(2).any(|w| w[0] >= w[1]) {
+                return self.err("RANGE split points must be strictly ascending");
+            }
+            return Ok(Some(PartitionBy::Range {
+                column,
+                split_points,
+            }));
+        }
+        self.err("expected HASH or RANGE after PARTITION BY")
+    }
+
+    /// A bare literal (numeric, string or DATE '…') for DDL positions
+    /// such as RANGE split points.
+    fn literal_value(&mut self) -> Result<Value> {
+        match self.primary()? {
+            Expr::Literal(v) => Ok(v),
+            _ => self.err("expected literal value"),
+        }
     }
 
     /// A type name, absorbing a parenthesized length like `VARCHAR(30)`
@@ -903,6 +966,74 @@ mod tests {
         };
         assert_eq!(ct.kind, TableKind::Row);
         assert!(ct.extended.is_none());
+    }
+
+    #[test]
+    fn parse_partition_by_hash() {
+        let s = parse_statement(
+            "CREATE COLUMN TABLE orders (o_id INTEGER, o_ckey INTEGER) \
+             PARTITION BY HASH(o_ckey) PARTITIONS 4",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = s else {
+            panic!("wrong statement kind");
+        };
+        assert_eq!(
+            ct.partition,
+            Some(PartitionBy::Hash {
+                column: "o_ckey".into(),
+                partitions: 4,
+            })
+        );
+    }
+
+    #[test]
+    fn parse_partition_by_range() {
+        let s = parse_statement(
+            "CREATE TABLE events (ts INTEGER, payload VARCHAR(64)) \
+             PARTITION BY RANGE(ts) SPLIT AT (100, 200, 300)",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = s else {
+            panic!("wrong statement kind");
+        };
+        let part = ct.partition.unwrap();
+        assert_eq!(part.column(), "ts");
+        assert_eq!(part.partitions(), 4);
+        assert_eq!(
+            part,
+            PartitionBy::Range {
+                column: "ts".into(),
+                split_points: vec![Value::Int(100), Value::Int(200), Value::Int(300)],
+            }
+        );
+    }
+
+    #[test]
+    fn partition_clause_errors() {
+        // Zero partitions.
+        assert!(
+            parse_statement("CREATE TABLE t (a INT) PARTITION BY HASH(a) PARTITIONS 0").is_err()
+        );
+        // Partitioning column not among the declared columns.
+        assert!(
+            parse_statement("CREATE TABLE t (a INT) PARTITION BY HASH(missing) PARTITIONS 2")
+                .is_err()
+        );
+        assert!(
+            parse_statement("CREATE TABLE t (a INT) PARTITION BY RANGE(nope) SPLIT AT (10)")
+                .is_err()
+        );
+        // Unknown scheme.
+        assert!(
+            parse_statement("CREATE TABLE t (a INT) PARTITION BY ROUND_ROBIN(a) PARTITIONS 2")
+                .is_err()
+        );
+        // Split points must ascend strictly.
+        assert!(parse_statement(
+            "CREATE TABLE t (a INT) PARTITION BY RANGE(a) SPLIT AT (10, 10, 20)"
+        )
+        .is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 pub use hana_core as platform;
 
 pub use hana_columnar as columnar;
+pub use hana_dist as dist;
 pub use hana_esp as esp;
 pub use hana_hadoop as hadoop;
 pub use hana_iq as iq;
