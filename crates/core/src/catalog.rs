@@ -2,6 +2,7 @@
 //! resolution across every storage location of Figure 1.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -51,6 +52,10 @@ pub struct PlatformCatalog {
     functions: RwLock<HashMap<String, Arc<dyn TableFunction>>>,
     sda: SdaRegistry,
     iq_engines: RwLock<HashMap<String, Arc<IqEngine>>>,
+    /// Monotonic version, bumped on every metadata change (DDL, function
+    /// registration, delta merges). Cached plans are keyed on it: a plan
+    /// compiled under version N is stale once the version moves past N.
+    version: AtomicU64,
 }
 
 impl PlatformCatalog {
@@ -61,7 +66,21 @@ impl PlatformCatalog {
             functions: RwLock::new(HashMap::new()),
             sda: SdaRegistry::new(),
             iq_engines: RwLock::new(HashMap::new()),
+            version: AtomicU64::new(0),
         }
+    }
+
+    /// Current catalog version. Plans compiled under an older version
+    /// must be recompiled.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Bump the catalog version. Called internally on every metadata
+    /// mutation, and by the platform for changes the catalog cannot see
+    /// itself (e.g. a delta merge rewriting a table's main fragment).
+    pub fn bump_version(&self) -> u64 {
+        self.version.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Register an IQ engine under an SDA source name (the "shielded"
@@ -80,15 +99,20 @@ impl PlatformCatalog {
             return Err(HanaError::Catalog(format!("table '{name}' already exists")));
         }
         tables.insert(key, entry);
+        drop(tables);
+        self.bump_version();
         Ok(())
     }
 
     /// Remove and return a table entry.
     pub fn remove_table(&self, name: &str) -> Result<TableEntry> {
-        self.tables
+        let removed = self
+            .tables
             .write()
             .remove(&name.to_ascii_lowercase())
-            .ok_or_else(|| HanaError::Catalog(format!("unknown table '{name}'")))
+            .ok_or_else(|| HanaError::Catalog(format!("unknown table '{name}'")))?;
+        self.bump_version();
+        Ok(removed)
     }
 
     /// Look up a table entry.
@@ -130,6 +154,7 @@ impl PlatformCatalog {
     /// Register a table function (virtual function, ESP window).
     pub fn add_function(&self, name: &str, f: Arc<dyn TableFunction>) {
         self.functions.write().insert(name.to_ascii_lowercase(), f);
+        self.bump_version();
     }
 }
 

@@ -318,6 +318,51 @@ impl HanaPlatform {
         self.execute_statement(session, stmt, sql)
     }
 
+    /// Execute an already-parsed statement. The session layer parses a
+    /// prepared statement once and replays the (bound) AST here on each
+    /// execution, skipping the lexer/parser on the hot path.
+    pub fn execute_parsed(
+        &self,
+        session: &Session,
+        stmt: Statement,
+        sql_text: &str,
+    ) -> Result<ResultSet> {
+        self.execute_statement(session, stmt, sql_text)
+    }
+
+    /// Compile a query against the current catalog without executing
+    /// it. Pair with [`HanaPlatform::execute_plan`] and
+    /// [`HanaPlatform::catalog_version`] to build a plan cache: a plan
+    /// compiled under version N stays valid until the version moves.
+    pub fn plan_query(
+        &self,
+        session: &Session,
+        q: &hana_sql::Query,
+    ) -> Result<hana_query::PlanNode> {
+        self.security.check(session, Privilege::Select)?;
+        Planner::new(self.catalog.as_ref()).plan(q)
+    }
+
+    /// Execute a previously compiled plan under the session's current
+    /// snapshot. Table bindings resolve through the catalog at run
+    /// time, so a cached plan sees data changes (inserts, merges) made
+    /// since it was compiled — only *metadata* changes invalidate it.
+    pub fn execute_plan(
+        &self,
+        session: &Session,
+        plan: &hana_query::PlanNode,
+    ) -> Result<ResultSet> {
+        self.security.check(session, Privilege::Select)?;
+        let cid = self.snapshot_cid(session);
+        hana_query::execute_plan_with(&self.exec, plan, self.catalog.as_ref(), cid)
+    }
+
+    /// Current catalog version (bumped by DDL, function registration and
+    /// delta merges).
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog.version()
+    }
+
     /// Execute a script of `;`-separated statements, returning the last
     /// result.
     pub fn execute_script(&self, session: &Session, sql: &str) -> Result<ResultSet> {
@@ -512,20 +557,24 @@ impl HanaPlatform {
                 match &entry.source {
                     TableSource::Column(t) => {
                         t.write().merge_delta();
-                        Ok(ok_result())
                     }
                     TableSource::Hybrid { hot, .. } => {
                         hot.write().merge_delta();
-                        Ok(ok_result())
                     }
                     TableSource::Distributed(dt) => {
                         dt.merge_delta();
-                        Ok(ok_result())
                     }
-                    _ => Err(HanaError::Unsupported(format!(
-                        "'{table}' has no delta to merge"
-                    ))),
+                    _ => {
+                        return Err(HanaError::Unsupported(format!(
+                            "'{table}' has no delta to merge"
+                        )))
+                    }
                 }
+                // A merge rewrites the main fragment, so cardinality
+                // estimates and synopses baked into cached plans are
+                // stale: version-bump to force recompilation.
+                self.catalog.bump_version();
+                Ok(ok_result())
             }
         }
     }

@@ -19,6 +19,7 @@
 //! assert_eq!(total, 1_000_000u64 * 999_999 / 2);
 //! ```
 
+mod admission;
 mod config;
 mod context;
 mod graph;
@@ -26,6 +27,7 @@ mod metrics;
 mod morsel;
 mod pool;
 
+pub use admission::{controller_of, AdmissionController, AdmissionPermit, ClassConfig, Rejection};
 pub use config::{ExecConfig, DEFAULT_MORSEL_ROWS, ENV_MORSEL_ROWS, ENV_WORKERS};
 pub use context::ExecContext;
 pub use graph::{GraphError, TaskGraph, TaskId};

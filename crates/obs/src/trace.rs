@@ -10,15 +10,27 @@
 //! and assembled into a [`crate::QueryProfile`] afterwards.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 thread_local! {
     /// Stack of installed tracers (innermost last).
     static TRACERS: RefCell<Vec<Arc<Tracer>>> = const { RefCell::new(Vec::new()) };
-    /// Stack of open spans on this thread: (tracer ptr, span id).
-    static OPEN_SPANS: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Stack of open spans on this thread: (tracer token, span id).
+    ///
+    /// Keyed by the tracer's process-unique token, NOT its address: a
+    /// `Span` guard handed to another thread leaves its entry here
+    /// until that thread drops it, and if entries were keyed by
+    /// address, a later tracer allocated at the same address would
+    /// adopt the stale entry as a parent — spans from one session
+    /// bleeding into another's profile. Tokens are never reused, so a
+    /// stale entry can only ever be ignored.
+    static OPEN_SPANS: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
 }
+
+/// Source of process-unique tracer tokens.
+static NEXT_TRACER_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 /// One recorded span. Times are nanoseconds since the tracer's epoch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +71,8 @@ struct TracerState {
 
 /// Collects the spans of one traced execution (typically one query).
 pub struct Tracer {
+    /// Process-unique identity (see `OPEN_SPANS`).
+    token: u64,
     epoch: Instant,
     state: Mutex<TracerState>,
 }
@@ -67,9 +81,15 @@ impl Tracer {
     /// A fresh tracer.
     pub fn new() -> Arc<Tracer> {
         Arc::new(Tracer {
+            token: NEXT_TRACER_TOKEN.fetch_add(1, Ordering::Relaxed),
             epoch: Instant::now(),
             state: Mutex::new(TracerState::default()),
         })
+    }
+
+    /// This tracer's process-unique token (never reused).
+    pub fn token(&self) -> u64 {
+        self.token
     }
 
     /// Install this tracer as the current one on the calling thread
@@ -101,7 +121,7 @@ impl Tracer {
             });
             id
         };
-        OPEN_SPANS.with(|s| s.borrow_mut().push((Arc::as_ptr(self) as usize, id)));
+        OPEN_SPANS.with(|s| s.borrow_mut().push((self.token, id)));
         Span {
             inner: Some((Arc::clone(self), id)),
         }
@@ -164,12 +184,12 @@ pub fn span(name: &str) -> Span {
     let Some(tracer) = current_tracer() else {
         return Span { inner: None };
     };
-    let ptr = Arc::as_ptr(&tracer) as usize;
+    let token = tracer.token;
     let parent = OPEN_SPANS.with(|s| {
         s.borrow()
             .iter()
             .rev()
-            .find(|(p, _)| *p == ptr)
+            .find(|(t, _)| *t == token)
             .map(|&(_, id)| id)
     });
     tracer.start_span(name, parent)
@@ -227,8 +247,7 @@ impl Drop for Span {
         if let Some((tracer, id)) = self.inner.take() {
             OPEN_SPANS.with(|s| {
                 let mut stack = s.borrow_mut();
-                let ptr = Arc::as_ptr(&tracer) as usize;
-                if let Some(pos) = stack.iter().rposition(|&e| e == (ptr, id)) {
+                if let Some(pos) = stack.iter().rposition(|&e| e == (tracer.token, id)) {
                     stack.remove(pos);
                 }
             });
@@ -293,6 +312,51 @@ mod tests {
         assert_eq!(a.spans()[0].name, "outer");
         assert_eq!(b.spans().len(), 1);
         assert_eq!(b.spans()[0].name, "inner");
+    }
+
+    #[test]
+    fn tracer_tokens_are_unique() {
+        let a = Tracer::new();
+        let b = Tracer::new();
+        assert_ne!(a.token(), b.token());
+    }
+
+    /// Regression test for cross-session span bleed: a `Span` guard
+    /// moved to (and dropped on) another thread leaves a stale entry on
+    /// the origin thread's open-span stack. When that stack was keyed
+    /// by tracer *address*, a later session whose tracer reused the
+    /// freed allocation would misparent its spans to the dead session's
+    /// span id. Keyed by unique token, the stale entry never matches.
+    #[test]
+    fn cross_thread_span_drop_cannot_misparent_later_sessions() {
+        // Session 1 opens a span here but the guard is dropped on a
+        // pool thread — the classic "query finishes on a worker"
+        // interleaving. The origin thread's OPEN_SPANS entry survives.
+        let t1 = Tracer::new();
+        let leaked = {
+            let _g = t1.install();
+            span("session1-root")
+        };
+        std::thread::spawn(move || drop(leaked)).join().unwrap();
+        assert_eq!(t1.span_counts(), (1, 1));
+        drop(t1);
+
+        // Many later sessions on this same thread: none of their root
+        // spans may adopt a parent. Looping gives the allocator every
+        // chance to reuse t1's freed address.
+        for i in 0..64 {
+            let t = Tracer::new();
+            {
+                let _g = t.install();
+                let _s = span("later-root");
+            }
+            let spans = t.spans();
+            assert_eq!(spans.len(), 1);
+            assert_eq!(
+                spans[0].parent, None,
+                "session {i} adopted a stale parent from a dead session"
+            );
+        }
     }
 
     #[test]

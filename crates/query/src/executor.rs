@@ -18,9 +18,12 @@ use crate::planner::Planner;
 /// which fan-out overhead buys nothing.
 pub const PARALLEL_ROW_THRESHOLD: usize = 65_536;
 
-/// Build sides at or below this many rows are broadcast to the nodes of
-/// a distributed probe side (fragment-local join); larger build sides
-/// fall back to gathering the probe side at the coordinator.
+/// Default broadcast-join build-side limit: build sides at or below
+/// this many rows are broadcast to the nodes of a distributed probe
+/// side (fragment-local join); larger build sides fall back to
+/// gathering the probe side at the coordinator. The effective limit is
+/// resolved per statement by [`crate::broadcast_build_row_limit`]
+/// (thread override, then environment, then this default).
 pub const BROADCAST_BUILD_ROW_LIMIT: usize = 16_384;
 
 /// Execute a SQL query against the catalog under snapshot `cid`, using
@@ -226,7 +229,7 @@ fn execute_plan_inner(
             if let PlanOp::DistScan { table, preds, .. } = &left.op {
                 if let Ok(TableSource::Distributed(dt)) = catalog.resolve_table(table) {
                     let r = execute_plan_with(exec, right, catalog, cid)?;
-                    if r.rows.len() <= BROADCAST_BUILD_ROW_LIMIT {
+                    if r.rows.len() <= crate::knobs::broadcast_build_row_limit() {
                         span.attr("broadcast_join", 1);
                         return dist_broadcast_join(
                             &dt,

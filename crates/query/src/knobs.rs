@@ -1,0 +1,131 @@
+//! Runtime-tunable query-engine knobs.
+//!
+//! The broadcast-join build-side limit resolves, most-specific first:
+//!
+//! 1. a thread-scoped override installed with
+//!    [`override_broadcast_build_row_limit`] (the session layer wraps
+//!    each statement of a session that customized the knob);
+//! 2. the `HANA_BROADCAST_BUILD_ROW_LIMIT` environment variable
+//!    (malformed values warn through `hana-obs` and are ignored);
+//! 3. the compiled-in default
+//!    [`BROADCAST_BUILD_ROW_LIMIT`](crate::executor::BROADCAST_BUILD_ROW_LIMIT).
+
+use std::cell::Cell;
+
+use crate::executor::BROADCAST_BUILD_ROW_LIMIT;
+
+/// Environment variable overriding the broadcast build-side row limit.
+pub const ENV_BROADCAST_BUILD_ROW_LIMIT: &str = "HANA_BROADCAST_BUILD_ROW_LIMIT";
+
+thread_local! {
+    static BROADCAST_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The broadcast build-side row limit in effect on this thread.
+pub fn broadcast_build_row_limit() -> usize {
+    if let Some(n) = BROADCAST_OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    match std::env::var(ENV_BROADCAST_BUILD_ROW_LIMIT) {
+        Ok(raw) => parse_limit(&raw).unwrap_or(BROADCAST_BUILD_ROW_LIMIT),
+        Err(_) => BROADCAST_BUILD_ROW_LIMIT,
+    }
+}
+
+/// Install a thread-scoped broadcast limit until the guard drops.
+/// Guards nest; the innermost wins and dropping restores the previous
+/// value.
+pub fn override_broadcast_build_row_limit(limit: usize) -> BroadcastLimitGuard {
+    let prev = BROADCAST_OVERRIDE.with(|c| c.replace(Some(limit)));
+    BroadcastLimitGuard { prev }
+}
+
+/// Restores the previous thread-scoped broadcast limit on drop.
+pub struct BroadcastLimitGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for BroadcastLimitGuard {
+    fn drop(&mut self) {
+        BROADCAST_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Parse an environment override; malformed or zero values warn through
+/// `hana-obs` (counted and surfaced in snapshots) and resolve to `None`.
+fn parse_limit(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        Ok(_) => {
+            hana_obs::warn(format!(
+                "{ENV_BROADCAST_BUILD_ROW_LIMIT}={raw:?} must be a positive integer; \
+                 falling back to the default"
+            ));
+            None
+        }
+        Err(e) => {
+            hana_obs::warn(format!(
+                "{ENV_BROADCAST_BUILD_ROW_LIMIT}={raw:?} is not a valid positive \
+                 integer ({e}); falling back to the default"
+            ));
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_order_override_env_default() {
+        // Env vars are process-global: this is the only test that sets
+        // this variable, and it restores the previous state on exit.
+        let saved = std::env::var(ENV_BROADCAST_BUILD_ROW_LIMIT).ok();
+
+        std::env::remove_var(ENV_BROADCAST_BUILD_ROW_LIMIT);
+        assert_eq!(broadcast_build_row_limit(), BROADCAST_BUILD_ROW_LIMIT);
+
+        std::env::set_var(ENV_BROADCAST_BUILD_ROW_LIMIT, "4096");
+        assert_eq!(broadcast_build_row_limit(), 4096, "env beats default");
+
+        {
+            let _g = override_broadcast_build_row_limit(128);
+            assert_eq!(broadcast_build_row_limit(), 128, "override beats env");
+            {
+                let _inner = override_broadcast_build_row_limit(7);
+                assert_eq!(broadcast_build_row_limit(), 7, "innermost wins");
+            }
+            assert_eq!(broadcast_build_row_limit(), 128, "nested guard restores");
+        }
+        assert_eq!(broadcast_build_row_limit(), 4096, "guard drop restores env");
+
+        let warnings_before = hana_obs::registry()
+            .counter("hana_obs_warnings_total")
+            .get();
+        std::env::set_var(ENV_BROADCAST_BUILD_ROW_LIMIT, "not-a-number");
+        assert_eq!(
+            broadcast_build_row_limit(),
+            BROADCAST_BUILD_ROW_LIMIT,
+            "malformed env falls back"
+        );
+        std::env::set_var(ENV_BROADCAST_BUILD_ROW_LIMIT, "0");
+        assert_eq!(
+            broadcast_build_row_limit(),
+            BROADCAST_BUILD_ROW_LIMIT,
+            "zero is rejected"
+        );
+        assert_eq!(
+            hana_obs::registry()
+                .counter("hana_obs_warnings_total")
+                .get(),
+            warnings_before + 2,
+            "each malformed resolution warns"
+        );
+
+        match saved {
+            Some(v) => std::env::set_var(ENV_BROADCAST_BUILD_ROW_LIMIT, v),
+            None => std::env::remove_var(ENV_BROADCAST_BUILD_ROW_LIMIT),
+        }
+    }
+}

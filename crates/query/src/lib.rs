@@ -17,6 +17,7 @@ mod cost;
 mod executor;
 mod hash;
 mod histogram;
+mod knobs;
 mod plan;
 mod planner;
 
@@ -24,10 +25,14 @@ pub use catalog::{Catalog, TableFunction, TableSource};
 pub use cost::{CostModel, JoinSituation};
 pub use executor::{
     execute_plan, execute_plan_with, execute_query, execute_query_with, explain_query,
-    PARALLEL_ROW_THRESHOLD,
+    BROADCAST_BUILD_ROW_LIMIT, PARALLEL_ROW_THRESHOLD,
 };
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use histogram::{Bucket, QHistogram};
+pub use knobs::{
+    broadcast_build_row_limit, override_broadcast_build_row_limit, BroadcastLimitGuard,
+    ENV_BROADCAST_BUILD_ROW_LIMIT,
+};
 pub use plan::{FederationStrategy, PlanNode, PlanOp};
 pub use planner::Planner;
 

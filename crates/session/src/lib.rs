@@ -1,0 +1,366 @@
+//! # hana-session
+//!
+//! Multi-session front end over [`HanaPlatform`]: many concurrent
+//! [`Session`] handles share one platform, one parse/plan cache and one
+//! [`WorkloadManager`]. This is the layer that turns the single-caller
+//! engine into the paper's "one platform, many applications" shape —
+//! prepared statements amortize parsing and planning across
+//! executions, the shared cache amortizes them across *sessions*, and
+//! per-class admission control keeps analytical bursts from starving
+//! point lookups.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hana_core::HanaPlatform;
+//! use hana_session::SessionManager;
+//! use hana_types::Value;
+//!
+//! let platform = Arc::new(HanaPlatform::new_in_memory());
+//! let manager = SessionManager::new(platform);
+//! let session = manager.connect("SYSTEM", "manager").unwrap();
+//! session.execute("CREATE COLUMN TABLE t (k INT, v INT)").unwrap();
+//! session.execute("INSERT INTO t (k, v) VALUES (1, 10)").unwrap();
+//!
+//! let lookup = session.prepare("SELECT v FROM t WHERE k = ?").unwrap();
+//! let rs = session.execute_prepared(&lookup, &[Value::Int(1)]).unwrap();
+//! assert_eq!(rs.rows[0][0], Value::Int(10));
+//! ```
+
+mod plan_cache;
+mod workload;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hana_core::HanaPlatform;
+use hana_sql::{parse_statement, Statement};
+use hana_types::{Result, ResultSet, Value};
+
+pub use plan_cache::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use workload::{WorkloadClass, WorkloadConfig, WorkloadManager};
+
+/// Shared front end: hands out [`Session`]s over one platform, one
+/// plan cache and one workload manager.
+pub struct SessionManager {
+    platform: Arc<HanaPlatform>,
+    cache: Arc<PlanCache>,
+    workload: Arc<WorkloadManager>,
+}
+
+impl SessionManager {
+    /// A manager with the default plan-cache capacity and workload
+    /// configuration.
+    pub fn new(platform: Arc<HanaPlatform>) -> SessionManager {
+        Self::with_config(
+            platform,
+            DEFAULT_PLAN_CACHE_CAPACITY,
+            WorkloadConfig::default(),
+        )
+    }
+
+    /// A manager with explicit cache capacity and workload limits.
+    pub fn with_config(
+        platform: Arc<HanaPlatform>,
+        cache_capacity: usize,
+        workload: WorkloadConfig,
+    ) -> SessionManager {
+        SessionManager {
+            platform,
+            cache: Arc::new(PlanCache::new(cache_capacity)),
+            workload: Arc::new(WorkloadManager::new(workload)),
+        }
+    }
+
+    /// Authenticate and open a session.
+    pub fn connect(&self, user: &str, password: &str) -> Result<Session> {
+        let auth = self.platform.connect(user, password)?;
+        hana_obs::registry()
+            .counter("hana_session_connects_total")
+            .inc();
+        Ok(Session {
+            platform: Arc::clone(&self.platform),
+            cache: Arc::clone(&self.cache),
+            workload: Arc::clone(&self.workload),
+            auth,
+            broadcast_limit: AtomicUsize::new(0),
+        })
+    }
+
+    /// The shared plan cache.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// The shared workload manager.
+    pub fn workload(&self) -> &WorkloadManager {
+        &self.workload
+    }
+
+    /// The underlying platform.
+    pub fn platform(&self) -> &Arc<HanaPlatform> {
+        &self.platform
+    }
+}
+
+/// A statement parsed once, executable many times with different
+/// positional parameters. Create with [`Session::prepare`].
+pub struct PreparedStatement {
+    stmt: Arc<Statement>,
+    param_count: usize,
+    sql: String,
+}
+
+impl PreparedStatement {
+    /// Number of `?` placeholders the statement declares.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// The original SQL text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+}
+
+/// One application connection. Cheap to create; safe to use from the
+/// owning thread while other sessions run concurrently on others.
+pub struct Session {
+    platform: Arc<HanaPlatform>,
+    cache: Arc<PlanCache>,
+    workload: Arc<WorkloadManager>,
+    auth: hana_core::Session,
+    /// Per-session broadcast build-side limit; 0 = unset (inherit the
+    /// environment/default resolution in hana-query).
+    broadcast_limit: AtomicUsize,
+}
+
+impl Session {
+    /// The session id assigned at connect.
+    pub fn id(&self) -> u64 {
+        self.auth.id
+    }
+
+    /// The authenticated user.
+    pub fn user(&self) -> &str {
+        &self.auth.user
+    }
+
+    /// Set (or clear with `None`) this session's broadcast build-side
+    /// row limit. While set, it overrides the
+    /// `HANA_BROADCAST_BUILD_ROW_LIMIT` environment variable and the
+    /// compiled-in default for statements this session executes.
+    pub fn set_broadcast_build_row_limit(&self, limit: Option<usize>) {
+        self.broadcast_limit
+            .store(limit.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// The session's broadcast limit setting, if any.
+    pub fn broadcast_build_row_limit(&self) -> Option<usize> {
+        match self.broadcast_limit.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
+    /// Parse once; execute later with [`Session::execute_prepared`].
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
+        let stmt = parse_statement(sql)?;
+        hana_obs::registry()
+            .counter("hana_session_prepares_total")
+            .inc();
+        Ok(PreparedStatement {
+            param_count: stmt.param_count(),
+            stmt: Arc::new(stmt),
+            sql: sql.to_string(),
+        })
+    }
+
+    /// Execute a prepared statement with positional parameter values
+    /// (one per `?`, in text order).
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedStatement,
+        params: &[Value],
+    ) -> Result<ResultSet> {
+        let bound = prepared.stmt.bind_params(params)?;
+        // The WAL/DDL log must see the *bound* text (literals, not
+        // `?`); statements the renderer doesn't cover can't carry
+        // parameters, so their original text is already exact.
+        let text = bound.to_sql_text().unwrap_or_else(|| prepared.sql.clone());
+        self.execute_statement(bound, &text)
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<ResultSet> {
+        self.execute_statement(parse_statement(sql)?, sql)
+    }
+
+    fn execute_statement(&self, stmt: Statement, sql_text: &str) -> Result<ResultSet> {
+        let _session_span = hana_obs::span("session_statement");
+        match stmt {
+            Statement::Query(q) => self.execute_query(q),
+            // DML is transactional work: admitted as OLTP so analytical
+            // floods cannot starve writes, but never plan-cached (DML
+            // goes through the platform's WAL/txn path wholesale).
+            dml @ (Statement::Insert { .. }
+            | Statement::Update { .. }
+            | Statement::Delete { .. }) => {
+                let _permit = self.workload.admit(WorkloadClass::Oltp)?;
+                let start = Instant::now();
+                let result = self.platform.execute_parsed(&self.auth, dml, sql_text);
+                record_latency(WorkloadClass::Oltp, start, result.is_ok());
+                result
+            }
+            // DDL and transaction control bypass admission: they hold
+            // no pool slots worth rationing, and blocking a COMMIT
+            // behind a full OLAP queue would invert priorities.
+            other => self.platform.execute_parsed(&self.auth, other, sql_text),
+        }
+    }
+
+    fn execute_query(&self, q: hana_sql::Query) -> Result<ResultSet> {
+        // Canonical text (AST rendered back to SQL) is the cache key:
+        // formatting and case differences collapse onto one entry, and
+        // bound parameters appear as literals so each distinct binding
+        // gets the plan its cardinality estimates deserve.
+        let key = q.to_string();
+        let version = self.platform.catalog_version();
+        let plan = match self.cache.get(&key, version) {
+            Some(plan) => plan,
+            None => {
+                let compiled = Arc::new(self.platform.plan_query(&self.auth, &q)?);
+                self.cache.insert(key, version, Arc::clone(&compiled));
+                compiled
+            }
+        };
+        let class = self.workload.classify(&plan);
+        let _permit = self.workload.admit(class)?;
+        let start = Instant::now();
+        let result = {
+            let _g = self
+                .broadcast_build_row_limit()
+                .map(hana_query::override_broadcast_build_row_limit);
+            self.platform.execute_plan(&self.auth, &plan)
+        };
+        record_latency(class, start, result.is_ok());
+        result
+    }
+
+    /// Shortcut: this session's view of the platform's observability
+    /// snapshot.
+    pub fn observability_snapshot(&self) -> hana_obs::RegistrySnapshot {
+        self.platform.observability_snapshot()
+    }
+}
+
+/// Record per-class statement latency and outcome counters.
+fn record_latency(class: WorkloadClass, start: Instant, ok: bool) {
+    let obs = hana_obs::registry();
+    let name = class.name();
+    obs.histogram(&format!("hana_session_latency_ns_{name}"))
+        .record(start.elapsed().as_nanos() as u64);
+    obs.counter(&format!("hana_session_statements_total_{name}"))
+        .inc();
+    if !ok {
+        obs.counter(&format!("hana_session_errors_total_{name}"))
+            .inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> SessionManager {
+        SessionManager::new(Arc::new(HanaPlatform::new_in_memory()))
+    }
+
+    fn setup(mgr: &SessionManager) -> Session {
+        let s = mgr.connect("SYSTEM", "manager").unwrap();
+        s.execute("CREATE COLUMN TABLE t (k INT, v INT)").unwrap();
+        for i in 0..10 {
+            s.execute(&format!("INSERT INTO t (k, v) VALUES ({i}, {})", i * 10))
+                .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn prepared_point_lookup_round_trips() {
+        let mgr = manager();
+        let s = setup(&mgr);
+        let ps = s.prepare("SELECT v FROM t WHERE k = ?").unwrap();
+        assert_eq!(ps.param_count(), 1);
+        for k in 0..10 {
+            let rs = s.execute_prepared(&ps, &[Value::Int(k)]).unwrap();
+            assert_eq!(rs.rows.len(), 1);
+            assert_eq!(rs.rows[0][0], Value::Int(k * 10));
+        }
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_and_across_sessions() {
+        let mgr = manager();
+        let s1 = setup(&mgr);
+        let ps = s1.prepare("SELECT v FROM t WHERE k = ?").unwrap();
+        s1.execute_prepared(&ps, &[Value::Int(1)]).unwrap();
+        assert_eq!(mgr.plan_cache().len(), 1);
+        let hits = hana_obs::registry()
+            .counter("hana_session_plan_cache_hits_total")
+            .get();
+        // Same binding again: a hit, from a different session too.
+        s1.execute_prepared(&ps, &[Value::Int(1)]).unwrap();
+        let s2 = mgr.connect("SYSTEM", "manager").unwrap();
+        let ps2 = s2.prepare("SELECT v FROM t WHERE k = ?").unwrap();
+        s2.execute_prepared(&ps2, &[Value::Int(1)]).unwrap();
+        assert_eq!(
+            hana_obs::registry()
+                .counter("hana_session_plan_cache_hits_total")
+                .get(),
+            hits + 2,
+            "repeat executions hit the shared cache"
+        );
+    }
+
+    #[test]
+    fn ddl_invalidates_and_prepared_statements_reprepare() {
+        let mgr = manager();
+        let s = setup(&mgr);
+        let ps = s.prepare("SELECT v FROM t WHERE k = ?").unwrap();
+        assert_eq!(
+            s.execute_prepared(&ps, &[Value::Int(1)]).unwrap().rows[0][0],
+            Value::Int(10)
+        );
+        // DROP + CREATE with different contents: the cached plan is
+        // stale; the prepared handle must transparently re-plan.
+        s.execute("DROP TABLE t").unwrap();
+        s.execute("CREATE COLUMN TABLE t (k INT, v INT)").unwrap();
+        s.execute("INSERT INTO t (k, v) VALUES (1, 777)").unwrap();
+        assert_eq!(
+            s.execute_prepared(&ps, &[Value::Int(1)]).unwrap().rows[0][0],
+            Value::Int(777),
+            "prepared statement re-prepared against the new table"
+        );
+    }
+
+    #[test]
+    fn bind_mismatch_is_a_plan_error() {
+        let mgr = manager();
+        let s = setup(&mgr);
+        let ps = s.prepare("SELECT v FROM t WHERE k = ?").unwrap();
+        let err = s.execute_prepared(&ps, &[]).unwrap_err();
+        assert_eq!(err.kind(), "plan");
+    }
+
+    #[test]
+    fn per_session_broadcast_setting() {
+        let mgr = manager();
+        let s = mgr.connect("SYSTEM", "manager").unwrap();
+        assert_eq!(s.broadcast_build_row_limit(), None);
+        s.set_broadcast_build_row_limit(Some(42));
+        assert_eq!(s.broadcast_build_row_limit(), Some(42));
+        s.set_broadcast_build_row_limit(None);
+        assert_eq!(s.broadcast_build_row_limit(), None);
+    }
+}

@@ -280,6 +280,10 @@ pub enum JoinKind {
 pub enum Expr {
     /// A literal value.
     Literal(Value),
+    /// A positional parameter placeholder (`?`), 0-indexed in text
+    /// order. Bound to a literal via [`Statement::bind_params`] before
+    /// planning/execution; evaluating an unbound parameter errors.
+    Parameter(usize),
     /// A (possibly qualified) column reference.
     Column {
         /// Table qualifier, lower-cased.
@@ -480,7 +484,7 @@ impl Expr {
                     e.walk(f);
                 }
             }
-            Expr::Literal(_) | Expr::Column { .. } | Expr::Wildcard => {}
+            Expr::Literal(_) | Expr::Parameter(_) | Expr::Column { .. } | Expr::Wildcard => {}
         }
     }
 

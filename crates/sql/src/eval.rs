@@ -18,6 +18,10 @@ use crate::ast::{BinOp, Expr, UnaryOp};
 pub fn evaluate(expr: &Expr, schema: &Schema, row: &Row) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
+        Expr::Parameter(i) => Err(HanaError::Plan(format!(
+            "unbound parameter ?{} — bind values before execution",
+            i + 1
+        ))),
         Expr::Column { qualifier, name } => {
             let idx = resolve_column(schema, qualifier.as_deref(), name)?;
             Ok(row[idx].clone())

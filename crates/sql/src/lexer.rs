@@ -36,6 +36,8 @@ pub enum Symbol {
     Le,
     Gt,
     Ge,
+    /// `?` — positional parameter placeholder in prepared statements.
+    Question,
 }
 
 impl Token {
@@ -97,6 +99,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             '=' => {
                 out.push(Token::Symbol(Symbol::Eq));
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Symbol(Symbol::Question));
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
@@ -252,7 +258,18 @@ mod tests {
     #[test]
     fn errors() {
         assert!(tokenize("SELECT 'open").is_err());
-        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("a @ b").is_err());
+    }
+
+    #[test]
+    fn parameter_placeholders() {
+        let toks = tokenize("SELECT v FROM t WHERE k = ? AND x > ?").unwrap();
+        assert_eq!(
+            toks.iter()
+                .filter(|t| **t == Token::Symbol(Symbol::Question))
+                .count(),
+            2
+        );
     }
 
     #[test]

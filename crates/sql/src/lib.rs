@@ -18,6 +18,7 @@
 //! ```
 
 mod ast;
+mod bind;
 mod eval;
 pub mod finish;
 mod lexer;

@@ -8,7 +8,11 @@ use crate::lexer::{tokenize, Symbol, Token};
 /// Parse a single SQL statement (a trailing semicolon is allowed).
 pub fn parse_statement(sql: &str) -> Result<Statement> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let stmt = p.statement()?;
     p.eat_symbol(Symbol::Semicolon);
     p.expect_end()?;
@@ -18,7 +22,11 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
 /// Parse a script of `;`-separated statements.
 pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let mut out = Vec::new();
     loop {
         while p.eat_symbol(Symbol::Semicolon) {}
@@ -33,6 +41,9 @@ pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Number of `?` placeholders seen so far; assigns each its
+    /// 0-based positional index in text order.
+    params: usize,
 }
 
 impl Parser {
@@ -834,6 +845,12 @@ impl Parser {
             Some(Token::Symbol(Symbol::Star)) => {
                 self.pos += 1;
                 Ok(Expr::Wildcard)
+            }
+            Some(Token::Symbol(Symbol::Question)) => {
+                self.pos += 1;
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Parameter(idx))
             }
             Some(Token::Ident(word)) if word.eq_ignore_ascii_case("date") => {
                 // DATE 'YYYY-MM-DD'

@@ -9,7 +9,7 @@ use std::fmt;
 
 use hana_types::Value;
 
-use crate::ast::{BinOp, Expr, JoinKind, Query, TableRef, UnaryOp};
+use crate::ast::{BinOp, Expr, JoinKind, Query, Statement, TableRef, UnaryOp};
 
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -17,6 +17,7 @@ impl fmt::Display for Expr {
             Expr::Literal(Value::Varchar(s)) => write!(f, "'{}'", s.replace('\'', "''")),
             Expr::Literal(Value::Date(d)) => write!(f, "DATE '{d}'"),
             Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Parameter(_) => write!(f, "?"),
             Expr::Column { qualifier, name } => match qualifier {
                 Some(q) => write!(f, "{q}.{name}"),
                 None => write!(f, "{name}"),
@@ -202,6 +203,72 @@ impl fmt::Display for Query {
     }
 }
 
+impl Statement {
+    /// Canonical SQL text for queries and DML — the statements a
+    /// prepared handle can carry parameters in. The session layer
+    /// executes bound prepared statements from this rendering so the
+    /// platform's WAL and DDL log record replayable SQL (with bound
+    /// literals, not `?`). `None` for DDL/control statements, which
+    /// execute from their original text.
+    pub fn to_sql_text(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        match self {
+            Statement::Query(q) => Some(q.to_string()),
+            Statement::Explain(q) => Some(format!("EXPLAIN {q}")),
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let mut s = format!("INSERT INTO {table}");
+                if let Some(cols) = columns {
+                    let _ = write!(s, " ({})", cols.join(", "));
+                }
+                s.push_str(" VALUES ");
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push('(');
+                    for (j, e) in row.iter().enumerate() {
+                        if j > 0 {
+                            s.push_str(", ");
+                        }
+                        let _ = write!(s, "{e}");
+                    }
+                    s.push(')');
+                }
+                Some(s)
+            }
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => {
+                let mut s = format!("UPDATE {table} SET ");
+                for (i, (c, e)) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(s, "{c} = {e}");
+                }
+                if let Some(w) = filter {
+                    let _ = write!(s, " WHERE {w}");
+                }
+                Some(s)
+            }
+            Statement::Delete { table, filter } => {
+                let mut s = format!("DELETE FROM {table}");
+                if let Some(w) = filter {
+                    let _ = write!(s, " WHERE {w}");
+                }
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::parser::parse_statement;
@@ -218,6 +285,27 @@ mod tests {
         assert_eq!(
             q1, q2,
             "render/parse round-trip changed the AST:\n{sql}\n-> {rendered}"
+        );
+    }
+
+    #[test]
+    fn dml_text_round_trips() {
+        for sql in [
+            "INSERT INTO t (k, v) VALUES (1, 'x'), (2, 'y')",
+            "UPDATE t SET v = 5 WHERE k = 2",
+            "DELETE FROM t WHERE k IN (1, 2)",
+        ] {
+            let stmt = parse_statement(sql).unwrap();
+            let rendered = stmt.to_sql_text().expect("DML renders");
+            assert_eq!(
+                parse_statement(&rendered).unwrap(),
+                stmt,
+                "render/parse round-trip changed the AST:\n{sql}\n-> {rendered}"
+            );
+        }
+        assert!(
+            parse_statement("BEGIN").unwrap().to_sql_text().is_none(),
+            "control statements have no canonical rendering"
         );
     }
 

@@ -51,6 +51,11 @@ pub enum HanaError {
     /// Authentication / authorization failures from the platform's single
     /// credential control (§2 "Value").
     Security(String),
+    /// Admission control rejected or timed out a statement because its
+    /// workload class is at capacity (queue full or queue-timeout
+    /// exceeded). Retryable: the overload is transient by definition —
+    /// backing off and resubmitting is the intended client response.
+    Overloaded(String),
 }
 
 impl HanaError {
@@ -71,6 +76,7 @@ impl HanaError {
             HanaError::Config(_) => "config",
             HanaError::Unsupported(_) => "unsupported",
             HanaError::Security(_) => "security",
+            HanaError::Overloaded(_) => "overloaded",
         }
     }
 
@@ -90,8 +96,15 @@ impl HanaError {
             | HanaError::Io(m)
             | HanaError::Config(m)
             | HanaError::Unsupported(m)
-            | HanaError::Security(m) => m,
+            | HanaError::Security(m)
+            | HanaError::Overloaded(m) => m,
         }
+    }
+
+    /// A workload-management rejection: the statement's class is at
+    /// capacity and the queue is full or the wait timed out (retryable).
+    pub fn overloaded(msg: impl Into<String>) -> HanaError {
+        HanaError::Overloaded(msg.into())
     }
 
     /// A permanent remote failure (will not succeed on retry).
@@ -117,7 +130,9 @@ impl HanaError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            HanaError::RemoteTimeout(_) | HanaError::RemoteUnavailable(_)
+            HanaError::RemoteTimeout(_)
+                | HanaError::RemoteUnavailable(_)
+                | HanaError::Overloaded(_)
         )
     }
 
@@ -163,6 +178,9 @@ mod tests {
         assert!(HanaError::remote_unavailable("down").is_retryable());
         assert!(!HanaError::remote("bad schema").is_retryable());
         assert!(!HanaError::Parse("nope".into()).is_retryable());
+        assert!(HanaError::overloaded("olap queue full").is_retryable());
+        assert!(!HanaError::overloaded("olap queue full").is_remote());
+        assert_eq!(HanaError::overloaded("x").kind(), "overloaded");
         for e in [
             HanaError::remote("x"),
             HanaError::remote_timeout("x"),
@@ -203,6 +221,7 @@ mod tests {
             HanaError::Config(String::new()),
             HanaError::Unsupported(String::new()),
             HanaError::Security(String::new()),
+            HanaError::Overloaded(String::new()),
         ];
         let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
