@@ -13,7 +13,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use hana_columnar::{ColumnPredicate, ColumnTable};
 use hana_iq::IqEngine;
 use hana_query::{
-    execute_plan, Catalog, FederationStrategy, PlanNode, PlanOp, Planner, TableSource,
+    execute_plan, Catalog, EstSource, FederationStrategy, PlanNode, PlanOp, PlannerContext,
+    TableSource,
 };
 use hana_sda::{IqAdapter, SdaAdapter, SdaRegistry};
 use hana_sql::{parse_statement, Expr, JoinKind, Statement};
@@ -95,6 +96,7 @@ fn local_scan(cat: &BenchCatalog) -> PlanNode {
         },
         schema,
         est_rows: 1.0,
+        est_source: EstSource::Heuristic,
     }
 }
 
@@ -115,6 +117,7 @@ fn strategy_plan(cat: &BenchCatalog, strategy: FederationStrategy) -> PlanNode {
                 },
                 schema: fact_schema,
                 est_rows: FACT_ROWS as f64,
+                est_source: EstSource::Heuristic,
             };
             PlanNode {
                 op: PlanOp::HashJoin {
@@ -123,9 +126,11 @@ fn strategy_plan(cat: &BenchCatalog, strategy: FederationStrategy) -> PlanNode {
                     left_key: "d.d_id".into(),
                     right_key: "f.f_dim".into(),
                     kind: JoinKind::Inner,
+                    dist: hana_query::DistJoinStrategy::Runtime,
                 },
                 schema: joined,
                 est_rows: 100.0,
+                est_source: EstSource::Heuristic,
             }
         }
         FederationStrategy::SemiJoin => PlanNode {
@@ -140,6 +145,7 @@ fn strategy_plan(cat: &BenchCatalog, strategy: FederationStrategy) -> PlanNode {
             },
             schema: joined,
             est_rows: 100.0,
+            est_source: EstSource::Heuristic,
         },
         FederationStrategy::TableRelocation => PlanNode {
             op: PlanOp::RelocateJoin {
@@ -153,6 +159,7 @@ fn strategy_plan(cat: &BenchCatalog, strategy: FederationStrategy) -> PlanNode {
             },
             schema: joined,
             est_rows: 100.0,
+            est_source: EstSource::Heuristic,
         },
         FederationStrategy::UnionPlan => unreachable!("not a join strategy"),
     }
@@ -186,7 +193,7 @@ fn bench(c: &mut Criterion) {
     .unwrap() else {
         unreachable!()
     };
-    let chosen = Planner::new(&cat).plan(&q).unwrap();
+    let chosen = PlannerContext::new(&cat).planner().plan(&q).unwrap();
     println!(
         "optimizer choice for the Figure 7 scenario: {:?}",
         chosen.strategies()

@@ -1,0 +1,337 @@
+//! Cost-based optimizer benchmarks: what the persisted column
+//! statistics buy at plan time and at run time.
+//!
+//! Three measurements, emitted to `BENCH_optimizer_stats.json`:
+//!
+//! 1. **Planning latency** — a point lookup planned from the persisted
+//!    synopsis vs the heuristic fallback that rebuilds plan-time
+//!    histograms from the column store.
+//! 2. **Broadcast↔repartition flip** — the same distributed join shape
+//!    with a 50-row and a 40 000-row build side: statistics flip the
+//!    exchange strategy, and each choice is compared against the forced
+//!    alternative (via the runtime knob) to price the decision.
+//! 3. **Remote-scan↔semijoin flip** — the same federated join shape
+//!    with a selective and an unselective remote filter: statistics
+//!    flip the SDA strategy between pulling the remote rows and
+//!    shipping the local keys.
+//!
+//! No environment knob is set anywhere: every strategy choice under
+//! "stats" comes from the synopses collected at MERGE DELTA / bulk
+//! load. The forced alternatives use the thread-scoped knob override,
+//! which only the `Runtime` (statistics-less) path consults.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use hana_core::{HanaPlatform, Session};
+use hana_query::{
+    override_broadcast_build_row_limit, DistJoinStrategy, FederationStrategy, PlanNode, PlanOp,
+    PlannerContext, NO_STATS,
+};
+use hana_sql::{parse_statement, Statement};
+use hana_types::{Row, Value};
+
+const FACT_ROWS: usize = 120_000;
+const FACT_KEYS: i64 = 300;
+const PARTITIONS: usize = 4;
+const TINY_ROWS: i64 = 50;
+const HUGE_ROWS: i64 = 40_000;
+const REMOTE_ROWS: i64 = 20_000;
+
+const TINY_JOIN: &str = "SELECT f.v, t.v FROM facts f JOIN tiny t ON f.k = t.k";
+const HUGE_JOIN: &str = "SELECT f.v, h.v FROM facts f JOIN huge h ON f.k = h.k";
+// Point lookup on the 40k-row *local* merged table: the heuristic
+// fallback rebuilds a plan-time histogram from the column store on
+// every plan; the synopsis path just reads the persisted one.
+const POINT_Q: &str = "SELECT v FROM huge WHERE k = 12345";
+
+fn sda_join(bound: i64) -> String {
+    format!(
+        "SELECT d.v, f.f_val FROM dim d JOIN fact f ON d.k = f.f_dim \
+         WHERE d.k < 5 AND f.f_val < {bound}"
+    )
+}
+
+/// Platform with the distributed world (`facts` over 4 nodes, `tiny`
+/// and `huge` build sides) and the federated world (`dim` local,
+/// `fact` in the internal IQ store) — all merged, so every table has a
+/// persisted synopsis.
+fn setup() -> (HanaPlatform, Session) {
+    let hana = HanaPlatform::new_in_memory();
+    let s = hana.connect("SYSTEM", "manager").unwrap();
+    let load = |hana: &HanaPlatform, s: &Session, t: &str, rows: Vec<Row>| {
+        hana.load_rows(s, t, &rows).unwrap();
+        hana.execute_sql(s, &format!("MERGE DELTA OF {t}")).unwrap();
+    };
+
+    hana.execute_sql(
+        &s,
+        &format!(
+            "CREATE COLUMN TABLE facts (k INTEGER, v INTEGER) \
+             PARTITION BY HASH(k) PARTITIONS {PARTITIONS}"
+        ),
+    )
+    .unwrap();
+    load(
+        &hana,
+        &s,
+        "facts",
+        (0..FACT_ROWS)
+            .map(|i| Row::from_values([Value::Int(i as i64 % FACT_KEYS), Value::Int(i as i64)]))
+            .collect(),
+    );
+
+    hana.execute_sql(&s, "CREATE COLUMN TABLE tiny (k INTEGER, v INTEGER)")
+        .unwrap();
+    load(
+        &hana,
+        &s,
+        "tiny",
+        (0..TINY_ROWS)
+            .map(|i| Row::from_values([Value::Int(i), Value::Int(i)]))
+            .collect(),
+    );
+
+    hana.execute_sql(&s, "CREATE COLUMN TABLE huge (k INTEGER, v INTEGER)")
+        .unwrap();
+    load(
+        &hana,
+        &s,
+        "huge",
+        (0..HUGE_ROWS)
+            .map(|i| Row::from_values([Value::Int(i), Value::Int(i)]))
+            .collect(),
+    );
+
+    hana.execute_sql(&s, "CREATE COLUMN TABLE dim (k INTEGER, v INTEGER)")
+        .unwrap();
+    load(
+        &hana,
+        &s,
+        "dim",
+        (0..100)
+            .map(|i| Row::from_values([Value::Int(i), Value::Int(i)]))
+            .collect(),
+    );
+
+    hana.execute_sql(
+        &s,
+        "CREATE TABLE fact (f_dim INTEGER, f_val INTEGER) USING EXTENDED STORAGE",
+    )
+    .unwrap();
+    // Extended-storage loads go straight to the IQ store (no delta):
+    // the remote side's strategy inputs come from the source's own
+    // metadata, not the catalog synopses.
+    let remote_rows: Vec<Row> = (0..REMOTE_ROWS)
+        .map(|i| Row::from_values([Value::Int(i % 100), Value::Int(i)]))
+        .collect();
+    hana.load_rows(&s, "fact", &remote_rows).unwrap();
+    (hana, s)
+}
+
+fn query(sql: &str) -> hana_sql::Query {
+    let Statement::Query(q) = parse_statement(sql).unwrap() else {
+        panic!("not a query: {sql}")
+    };
+    q
+}
+
+/// Plan from the platform catalog's persisted synopses.
+fn plan_with_stats(hana: &HanaPlatform, sql: &str) -> PlanNode {
+    PlannerContext::new(hana.catalog().as_ref())
+        .planner()
+        .plan(&query(sql))
+        .unwrap()
+}
+
+/// Plan with statistics switched off — the heuristic / runtime-knob
+/// path, used as the baseline and to force the alternative exchange.
+fn plan_without_stats(hana: &HanaPlatform, sql: &str) -> PlanNode {
+    PlannerContext::new(hana.catalog().as_ref())
+        .with_stats(&NO_STATS)
+        .planner()
+        .plan(&query(sql))
+        .unwrap()
+}
+
+fn hash_join_dist(node: &PlanNode) -> Option<DistJoinStrategy> {
+    match &node.op {
+        PlanOp::HashJoin { dist, .. } => Some(*dist),
+        PlanOp::Filter { input, .. }
+        | PlanOp::Aggregate { input, .. }
+        | PlanOp::Finish { input, .. } => hash_join_dist(input),
+        _ => None,
+    }
+}
+
+fn sda_strategy(plan: &PlanNode) -> &'static str {
+    let strategies = plan.strategies();
+    if strategies.contains(&FederationStrategy::SemiJoin) {
+        "semijoin"
+    } else if strategies.contains(&FederationStrategy::RemoteScan) {
+        "remote-scan"
+    } else {
+        "other"
+    }
+}
+
+fn bench_optimizer_stats(c: &mut Criterion) {
+    let (hana, s) = setup();
+    let mut group = c.benchmark_group("optimizer_stats");
+    group.bench_function("plan/point_lookup_stats", |b| {
+        b.iter(|| plan_with_stats(&hana, POINT_Q))
+    });
+    group.bench_function("plan/point_lookup_heuristic", |b| {
+        b.iter(|| plan_without_stats(&hana, POINT_Q))
+    });
+    let tiny = plan_with_stats(&hana, TINY_JOIN);
+    group.bench_function("dist_join/tiny_build_broadcast", |b| {
+        b.iter(|| hana.execute_plan(&s, &tiny).unwrap().len())
+    });
+    let huge = plan_with_stats(&hana, HUGE_JOIN);
+    group.bench_function("dist_join/huge_build_repartition", |b| {
+        b.iter(|| hana.execute_plan(&s, &huge).unwrap().len())
+    });
+    group.finish();
+}
+
+fn median_nanos(mut f: impl FnMut()) -> u128 {
+    const RUNS: usize = 15;
+    let mut samples = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[RUNS / 2]
+}
+
+fn emit_json() {
+    let (hana, s) = setup();
+
+    // ---- planning latency: synopsis vs rebuilt histograms ----
+    let plan_stats_ns = median_nanos(|| {
+        plan_with_stats(&hana, POINT_Q);
+    });
+    let plan_heur_ns = median_nanos(|| {
+        plan_without_stats(&hana, POINT_Q);
+    });
+    let plan_speedup = plan_heur_ns as f64 / plan_stats_ns as f64;
+    println!(
+        "optimizer_stats: point-lookup planning {:.3} ms from synopsis \
+         ({plan_speedup:.2}x vs {:.3} ms heuristic histogram rebuild)",
+        plan_stats_ns as f64 / 1e6,
+        plan_heur_ns as f64 / 1e6,
+    );
+
+    // ---- flip (a): broadcast <-> repartition, no knob set ----
+    assert!(
+        std::env::var(hana_query::ENV_BROADCAST_BUILD_ROW_LIMIT).is_err(),
+        "the flip must come from statistics, not the env knob"
+    );
+    let tiny = plan_with_stats(&hana, TINY_JOIN);
+    let huge = plan_with_stats(&hana, HUGE_JOIN);
+    assert_eq!(hash_join_dist(&tiny), Some(DistJoinStrategy::Broadcast));
+    assert_eq!(hash_join_dist(&huge), Some(DistJoinStrategy::Repartition));
+    let tiny_expected = (TINY_ROWS as usize) * (FACT_ROWS / FACT_KEYS as usize);
+    let huge_expected = (FACT_KEYS as usize) * (FACT_ROWS / FACT_KEYS as usize);
+    assert_eq!(hana.execute_plan(&s, &tiny).unwrap().len(), tiny_expected);
+    assert_eq!(hana.execute_plan(&s, &huge).unwrap().len(), huge_expected);
+
+    // Forced alternatives: a statistics-less plan resolves the exchange
+    // at run time through the (thread-overridden) knob.
+    let tiny_runtime = plan_without_stats(&hana, TINY_JOIN);
+    let huge_runtime = plan_without_stats(&hana, HUGE_JOIN);
+    assert_eq!(
+        hash_join_dist(&tiny_runtime),
+        Some(DistJoinStrategy::Runtime)
+    );
+
+    let tiny_ns = median_nanos(|| {
+        hana.execute_plan(&s, &tiny).unwrap();
+    });
+    let tiny_forced_ns = {
+        let _g = override_broadcast_build_row_limit(1); // tiny side must gather
+        median_nanos(|| {
+            hana.execute_plan(&s, &tiny_runtime).unwrap();
+        })
+    };
+    let huge_ns = median_nanos(|| {
+        hana.execute_plan(&s, &huge).unwrap();
+    });
+    let huge_forced_ns = {
+        let _g = override_broadcast_build_row_limit(usize::MAX); // huge side must broadcast
+        median_nanos(|| {
+            hana.execute_plan(&s, &huge_runtime).unwrap();
+        })
+    };
+    let tiny_speedup = tiny_forced_ns as f64 / tiny_ns as f64;
+    let huge_speedup = huge_forced_ns as f64 / huge_ns as f64;
+    println!(
+        "optimizer_stats: {TINY_ROWS}-row build -> broadcast {:.3} ms \
+         ({tiny_speedup:.2}x vs forced repartition {:.3} ms)",
+        tiny_ns as f64 / 1e6,
+        tiny_forced_ns as f64 / 1e6,
+    );
+    println!(
+        "optimizer_stats: {HUGE_ROWS}-row build -> repartition {:.3} ms \
+         ({huge_speedup:.2}x vs forced broadcast {:.3} ms)",
+        huge_ns as f64 / 1e6,
+        huge_forced_ns as f64 / 1e6,
+    );
+
+    // ---- flip (b): remote-scan <-> semijoin on remote selectivity ----
+    let selective = plan_with_stats(&hana, &sda_join(3));
+    let unselective = plan_with_stats(&hana, &sda_join(19_000));
+    assert_eq!(sda_strategy(&selective), "remote-scan");
+    assert_eq!(sda_strategy(&unselective), "semijoin");
+    assert_eq!(hana.execute_plan(&s, &selective).unwrap().len(), 3);
+    assert_eq!(hana.execute_plan(&s, &unselective).unwrap().len(), 950);
+    let selective_ns = median_nanos(|| {
+        hana.execute_plan(&s, &selective).unwrap();
+    });
+    let unselective_ns = median_nanos(|| {
+        hana.execute_plan(&s, &unselective).unwrap();
+    });
+    let heur_selective = sda_strategy(&plan_without_stats(&hana, &sda_join(3)));
+    let heur_unselective = sda_strategy(&plan_without_stats(&hana, &sda_join(19_000)));
+    println!(
+        "optimizer_stats: federated join f_val<3 -> remote-scan {:.3} ms, \
+         f_val<19000 -> semijoin {:.3} ms (heuristic would pick \
+         {heur_selective} / {heur_unselective})",
+        selective_ns as f64 / 1e6,
+        unselective_ns as f64 / 1e6,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"optimizer_stats\",\n  \
+         \"planning\": {{\"stats_median_ns\": {plan_stats_ns}, \
+         \"heuristic_median_ns\": {plan_heur_ns}, \"speedup\": {plan_speedup:.3}}},\n  \
+         \"dist_join\": {{\"fact_rows\": {FACT_ROWS}, \"partitions\": {PARTITIONS}, \
+         \"tiny_build_rows\": {TINY_ROWS}, \"huge_build_rows\": {HUGE_ROWS}, \
+         \"tiny\": {{\"strategy\": \"broadcast\", \"median_ns\": {tiny_ns}, \
+         \"forced_repartition_ns\": {tiny_forced_ns}, \"speedup\": {tiny_speedup:.3}}}, \
+         \"huge\": {{\"strategy\": \"repartition\", \"median_ns\": {huge_ns}, \
+         \"forced_broadcast_ns\": {huge_forced_ns}, \"speedup\": {huge_speedup:.3}}}}},\n  \
+         \"sda_join\": {{\"remote_rows\": {REMOTE_ROWS}, \
+         \"selective\": {{\"strategy\": \"remote-scan\", \"rows\": 3, \
+         \"median_ns\": {selective_ns}}}, \
+         \"unselective\": {{\"strategy\": \"semijoin\", \"rows\": 950, \
+         \"median_ns\": {unselective_ns}}}, \
+         \"heuristic_strategies\": [\"{heur_selective}\", \"{heur_unselective}\"]}}\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_optimizer_stats.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_optimizer_stats.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_optimizer_stats);
+
+fn main() {
+    benches();
+    emit_json();
+}

@@ -27,6 +27,7 @@ mod codec;
 mod column;
 mod dictionary;
 mod predicate;
+mod stats;
 mod table;
 mod timeseries;
 
@@ -36,5 +37,6 @@ pub use codec::{BlockSynopsis, VidCodec, VidRepr};
 pub use column::{plain_columnar_bytes, row_layout_bytes, DeltaColumn, MainColumn};
 pub use dictionary::{DeltaDictionary, OrderedDictionary, NULL_VID};
 pub use predicate::{ColumnPredicate, MatchKind, VidMatch};
+pub use stats::{ColumnStats, StatsBucket, TableStatistics, DEFAULT_STATS_BUCKETS};
 pub use table::{ColumnTable, RowVersions, NEVER};
 pub use timeseries::{Compensation, CompressedDoubles, TimeSeriesTable};

@@ -7,10 +7,25 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use hana_columnar::TableStatistics;
 use hana_iq::IqEngine;
-use hana_query::{Catalog, TableFunction, TableSource};
+use hana_query::{Catalog, StatsProvider, TableFunction, TableSource};
 use hana_sda::SdaRegistry;
 use hana_types::{HanaError, Result};
+
+/// Persisted statistics of one table: the merged table-level synopsis
+/// plus, for distributed tables, the per-partition synopses in node
+/// order. `version` records the catalog version at collection time so
+/// staleness is observable.
+#[derive(Clone)]
+pub struct StatsEntry {
+    /// Merged table-level synopsis.
+    pub table: Arc<TableStatistics>,
+    /// Per-partition synopses (distributed tables only).
+    pub partitions: Option<Arc<Vec<TableStatistics>>>,
+    /// Catalog version when collected.
+    pub version: u64,
+}
 
 /// Catalog metadata per table (beyond what the query layer needs).
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +67,9 @@ pub struct PlatformCatalog {
     functions: RwLock<HashMap<String, Arc<dyn TableFunction>>>,
     sda: SdaRegistry,
     iq_engines: RwLock<HashMap<String, Arc<IqEngine>>>,
+    /// Persisted column statistics, keyed like `tables`. Refreshed at
+    /// delta-merge and bulk-load time; dropped with the table.
+    stats: RwLock<HashMap<String, StatsEntry>>,
     /// Monotonic version, bumped on every metadata change (DDL, function
     /// registration, delta merges). Cached plans are keyed on it: a plan
     /// compiled under version N is stale once the version moves past N.
@@ -66,6 +84,7 @@ impl PlatformCatalog {
             functions: RwLock::new(HashMap::new()),
             sda: SdaRegistry::new(),
             iq_engines: RwLock::new(HashMap::new()),
+            stats: RwLock::new(HashMap::new()),
             version: AtomicU64::new(0),
         }
     }
@@ -104,13 +123,16 @@ impl PlatformCatalog {
         Ok(())
     }
 
-    /// Remove and return a table entry.
+    /// Remove and return a table entry. The table's persisted
+    /// statistics are dropped with it.
     pub fn remove_table(&self, name: &str) -> Result<TableEntry> {
+        let key = name.to_ascii_lowercase();
         let removed = self
             .tables
             .write()
-            .remove(&name.to_ascii_lowercase())
+            .remove(&key)
             .ok_or_else(|| HanaError::Catalog(format!("unknown table '{name}'")))?;
+        self.stats.write().remove(&key);
         self.bump_version();
         Ok(removed)
     }
@@ -156,6 +178,62 @@ impl PlatformCatalog {
         self.functions.write().insert(name.to_ascii_lowercase(), f);
         self.bump_version();
     }
+
+    // ---- persisted statistics ----
+
+    /// Persist a table's statistics (table-level synopsis plus optional
+    /// per-partition synopses). Bumps the catalog version so cached
+    /// plans compiled with the old estimates are invalidated.
+    pub fn put_statistics(
+        &self,
+        name: &str,
+        table: TableStatistics,
+        partitions: Option<Vec<TableStatistics>>,
+    ) {
+        let key = name.to_ascii_lowercase();
+        let entry = StatsEntry {
+            table: Arc::new(table),
+            partitions: partitions.map(Arc::new),
+            version: self.version(),
+        };
+        self.stats.write().insert(key, entry);
+        self.bump_version();
+    }
+
+    /// The persisted statistics entry of a table, if collected.
+    pub fn statistics(&self, name: &str) -> Option<StatsEntry> {
+        self.stats.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Drop a table's persisted statistics (without dropping the table).
+    pub fn drop_statistics(&self, name: &str) -> bool {
+        let dropped = self
+            .stats
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .is_some();
+        if dropped {
+            self.bump_version();
+        }
+        dropped
+    }
+
+    /// Names of all tables with persisted statistics.
+    pub fn tables_with_statistics(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.stats.read().keys().cloned().collect();
+        out.sort();
+        out
+    }
+}
+
+impl StatsProvider for PlatformCatalog {
+    fn table_stats(&self, table: &str) -> Option<Arc<TableStatistics>> {
+        Some(Arc::clone(&self.statistics(table)?.table))
+    }
+
+    fn partition_stats(&self, table: &str) -> Option<Arc<Vec<TableStatistics>>> {
+        self.statistics(table)?.partitions.clone()
+    }
 }
 
 impl Default for PlatformCatalog {
@@ -187,5 +265,9 @@ impl Catalog for PlatformCatalog {
             .get(&source.to_ascii_lowercase())
             .cloned()
             .ok_or_else(|| HanaError::Catalog(format!("no IQ engine behind source '{source}'")))
+    }
+
+    fn stats(&self) -> &dyn StatsProvider {
+        self
     }
 }

@@ -27,7 +27,7 @@ mod repository;
 mod security;
 mod writes;
 
-pub use catalog::{PlatformCatalog, TableEntry, TableKindInfo};
+pub use catalog::{PlatformCatalog, StatsEntry, TableEntry, TableKindInfo};
 pub use platform::{Backup, HanaPlatform, INTERNAL_IQ_SOURCE};
 pub use repository::{Artifact, ArtifactKind, DeliveryUnit, Repository};
 pub use security::{Privilege, SecurityManager, Session};

@@ -17,7 +17,7 @@ use hana_esp::{EspEngine, Sink};
 use hana_exec::ExecContext;
 use hana_hadoop::{Hive, MrFunctionRegistry};
 use hana_iq::IqEngine;
-use hana_query::{execute_query_with, Catalog as _, Planner, TableFunction, TableSource};
+use hana_query::{execute_query_with, Catalog as _, PlannerContext, TableFunction, TableSource};
 use hana_rowstore::RowTable;
 use hana_sda::{
     ChaosAdapter, ChaosConfig, HadoopMrAdapter, HiveOdbcAdapter, IqAdapter, RemoteCacheConfig,
@@ -340,7 +340,7 @@ impl HanaPlatform {
         q: &hana_sql::Query,
     ) -> Result<hana_query::PlanNode> {
         self.security.check(session, Privilege::Select)?;
-        Planner::new(self.catalog.as_ref()).plan(q)
+        PlannerContext::new(self.catalog.as_ref()).planner().plan(q)
     }
 
     /// Execute a previously compiled plan under the session's current
@@ -388,7 +388,9 @@ impl HanaPlatform {
             }
             Statement::Explain(q) => {
                 self.security.check(session, Privilege::Select)?;
-                let plan = Planner::new(self.catalog.as_ref()).plan(&q)?;
+                let plan = PlannerContext::new(self.catalog.as_ref())
+                    .planner()
+                    .plan(&q)?;
                 let lines: Vec<Row> = plan
                     .explain()
                     .lines()
@@ -570,10 +572,13 @@ impl HanaPlatform {
                         )))
                     }
                 }
-                // A merge rewrites the main fragment, so cardinality
-                // estimates and synopses baked into cached plans are
-                // stale: version-bump to force recompilation.
-                self.catalog.bump_version();
+                // A merge rewrites the main fragment: re-collect the
+                // persisted synopses (which bumps the catalog version,
+                // invalidating cached plans). Sources without
+                // collectable columns still get the version bump.
+                if !self.refresh_statistics(&table)? {
+                    self.catalog.bump_version();
+                }
                 Ok(ok_result())
             }
         }
@@ -1151,7 +1156,41 @@ impl HanaPlatform {
         );
         self.tm.log_data(txn.tid, "hana", &payload)?;
         self.tm.commit(txn, &self.participants())?;
+        // Bulk load is a natural statistics trigger (§3.1 synopses):
+        // restore and ESP ingestion funnel through here too, so
+        // recovered tables come back with fresh statistics.
+        self.refresh_statistics(table)?;
         Ok(rows.len())
+    }
+
+    /// Collect and persist optimizer statistics for `table`: per-column
+    /// row/null/distinct counts, min/max and equi-depth histograms —
+    /// per-partition for distributed tables, merged for the table-level
+    /// view. Returns `false` (leaving heuristic estimation in force)
+    /// for sources without locally collectable columns (row, hybrid,
+    /// extended, virtual).
+    pub fn refresh_statistics(&self, table: &str) -> Result<bool> {
+        let entry = self.catalog.table(table)?;
+        let key = table.to_ascii_lowercase();
+        match &entry.source {
+            TableSource::Column(t) => {
+                let mut stats = t.read().collect_statistics();
+                stats.table = key;
+                self.catalog.put_statistics(table, stats, None);
+                Ok(true)
+            }
+            TableSource::Distributed(dt) => {
+                let parts: Vec<hana_columnar::TableStatistics> = dt
+                    .nodes()
+                    .iter()
+                    .map(|n| n.table().read().collect_statistics())
+                    .collect();
+                let merged = hana_columnar::TableStatistics::merge(&key, &parts);
+                self.catalog.put_statistics(table, merged, Some(parts));
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
     }
 
     // ---- ESP wiring ----

@@ -535,6 +535,25 @@ impl IqEngine {
         }
         Ok((min, max))
     }
+
+    /// Exact distinct-count of a column over all chunks (deleted rows
+    /// included — the count is an optimizer synopsis, not a result).
+    pub fn column_distinct(&self, table: &str, column: &str) -> Result<u64> {
+        let tables = self.tables.read();
+        let t = tables
+            .get(&Self::key(table))
+            .ok_or_else(|| HanaError::Catalog(format!("unknown extended table '{table}'")))?;
+        let col = t.schema.require(column)?;
+        let mut seen = std::collections::BTreeSet::new();
+        for chunk in &t.chunks {
+            for v in chunk.read_column(&self.cache, col)? {
+                if !v.is_null() {
+                    seen.insert(v);
+                }
+            }
+        }
+        Ok(seen.len() as u64)
+    }
 }
 
 /// Resolve predicate column names to indices.

@@ -109,4 +109,12 @@ pub trait Catalog: Send + Sync {
     /// The IQ engine behind an internal extended-storage source, for
     /// operations SDA does not expose (direct load, admin).
     fn iq_engine(&self, source: &str) -> Result<Arc<IqEngine>>;
+
+    /// Persisted statistics the planner consults for this catalog.
+    /// Defaults to the empty provider (every estimate falls back to
+    /// plan-time heuristics); the platform catalog overrides this with
+    /// its versioned stats registry.
+    fn stats(&self) -> &dyn crate::stats::StatsProvider {
+        &crate::stats::NO_STATS
+    }
 }

@@ -1,0 +1,89 @@
+//! The planner's injection point.
+//!
+//! [`PlannerContext`] bundles everything a planning run depends on —
+//! catalog, statistics, cost model, resolved knobs — into one value,
+//! replacing the old ad-hoc `Planner::new(catalog)` /
+//! `Planner::with_cost_model(catalog, cost)` constructors (kept as
+//! deprecated shims for one release). Knobs are resolved **once**, when
+//! the context is built, so a plan sees a consistent snapshot even if
+//! the environment changes mid-flight.
+
+use crate::catalog::Catalog;
+use crate::cost::CostModel;
+use crate::planner::Planner;
+use crate::stats::StatsProvider;
+
+/// Knob values resolved at context-construction time.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerKnobs {
+    /// Broadcast-join build-side row limit — the **fallback** bound the
+    /// executor applies at runtime when the planner had no statistics
+    /// to decide broadcast-vs-repartition itself.
+    pub broadcast_build_row_limit: usize,
+}
+
+impl PlannerKnobs {
+    /// Resolve every knob through its usual chain (thread override,
+    /// then environment, then compiled default).
+    pub fn resolved() -> PlannerKnobs {
+        PlannerKnobs {
+            broadcast_build_row_limit: crate::knobs::broadcast_build_row_limit(),
+        }
+    }
+}
+
+impl Default for PlannerKnobs {
+    fn default() -> Self {
+        PlannerKnobs::resolved()
+    }
+}
+
+/// Everything one planning run depends on.
+#[derive(Clone, Copy)]
+pub struct PlannerContext<'a> {
+    /// Table/function resolution.
+    pub catalog: &'a dyn Catalog,
+    /// Persisted statistics (defaults to [`crate::NoStats`]).
+    pub stats: &'a dyn StatsProvider,
+    /// Cost constants for federation strategy choice.
+    pub cost: CostModel,
+    /// Knob snapshot.
+    pub knobs: PlannerKnobs,
+}
+
+impl<'a> PlannerContext<'a> {
+    /// A context over `catalog` with the catalog's own statistics
+    /// provider ([`Catalog::stats`], the empty provider unless
+    /// overridden), the default cost model, and knobs resolved now.
+    pub fn new(catalog: &'a dyn Catalog) -> PlannerContext<'a> {
+        PlannerContext {
+            catalog,
+            stats: catalog.stats(),
+            cost: CostModel::default(),
+            knobs: PlannerKnobs::resolved(),
+        }
+    }
+
+    /// Use persisted statistics from `stats`.
+    pub fn with_stats(mut self, stats: &'a dyn StatsProvider) -> PlannerContext<'a> {
+        self.stats = stats;
+        self
+    }
+
+    /// Override the cost model (ablation benches).
+    pub fn with_cost_model(mut self, cost: CostModel) -> PlannerContext<'a> {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the knob snapshot.
+    pub fn with_knobs(mut self, knobs: PlannerKnobs) -> PlannerContext<'a> {
+        self.knobs = knobs;
+        self
+    }
+
+    /// Build the planner.
+    pub fn planner(self) -> Planner<'a> {
+        Planner::with_context(self)
+    }
+}

@@ -36,6 +36,11 @@ impl Default for CostModel {
 }
 
 /// Inputs to a remote-join strategy decision.
+///
+/// With persisted statistics the planner fills the widths from average
+/// row bytes and the key distinct-counts from the column synopses;
+/// without them it falls back to column-count width proxies and leaves
+/// the distinct-counts at `0.0` (unknown).
 #[derive(Debug, Clone, Copy)]
 pub struct JoinSituation {
     /// Estimated rows of the (already filtered) local side.
@@ -46,10 +51,30 @@ pub struct JoinSituation {
     pub remote_filtered: f64,
     /// Estimated join output rows.
     pub join_out: f64,
-    /// Column count of the local side (width proxy).
+    /// Width of the local side in column-equivalents (8-byte units when
+    /// derived from statistics, column count otherwise).
     pub local_width: f64,
-    /// Column count of the remote side (width proxy).
+    /// Width of the remote side in column-equivalents.
     pub remote_width: f64,
+    /// Distinct join-key values on the local side (`0.0` = unknown).
+    pub local_key_ndv: f64,
+    /// Distinct join-key values on the remote side (`0.0` = unknown).
+    pub remote_key_ndv: f64,
+}
+
+impl Default for JoinSituation {
+    fn default() -> Self {
+        JoinSituation {
+            local_rows: 0.0,
+            remote_total: 0.0,
+            remote_filtered: 0.0,
+            join_out: 0.0,
+            local_width: 1.0,
+            remote_width: 1.0,
+            local_key_ndv: 0.0,
+            remote_key_ndv: 0.0,
+        }
+    }
 }
 
 impl CostModel {
@@ -66,7 +91,13 @@ impl CostModel {
             }
             // Ship local keys, remote reduces, pull reduced rows.
             FederationStrategy::SemiJoin => {
-                let keys = j.local_rows; // distinct upper bound
+                // Shipped keys are distinct: the synopsis count when
+                // known, else the row count as an upper bound.
+                let keys = if j.local_key_ndv > 0.0 {
+                    j.local_key_ndv.min(j.local_rows)
+                } else {
+                    j.local_rows
+                };
                 let reduced = j.join_out.min(j.remote_filtered);
                 2.0 * self.remote_request
                     + keys * self.ship_row * 0.25 // keys are narrow
@@ -121,6 +152,7 @@ mod tests {
             join_out: 10.0,
             local_width: 4.0,
             remote_width: 8.0,
+            ..JoinSituation::default()
         };
         let (s, _) = m.pick(
             &[
@@ -145,6 +177,7 @@ mod tests {
             join_out: 50.0,
             local_width: 4.0,
             remote_width: 4.0,
+            ..JoinSituation::default()
         };
         let (s, _) = m.pick(
             &[
@@ -170,6 +203,7 @@ mod tests {
             join_out: 10.0,
             local_width: 2.0,
             remote_width: 4.0,
+            ..JoinSituation::default()
         };
         let big = JoinSituation {
             remote_filtered: 1_000_000.0,

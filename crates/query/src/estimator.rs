@@ -1,0 +1,65 @@
+//! Statistics-backed cardinality estimation.
+//!
+//! The planner asks these helpers first; only when no synopsis exists
+//! for a table does it fall back to the plan-time heuristics (rebuilt
+//! histograms, default selectivities). Every estimate returned here is
+//! clamped to `[0, row_count]` by the underlying `ColumnStats`
+//! estimators.
+
+use hana_columnar::{ColumnPredicate, TableStatistics};
+
+/// Estimated output rows of a scan with the given pushed-down
+/// predicates, from a persisted synopsis.
+pub(crate) fn scan_estimate(stats: &TableStatistics, preds: &[(String, ColumnPredicate)]) -> f64 {
+    let mut est = stats.row_count as f64;
+    for (col, pred) in preds {
+        let bare = col.rsplit('.').next().unwrap_or(col);
+        match stats.column(bare) {
+            Some(c) => est *= c.selectivity(pred),
+            None => est *= pred.default_selectivity(),
+        }
+    }
+    est.max(if preds.is_empty() { 1.0 } else { 0.0 })
+}
+
+/// Estimated output rows of a distributed scan: per-partition synopses
+/// are filtered by the prune `mask` (true = partition survives) and
+/// estimated independently, so partition-skewed data is priced
+/// per-fragment rather than by a uniform fraction.
+pub(crate) fn dist_scan_estimate(
+    parts: &[TableStatistics],
+    mask: &[bool],
+    preds: &[(String, ColumnPredicate)],
+) -> f64 {
+    let est: f64 = parts
+        .iter()
+        .zip(mask.iter().copied().chain(std::iter::repeat(true)))
+        .filter(|(_, keep)| *keep)
+        .map(|(p, _)| scan_estimate(p, preds))
+        .sum();
+    est.max(1.0)
+}
+
+/// Distinct-count of a (possibly binding-qualified) key column, if the
+/// synopsis knows it.
+pub(crate) fn key_ndv(stats: &TableStatistics, key: &str) -> Option<f64> {
+    let bare = key.rsplit('.').next().unwrap_or(key);
+    stats.column_distinct(bare)
+}
+
+/// Estimated equi-join output: `|L| * |R| / max(ndv_l, ndv_r)`, the
+/// textbook containment assumption; falls back to `min(|L|, |R|)` when
+/// neither side's key distinct-count is known.
+pub(crate) fn join_out(
+    left_rows: f64,
+    right_rows: f64,
+    left_ndv: Option<f64>,
+    right_ndv: Option<f64>,
+) -> f64 {
+    let ndv = left_ndv.unwrap_or(0.0).max(right_ndv.unwrap_or(0.0));
+    if ndv > 0.0 {
+        (left_rows * right_rows / ndv).max(1.0)
+    } else {
+        left_rows.min(right_rows).max(1.0)
+    }
+}

@@ -10,7 +10,6 @@ use hana_types::{Accumulator, AggFunc, HanaError, Result, ResultSet, Row, Schema
 use crate::catalog::{Catalog, TableSource};
 use crate::hash::{FxBuildHasher, FxHashMap};
 use crate::plan::{PlanNode, PlanOp};
-use crate::planner::Planner;
 
 /// Inputs at or above this many rows are routed through the parallel
 /// execution engine (table scans and group-by aggregation); smaller
@@ -42,7 +41,7 @@ pub fn execute_query_with(
 ) -> Result<ResultSet> {
     let plan = {
         let _span = hana_obs::span("plan");
-        Planner::new(catalog).plan(q)?
+        crate::PlannerContext::new(catalog).planner().plan(q)?
     };
     execute_plan_with(exec, &plan, catalog, cid)
 }
@@ -50,7 +49,7 @@ pub fn execute_query_with(
 /// Render the plan for a query (EXPLAIN).
 pub fn explain_query(q: &Query, catalog: &dyn Catalog, cid: u64) -> Result<String> {
     let _ = cid;
-    let plan = Planner::new(catalog).plan(q)?;
+    let plan = crate::PlannerContext::new(catalog).planner().plan(q)?;
     Ok(plan.explain())
 }
 
@@ -221,15 +220,26 @@ fn execute_plan_inner(
             left_key,
             right_key,
             kind,
+            dist,
         } => {
             // Distributed fast path: when the probe side is a
             // partitioned scan and the build side is small, broadcast
             // the build rows to the surviving nodes and join
-            // fragment-locally, shipping only join results.
+            // fragment-locally, shipping only join results. The planner
+            // decides broadcast-vs-repartition from the persisted
+            // statistics when it can; `Runtime` defers to the build-side
+            // row-limit knob, the pre-statistics behaviour.
             if let PlanOp::DistScan { table, preds, .. } = &left.op {
                 if let Ok(TableSource::Distributed(dt)) = catalog.resolve_table(table) {
                     let r = execute_plan_with(exec, right, catalog, cid)?;
-                    if r.rows.len() <= crate::knobs::broadcast_build_row_limit() {
+                    let broadcast = match dist {
+                        crate::DistJoinStrategy::Broadcast => true,
+                        crate::DistJoinStrategy::Repartition => false,
+                        crate::DistJoinStrategy::Runtime => {
+                            r.rows.len() <= crate::knobs::broadcast_build_row_limit()
+                        }
+                    };
+                    if broadcast {
                         span.attr("broadcast_join", 1);
                         return dist_broadcast_join(
                             &dt,

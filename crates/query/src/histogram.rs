@@ -154,7 +154,15 @@ impl QHistogram {
             ColumnPredicate::Lt(v) | ColumnPredicate::Le(v) => self.estimate_range(None, Some(v)),
             ColumnPredicate::Gt(v) | ColumnPredicate::Ge(v) => self.estimate_range(Some(v), None),
             ColumnPredicate::Between(lo, hi) => self.estimate_range(Some(lo), Some(hi)),
-            ColumnPredicate::InList(vs) => vs.iter().map(|v| self.estimate_eq(v)).sum(),
+            ColumnPredicate::InList(vs) => {
+                // Dedup first — `IN (1, 1, 1)` matches the same rows as
+                // `IN (1)` — and clamp to the non-null row count.
+                let mut uniq: Vec<&Value> = vs.iter().collect();
+                uniq.sort();
+                uniq.dedup();
+                let est: f64 = uniq.into_iter().map(|v| self.estimate_eq(v)).sum();
+                est.min((self.total_rows - self.null_rows) as f64)
+            }
             ColumnPredicate::IsNull => self.null_rows as f64,
             ColumnPredicate::IsNotNull => (self.total_rows - self.null_rows) as f64,
             ColumnPredicate::Like(_) => 0.1 * (self.total_rows - self.null_rows) as f64,
@@ -247,6 +255,23 @@ mod tests {
             Value::Int(99),
         ]));
         assert!((in_est - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_list_dedups_and_never_exceeds_rows() {
+        let data: Vec<(i64, u64)> = (0..10).map(|i| (i, 10)).collect();
+        let h = QHistogram::build(&freqs(&data), 20, 2.0);
+        // Duplicates count once.
+        let dup = h.estimate(&ColumnPredicate::InList(vec![
+            Value::Int(3),
+            Value::Int(3),
+            Value::Int(3),
+        ]));
+        assert!((dup - 10.0).abs() < 1e-9, "dup est = {dup}");
+        // A long duplicated list stays within the non-null rows.
+        let long: Vec<Value> = (0..500).map(|i| Value::Int(i % 10)).collect();
+        let est = h.estimate(&ColumnPredicate::InList(long));
+        assert!(est <= 100.0 + 1e-9, "clamped est = {est}");
     }
 
     #[test]

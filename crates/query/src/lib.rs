@@ -13,15 +13,19 @@
 //! here.
 
 mod catalog;
+mod context;
 mod cost;
+mod estimator;
 mod executor;
 mod hash;
 mod histogram;
 mod knobs;
 mod plan;
 mod planner;
+mod stats;
 
 pub use catalog::{Catalog, TableFunction, TableSource};
+pub use context::{PlannerContext, PlannerKnobs};
 pub use cost::{CostModel, JoinSituation};
 pub use executor::{
     execute_plan, execute_plan_with, execute_query, execute_query_with, explain_query,
@@ -33,8 +37,9 @@ pub use knobs::{
     broadcast_build_row_limit, override_broadcast_build_row_limit, BroadcastLimitGuard,
     ENV_BROADCAST_BUILD_ROW_LIMIT,
 };
-pub use plan::{FederationStrategy, PlanNode, PlanOp};
+pub use plan::{DistJoinStrategy, EstSource, FederationStrategy, PlanNode, PlanOp};
 pub use planner::Planner;
+pub use stats::{MemoryStatsProvider, NoStats, StatsProvider, NO_STATS};
 
 /// Lower a conjunct into a pushable column predicate (re-exported from
 /// SDA so the planner and external callers share one definition).

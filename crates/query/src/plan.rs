@@ -13,6 +13,65 @@ pub struct PlanNode {
     pub schema: Schema,
     /// Estimated output rows.
     pub est_rows: f64,
+    /// Where the estimate came from (EXPLAIN shows the marker).
+    pub est_source: EstSource,
+}
+
+/// Provenance of a cardinality estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstSource {
+    /// Derived from persisted column statistics.
+    Stats,
+    /// Fallback heuristics (plan-time histograms, default
+    /// selectivities).
+    #[default]
+    Heuristic,
+}
+
+impl EstSource {
+    /// The marker EXPLAIN appends to each estimate.
+    pub fn marker(&self) -> &'static str {
+        match self {
+            EstSource::Stats => "stats",
+            EstSource::Heuristic => "heuristic",
+        }
+    }
+
+    /// `Stats` only if both inputs are stats-backed.
+    pub fn and(self, other: EstSource) -> EstSource {
+        if self == EstSource::Stats && other == EstSource::Stats {
+            EstSource::Stats
+        } else {
+            EstSource::Heuristic
+        }
+    }
+}
+
+/// How a hash join above a distributed probe side moves data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistJoinStrategy {
+    /// Replicate the build rows to every surviving node; join
+    /// fragment-locally, ship only results.
+    Broadcast,
+    /// Gather the probe side to the coordinator (repartition-style
+    /// shuffle) and join there.
+    Repartition,
+    /// No statistics at plan time: the executor decides at runtime by
+    /// comparing the materialized build side against the
+    /// broadcast-build row-limit knob.
+    #[default]
+    Runtime,
+}
+
+impl DistJoinStrategy {
+    /// Display name used in EXPLAIN.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistJoinStrategy::Broadcast => "broadcast",
+            DistJoinStrategy::Repartition => "repartition",
+            DistJoinStrategy::Runtime => "runtime-knob",
+        }
+    }
 }
 
 /// Federation strategy chosen for a remote join input (§3.1).
@@ -115,6 +174,9 @@ pub enum PlanOp {
         right_key: String,
         /// Join kind.
         kind: JoinKind,
+        /// Exchange strategy when the probe side is distributed
+        /// (ignored for purely local joins).
+        dist: DistJoinStrategy,
     },
     /// Nested-loop join with an arbitrary ON condition (fallback).
     NestedLoopJoin {
@@ -196,6 +258,14 @@ impl PlanNode {
         out
     }
 
+    fn est_label(&self) -> String {
+        format!(
+            "est {:.0} rows [{}]",
+            self.est_rows,
+            self.est_source.marker()
+        )
+    }
+
     fn line(indent: usize, out: &mut String, text: &str) {
         out.push_str(&"  ".repeat(indent));
         out.push_str(text);
@@ -212,9 +282,9 @@ impl PlanNode {
                 indent,
                 out,
                 &format!(
-                    "Column Scan {table} [{binding}] ({} preds, est {:.0} rows)",
+                    "Column Scan {table} [{binding}] ({} preds, {})",
                     preds.len(),
-                    self.est_rows
+                    self.est_label()
                 ),
             ),
             PlanOp::RowScan {
@@ -225,9 +295,9 @@ impl PlanNode {
                 indent,
                 out,
                 &format!(
-                    "Row Scan {table} [{binding}] ({} preds, est {:.0} rows)",
+                    "Row Scan {table} [{binding}] ({} preds, {})",
                     preds.len(),
-                    self.est_rows
+                    self.est_label()
                 ),
             ),
             PlanOp::DistScan {
@@ -238,9 +308,9 @@ impl PlanNode {
                 indent,
                 out,
                 &format!(
-                    "Dist Scan {table} [{binding}] ({} preds, partition pruning + gather, est {:.0} rows)",
+                    "Dist Scan {table} [{binding}] ({} preds, partition pruning + gather, {})",
                     preds.len(),
-                    self.est_rows
+                    self.est_label()
                 ),
             ),
             PlanOp::HybridScan {
@@ -249,8 +319,8 @@ impl PlanNode {
                 indent,
                 out,
                 &format!(
-                    "Union Plan: Hybrid Scan {table} [{binding}] (hot in-memory + cold extended, est {:.0} rows)",
-                    self.est_rows
+                    "Union Plan: Hybrid Scan {table} [{binding}] (hot in-memory + cold extended, {})",
+                    self.est_label()
                 ),
             ),
             PlanOp::RemoteQuery {
@@ -261,7 +331,10 @@ impl PlanNode {
                 Self::line(
                     indent,
                     out,
-                    &format!("Remote Row Scan [{label}] @ {source} (est {:.0} rows)", self.est_rows),
+                    &format!(
+                        "Remote Row Scan [{label}] @ {source} ({})",
+                        self.est_label()
+                    ),
                 );
                 Self::line(indent + 1, out, &format!("Shipped: {query}"));
             }
@@ -278,17 +351,25 @@ impl PlanNode {
                 left_key,
                 right_key,
                 kind,
+                dist,
             } => {
                 let k = match kind {
                     JoinKind::Inner => "Inner",
                     JoinKind::LeftOuter => "Left Outer",
                 };
+                // The exchange choice only matters over a distributed
+                // probe side; purely local joins stay silent.
+                let xch = if matches!(left.op, PlanOp::DistScan { .. }) {
+                    format!(", exchange: {}", dist.name())
+                } else {
+                    String::new()
+                };
                 Self::line(
                     indent,
                     out,
                     &format!(
-                        "Hash Join ({k}) ON {left_key} = {right_key} (est {:.0} rows)",
-                        self.est_rows
+                        "Hash Join ({k}) ON {left_key} = {right_key}{xch} ({})",
+                        self.est_label()
                     ),
                 );
                 left.render(indent + 1, out);
@@ -298,7 +379,7 @@ impl PlanNode {
                 Self::line(
                     indent,
                     out,
-                    &format!("Nested Loop Join ON {on} (est {:.0} rows)", self.est_rows),
+                    &format!("Nested Loop Join ON {on} ({})", self.est_label()),
                 );
                 left.render(indent + 1, out);
                 right.render(indent + 1, out);
@@ -315,8 +396,8 @@ impl PlanNode {
                     indent,
                     out,
                     &format!(
-                        "Semijoin: ship {local_key} keys -> {source}.{remote_table}.{remote_key} (est {:.0} rows)",
-                        self.est_rows
+                        "Semijoin: ship {local_key} keys -> {source}.{remote_table}.{remote_key} ({})",
+                        self.est_label()
                     ),
                 );
                 local.render(indent + 1, out);
@@ -331,14 +412,18 @@ impl PlanNode {
                     indent,
                     out,
                     &format!(
-                        "Table Relocation: ship local rows -> join @ {source}.{remote_table} (est {:.0} rows)",
-                        self.est_rows
+                        "Table Relocation: ship local rows -> join @ {source}.{remote_table} ({})",
+                        self.est_label()
                     ),
                 );
                 local.render(indent + 1, out);
             }
             PlanOp::Filter { input, pred } => {
-                Self::line(indent, out, &format!("Filter {pred} (est {:.0} rows)", self.est_rows));
+                Self::line(
+                    indent,
+                    out,
+                    &format!("Filter {pred} ({})", self.est_label()),
+                );
                 input.render(indent + 1, out);
             }
             PlanOp::Aggregate {
@@ -348,10 +433,10 @@ impl PlanNode {
                     indent,
                     out,
                     &format!(
-                        "Hash Aggregate ({} groups, {} aggs, est {:.0} rows)",
+                        "Hash Aggregate ({} groups, {} aggs, {})",
                         group_by.len(),
                         aggs.len(),
-                        self.est_rows
+                        self.est_label()
                     ),
                 );
                 input.render(indent + 1, out);

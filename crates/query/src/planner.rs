@@ -15,20 +15,33 @@
 //!    join is accessed via the cheapest of *remote scan*, *semijoin* and
 //!    *table relocation* (§3.1, Figure 7); hybrid tables always use the
 //!    *union plan* at scan level.
+//!
+//! Estimation is **statistics-first**: when the [`StatsProvider`] of the
+//! [`PlannerContext`] has a persisted synopsis for a table, scans are
+//! priced from its histograms, equi-joins from key distinct-counts
+//! (containment assumption), and distributed joins pick
+//! broadcast-vs-repartition from per-partition row counts. Every
+//! estimate carries an [`EstSource`] provenance marker; without
+//! statistics the planner falls back to the plan-time heuristics and
+//! marks the node `heuristic`.
 
 use hana_sql::finish::{aggregate_output_schema, collect_aggregates, infer_type};
 use hana_sql::{BinOp, Expr, JoinKind, Query, SelectItem, TableRef};
 use hana_types::{ColumnDef, HanaError, Result, Schema};
 
 use crate::catalog::{Catalog, TableSource};
+use crate::context::PlannerContext;
 use crate::cost::{CostModel, JoinSituation};
+use crate::estimator;
 use crate::histogram::QHistogram;
-use crate::plan::{FederationStrategy, PlanNode, PlanOp};
+use crate::plan::{DistJoinStrategy, EstSource, FederationStrategy, PlanNode, PlanOp};
+
+#[allow(unused_imports)] // doc links
+use crate::stats::StatsProvider;
 
 /// The planner.
 pub struct Planner<'a> {
-    catalog: &'a dyn Catalog,
-    cost: CostModel,
+    ctx: PlannerContext<'a>,
 }
 
 /// One resolved FROM/JOIN binding.
@@ -48,17 +61,25 @@ enum BindingKind {
 }
 
 impl<'a> Planner<'a> {
-    /// A planner over `catalog` with the default cost model.
+    /// Build the planner from a fully assembled context.
+    pub fn with_context(ctx: PlannerContext<'a>) -> Planner<'a> {
+        Planner { ctx }
+    }
+
+    /// A planner over `catalog` with the default cost model and no
+    /// statistics.
+    #[deprecated(since = "0.7.0", note = "use PlannerContext::new(catalog).planner()")]
     pub fn new(catalog: &'a dyn Catalog) -> Planner<'a> {
-        Planner {
-            catalog,
-            cost: CostModel::default(),
-        }
+        Planner::with_context(PlannerContext::new(catalog))
     }
 
     /// Override the cost model (ablation benches).
+    #[deprecated(
+        since = "0.7.0",
+        note = "use PlannerContext::new(catalog).with_cost_model(cost).planner()"
+    )]
     pub fn with_cost_model(catalog: &'a dyn Catalog, cost: CostModel) -> Planner<'a> {
-        Planner { catalog, cost }
+        Planner::with_context(PlannerContext::new(catalog).with_cost_model(cost))
     }
 
     /// Compile a query into a physical plan.
@@ -81,43 +102,61 @@ impl<'a> Planner<'a> {
             return Ok(node);
         }
 
-        // 2. Left-deep chain with remote-prefix shipping.
+        // 2. Left-deep chain with remote-prefix shipping; purely local
+        //    multi-joins with full statistics coverage instead go
+        //    through the greedy cost-based join ordering.
         let prefix_len = self.remote_prefix_len(q, &bindings);
-        let mut acc = if prefix_len >= 2 {
-            self.ship_prefix(q, &bindings, prefix_len)?
+        let greedy = if prefix_len < 2 {
+            self.try_greedy_fold(q, &bindings, &mut residual)?
         } else {
-            self.leaf(&bindings[0], &q.hints)?
+            None
         };
-        let consumed = if prefix_len >= 2 { prefix_len } else { 1 };
+        let mut acc = match greedy {
+            Some(node) => node,
+            None => {
+                let mut acc = if prefix_len >= 2 {
+                    self.ship_prefix(q, &bindings, prefix_len)?
+                } else {
+                    self.leaf(&bindings[0], &q.hints)?
+                };
+                let consumed = if prefix_len >= 2 { prefix_len } else { 1 };
 
-        // 3. Fold remaining joins.
-        for (idx, join) in q.joins.iter().enumerate().skip(consumed.saturating_sub(1)) {
-            let b = &bindings[idx + 1];
-            let keys = equi_keys(&join.on, &acc.schema, &b.schema);
-            match (&b.source, keys) {
-                // Remote single table with an equi join: strategy choice.
-                (BindingKind::Table(ts), Ok((lk, rk)))
-                    if ts.remote_source().is_some()
-                        && !matches!(ts, TableSource::Hybrid { .. })
-                        && join.kind == JoinKind::Inner =>
-                {
-                    acc = self.plan_remote_join(acc, b, ts, &lk, &rk, &q.hints)?;
+                // 3. Fold remaining joins in syntactic order.
+                for (idx, join) in q.joins.iter().enumerate().skip(consumed.saturating_sub(1)) {
+                    let b = &bindings[idx + 1];
+                    let keys = equi_keys(&join.on, &acc.schema, &b.schema);
+                    match (&b.source, keys) {
+                        // Remote single table with an equi join:
+                        // strategy choice.
+                        (BindingKind::Table(ts), Ok((lk, rk)))
+                            if ts.remote_source().is_some()
+                                && !matches!(ts, TableSource::Hybrid { .. })
+                                && join.kind == JoinKind::Inner =>
+                        {
+                            acc =
+                                self.plan_remote_join(acc, &bindings, b, ts, &lk, &rk, &q.hints)?;
+                        }
+                        (_, Ok((lk, rk))) => {
+                            let lndv = self.key_ndv_of(&bindings, &lk);
+                            let rndv = self.key_ndv_of(&bindings, &rk);
+                            let right = self.leaf(b, &q.hints)?;
+                            acc = self.join_node(acc, right, lk, rk, join.kind, lndv, rndv)?;
+                        }
+                        (_, Err(_)) => {
+                            let right = self.leaf(b, &q.hints)?;
+                            acc = nested_loop_node(acc, right, join.on.clone())?;
+                        }
+                    }
                 }
-                (_, Ok((lk, rk))) => {
-                    let right = self.leaf(b, &q.hints)?;
-                    acc = join_node(acc, right, lk, rk, join.kind)?;
-                }
-                (_, Err(_)) => {
-                    let right = self.leaf(b, &q.hints)?;
-                    acc = nested_loop_node(acc, right, join.on.clone())?;
-                }
+                acc
             }
-        }
+        };
 
         // 4. Residual filter.
         for pred in residual {
             let est = acc.est_rows * 0.5;
             let schema = acc.schema.clone();
+            let est_source = acc.est_source;
             acc = PlanNode {
                 op: PlanOp::Filter {
                     input: Box::new(acc),
@@ -125,6 +164,7 @@ impl<'a> Planner<'a> {
                 },
                 schema,
                 est_rows: est.max(1.0),
+                est_source,
             };
         }
 
@@ -137,6 +177,7 @@ impl<'a> Planner<'a> {
             } else {
                 (acc.est_rows / 10.0).max(1.0)
             };
+            let est_source = acc.est_source;
             acc = PlanNode {
                 op: PlanOp::Aggregate {
                     input: Box::new(acc),
@@ -145,12 +186,14 @@ impl<'a> Planner<'a> {
                 },
                 schema,
                 est_rows: est,
+                est_source,
             };
         }
 
         // 6. Epilogue.
         let est = q.limit.map(|n| n as f64).unwrap_or(acc.est_rows);
         let schema = acc.schema.clone();
+        let est_source = acc.est_source;
         Ok(PlanNode {
             op: PlanOp::Finish {
                 input: Box::new(acc),
@@ -158,7 +201,99 @@ impl<'a> Planner<'a> {
             },
             schema,
             est_rows: est,
+            est_source,
         })
+    }
+
+    // ---- greedy join ordering ----
+
+    /// Statistics-driven greedy join ordering for purely local inner
+    /// multi-joins (3+ tables). Starts from the smallest estimated
+    /// binding and repeatedly joins the candidate with the cheapest
+    /// estimated output, using key distinct-counts under the containment
+    /// assumption. Join conditions left over after all bindings are
+    /// placed (cycle edges) become residual filters.
+    ///
+    /// Returns `None` — leaving the syntactic left-deep order intact —
+    /// unless every binding is a local table with a persisted synopsis;
+    /// without full coverage a partial reorder would mix stats-backed
+    /// and guessed cardinalities and could easily be worse than the
+    /// user's written order.
+    fn try_greedy_fold(
+        &self,
+        q: &Query,
+        bindings: &[Binding],
+        residual: &mut Vec<Expr>,
+    ) -> Result<Option<PlanNode>> {
+        // `SELECT *` (empty or wildcard select list) exposes the join
+        // column order directly: do not reorder.
+        if bindings.len() < 3
+            || q.select.is_empty()
+            || q.select.iter().any(|s| matches!(s.expr, Expr::Wildcard))
+            || q.joins.iter().any(|j| j.kind != JoinKind::Inner)
+        {
+            return Ok(None);
+        }
+        for b in bindings {
+            match &b.source {
+                BindingKind::Table(ts) if ts.remote_source().is_none() => {}
+                _ => return Ok(None),
+            }
+        }
+        let ests: Vec<(f64, EstSource)> =
+            bindings.iter().map(|b| self.binding_estimate(b)).collect();
+        if ests.iter().any(|(_, s)| *s != EstSource::Stats) {
+            return Ok(None);
+        }
+
+        let start = (0..bindings.len())
+            .min_by(|&a, &b| ests[a].0.total_cmp(&ests[b].0))
+            .expect("at least three bindings");
+        let mut acc = self.leaf(&bindings[start], &q.hints)?;
+        let mut used_bindings = vec![false; bindings.len()];
+        used_bindings[start] = true;
+        let mut used_joins = vec![false; q.joins.len()];
+        for _ in 1..bindings.len() {
+            // Cheapest (join condition, unplaced binding) pair whose
+            // equi keys straddle the accumulated side and the candidate.
+            let mut best: Option<(usize, usize, String, String, f64)> = None;
+            for (ji, j) in q.joins.iter().enumerate() {
+                if used_joins[ji] {
+                    continue;
+                }
+                for (bi, b) in bindings.iter().enumerate() {
+                    if used_bindings[bi] {
+                        continue;
+                    }
+                    let Ok((lk, rk)) = equi_keys(&j.on, &acc.schema, &b.schema) else {
+                        continue;
+                    };
+                    let lndv = self.key_ndv_of(bindings, &lk);
+                    let rndv = self.key_ndv_of(bindings, &rk);
+                    let est = estimator::join_out(acc.est_rows, ests[bi].0, lndv, rndv);
+                    if best.as_ref().is_none_or(|(.., e)| est < *e) {
+                        best = Some((ji, bi, lk, rk, est));
+                    }
+                }
+            }
+            // No joinable candidate (cross product or non-equi join in
+            // the middle): fall back to the syntactic order.
+            let Some((ji, bi, lk, rk, _)) = best else {
+                return Ok(None);
+            };
+            used_joins[ji] = true;
+            used_bindings[bi] = true;
+            let lndv = self.key_ndv_of(bindings, &lk);
+            let rndv = self.key_ndv_of(bindings, &rk);
+            let right = self.leaf(&bindings[bi], &q.hints)?;
+            acc = self.join_node(acc, right, lk, rk, JoinKind::Inner, lndv, rndv)?;
+        }
+        for (ji, j) in q.joins.iter().enumerate() {
+            if !used_joins[ji] {
+                residual.push(j.on.clone());
+            }
+        }
+        Ok(Some(acc))
     }
 
     // ---- binding resolution ----
@@ -178,7 +313,7 @@ impl<'a> Planner<'a> {
     fn resolve_ref(&self, t: &TableRef) -> Result<Binding> {
         match t {
             TableRef::Named { name, alias } => {
-                let source = self.catalog.resolve_table(name)?;
+                let source = self.ctx.catalog.resolve_table(name)?;
                 let binding = alias.clone().unwrap_or_else(|| name.clone());
                 let schema = source.schema().qualified(&binding);
                 Ok(Binding {
@@ -190,7 +325,7 @@ impl<'a> Planner<'a> {
                 })
             }
             TableRef::Function { name, args, alias } => {
-                let f = self.catalog.resolve_function(name)?;
+                let f = self.ctx.catalog.resolve_function(name)?;
                 let binding = alias.clone().unwrap_or_else(|| name.clone());
                 let schema = f.schema().qualified(&binding);
                 Ok(Binding {
@@ -249,7 +384,13 @@ impl<'a> Planner<'a> {
         let Some(source) = source else {
             return Ok(None);
         };
-        let caps = self.catalog.sda().source(source)?.adapter.capabilities();
+        let caps = self
+            .ctx
+            .catalog
+            .sda()
+            .source(source)?
+            .adapter
+            .capabilities();
         if !caps.supports_query(q) {
             return Ok(None);
         }
@@ -267,7 +408,7 @@ impl<'a> Planner<'a> {
             };
         }
         // Estimate: first table after filters (rough but monotone).
-        let est = self.binding_estimate(&bindings[0]);
+        let (est, _) = self.binding_estimate(&bindings[0]);
         let schema = output_schema_guess(q, bindings)?;
         Ok(Some(PlanNode {
             op: PlanOp::RemoteQuery {
@@ -277,6 +418,7 @@ impl<'a> Planner<'a> {
             },
             schema,
             est_rows: est,
+            est_source: EstSource::Heuristic,
         }))
     }
 
@@ -290,7 +432,7 @@ impl<'a> Planner<'a> {
             },
             _ => return 0,
         };
-        let caps = match self.catalog.sda().source(&first_source) {
+        let caps = match self.ctx.catalog.sda().source(&first_source) {
             Ok(s) => s.adapter.capabilities(),
             Err(_) => return 0,
         };
@@ -402,7 +544,7 @@ impl<'a> Planner<'a> {
             .collect();
         let est = bindings[..len]
             .iter()
-            .map(|b| self.binding_estimate(b))
+            .map(|b| self.binding_estimate(b).0)
             .fold(f64::MAX, f64::min)
             .max(1.0);
         Ok(PlanNode {
@@ -413,13 +555,14 @@ impl<'a> Planner<'a> {
             },
             schema: Schema::new(cols)?,
             est_rows: est,
+            est_source: EstSource::Heuristic,
         })
     }
 
     // ---- leaves ----
 
     fn leaf(&self, b: &Binding, hints: &[String]) -> Result<PlanNode> {
-        let est = self.binding_estimate(b);
+        let (est, est_source) = self.binding_estimate(b);
         let lowered = lower_preds(&b.preds);
         match &b.source {
             BindingKind::Function { function, args } => Ok(PlanNode {
@@ -430,6 +573,7 @@ impl<'a> Planner<'a> {
                 },
                 schema: b.schema.clone(),
                 est_rows: est,
+                est_source,
             }),
             BindingKind::Table(ts) => match ts {
                 TableSource::Column(_) => Ok(PlanNode {
@@ -440,6 +584,7 @@ impl<'a> Planner<'a> {
                     },
                     schema: b.schema.clone(),
                     est_rows: est,
+                    est_source,
                 }),
                 TableSource::Row(_) => Ok(PlanNode {
                     op: PlanOp::RowScan {
@@ -449,6 +594,7 @@ impl<'a> Planner<'a> {
                     },
                     schema: b.schema.clone(),
                     est_rows: est,
+                    est_source,
                 }),
                 TableSource::Distributed(_) => Ok(PlanNode {
                     op: PlanOp::DistScan {
@@ -458,6 +604,7 @@ impl<'a> Planner<'a> {
                     },
                     schema: b.schema.clone(),
                     est_rows: est,
+                    est_source,
                 }),
                 TableSource::Hybrid { .. } => Ok(PlanNode {
                     op: PlanOp::HybridScan {
@@ -467,6 +614,7 @@ impl<'a> Planner<'a> {
                     },
                     schema: b.schema.clone(),
                     est_rows: est,
+                    est_source,
                 }),
                 TableSource::Extended { source, .. } | TableSource::Virtual { source, .. } => {
                     // A single remote table accessed without a join
@@ -488,6 +636,7 @@ impl<'a> Planner<'a> {
                         },
                         schema: b.schema.clone(),
                         est_rows: est,
+                        est_source,
                     })
                 }
             },
@@ -496,9 +645,11 @@ impl<'a> Planner<'a> {
 
     // ---- remote join strategies ----
 
+    #[allow(clippy::too_many_arguments)]
     fn plan_remote_join(
         &self,
         acc: PlanNode,
+        bindings: &[Binding],
         b: &Binding,
         ts: &TableSource,
         left_key: &str,
@@ -506,10 +657,13 @@ impl<'a> Planner<'a> {
         hints: &[String],
     ) -> Result<PlanNode> {
         let source = ts.remote_source().expect("remote binding").to_string();
-        let adapter = self.catalog.sda().source(&source)?.adapter;
+        let adapter = self.ctx.catalog.sda().source(&source)?.adapter;
         let caps = adapter.capabilities();
         let remote_table = b.remote_table_name();
-        let remote_total = self.remote_rows(&source, &remote_table);
+        let (remote_total, remote_known) = match self.remote_rows_opt(&source, &remote_table) {
+            Some(n) => (n, true),
+            None => (10_000.0, false),
+        };
         let sel: f64 = lower_preds(&b.preds)
             .iter()
             .map(|(col, p)| {
@@ -519,13 +673,29 @@ impl<'a> Planner<'a> {
             })
             .product();
         let remote_filtered = (remote_total * sel).max(1.0);
+        // Key synopses: local side from the persisted statistics, remote
+        // side from the source's own metadata, when either exists.
+        let bare_rk = right_key.rsplit('.').next().unwrap_or(right_key);
+        let local_key_ndv = self.key_ndv_of(bindings, left_key);
+        let remote_key_ndv = adapter
+            .column_distinct(&remote_table, bare_rk)
+            .map(|n| n as f64);
+        let join_out =
+            estimator::join_out(acc.est_rows, remote_filtered, local_key_ndv, remote_key_ndv);
         let situation = JoinSituation {
             local_rows: acc.est_rows,
             remote_total,
             remote_filtered,
-            join_out: acc.est_rows.min(remote_filtered).max(1.0),
-            local_width: acc.schema.len() as f64,
+            join_out,
+            local_width: self.node_width(&acc),
             remote_width: b.schema.len() as f64,
+            local_key_ndv: local_key_ndv.unwrap_or(0.0),
+            remote_key_ndv: remote_key_ndv.unwrap_or(0.0),
+        };
+        let est_source = if acc.est_source == EstSource::Stats && remote_known {
+            EstSource::Stats
+        } else {
+            EstSource::Heuristic
         };
         let mut options = vec![FederationStrategy::RemoteScan];
         if caps.cap_semi_join {
@@ -534,19 +704,26 @@ impl<'a> Planner<'a> {
         if caps.cap_joins {
             options.push(FederationStrategy::TableRelocation);
         }
-        let (strategy, _) = self.cost.pick(&options, &situation);
+        let (strategy, _) = self.ctx.cost.pick(&options, &situation);
         let schema = acc.schema.join(&b.schema)?;
         let est = situation.join_out;
         match strategy {
             FederationStrategy::RemoteScan => {
                 let right = self.leaf(b, hints)?;
-                join_node(
+                let mut node = self.join_node(
                     acc,
                     right,
                     left_key.to_string(),
                     right_key.to_string(),
                     JoinKind::Inner,
-                )
+                    local_key_ndv,
+                    remote_key_ndv,
+                )?;
+                // The strategy decision already priced this join with
+                // the adapter-estimated remote cardinality; keep it.
+                node.est_rows = est;
+                node.est_source = est_source;
+                Ok(node)
             }
             FederationStrategy::SemiJoin => Ok(PlanNode {
                 op: PlanOp::SemiJoin {
@@ -560,6 +737,7 @@ impl<'a> Planner<'a> {
                 },
                 schema,
                 est_rows: est,
+                est_source,
             }),
             FederationStrategy::TableRelocation => Ok(PlanNode {
                 op: PlanOp::RelocateJoin {
@@ -573,6 +751,7 @@ impl<'a> Planner<'a> {
                 },
                 schema,
                 est_rows: est,
+                est_source,
             }),
             FederationStrategy::UnionPlan => unreachable!("not offered here"),
         }
@@ -580,12 +759,19 @@ impl<'a> Planner<'a> {
 
     // ---- estimation ----
 
-    fn binding_estimate(&self, b: &Binding) -> f64 {
+    /// Estimated rows of a binding after its pushed-down predicates,
+    /// with the provenance of the estimate. Persisted synopses win;
+    /// plan-time heuristics (rebuilt dictionary histograms, default
+    /// selectivities) are the fallback.
+    fn binding_estimate(&self, b: &Binding) -> (f64, EstSource) {
         let lowered = lower_preds(&b.preds);
         match &b.source {
-            BindingKind::Function { .. } => 100.0,
+            BindingKind::Function { .. } => (100.0, EstSource::Heuristic),
             BindingKind::Table(ts) => match ts {
                 TableSource::Column(t) => {
+                    if let Some(stats) = self.ctx.stats.table_stats(&b.table) {
+                        return (estimator::scan_estimate(&stats, &lowered), EstSource::Stats);
+                    }
                     let t = t.read();
                     let mut est = t.row_count() as f64;
                     for (col, pred) in &lowered {
@@ -597,36 +783,47 @@ impl<'a> Planner<'a> {
                             est *= pred.default_selectivity();
                         }
                     }
-                    est.max(if lowered.is_empty() { 1.0 } else { 0.0 })
+                    (
+                        est.max(if lowered.is_empty() { 1.0 } else { 0.0 }),
+                        EstSource::Heuristic,
+                    )
                 }
                 TableSource::Row(t) => {
+                    if let Some(stats) = self.ctx.stats.table_stats(&b.table) {
+                        return (estimator::scan_estimate(&stats, &lowered), EstSource::Stats);
+                    }
                     let rows = t.read().version_count() as f64;
-                    lowered
-                        .iter()
-                        .fold(rows, |e, (_, p)| e * p.default_selectivity())
+                    (
+                        lowered
+                            .iter()
+                            .fold(rows, |e, (_, p)| e * p.default_selectivity()),
+                        EstSource::Heuristic,
+                    )
                 }
                 TableSource::Distributed(t) => {
                     // Pruning scales the scanned fraction; per-row
                     // selectivity applies on top.
+                    let mask = prune_mask(t, &lowered);
+                    if let Some(parts) = self.ctx.stats.partition_stats(&b.table) {
+                        return (
+                            estimator::dist_scan_estimate(&parts, &mask, &lowered),
+                            EstSource::Stats,
+                        );
+                    }
+                    let fraction =
+                        mask.iter().filter(|&&m| m).count() as f64 / mask.len().max(1) as f64;
+                    if let Some(stats) = self.ctx.stats.table_stats(&b.table) {
+                        return (
+                            (estimator::scan_estimate(&stats, &lowered) * fraction).max(1.0),
+                            EstSource::Stats,
+                        );
+                    }
                     let rows = t.row_count() as f64;
-                    let outcome_fraction = {
-                        let mut mask = vec![true; t.node_count()];
-                        for (col, pred) in &lowered {
-                            if col == t.spec().column() {
-                                if let Some(c) = t.spec().prune(pred) {
-                                    for (m, keep) in mask.iter_mut().zip(&c) {
-                                        *m &= *keep;
-                                    }
-                                }
-                            }
-                        }
-                        mask.iter().filter(|&&b| b).count() as f64 / mask.len().max(1) as f64
-                    };
                     let sel: f64 = lowered
                         .iter()
                         .map(|(_, p)| p.default_selectivity())
                         .product();
-                    (rows * outcome_fraction * sel).max(1.0)
+                    ((rows * fraction * sel).max(1.0), EstSource::Heuristic)
                 }
                 TableSource::Hybrid {
                     hot,
@@ -640,7 +837,7 @@ impl<'a> Planner<'a> {
                         .iter()
                         .map(|(_, p)| p.default_selectivity())
                         .product();
-                    (hot_rows + cold_rows) * sel
+                    ((hot_rows + cold_rows) * sel, EstSource::Heuristic)
                 }
                 TableSource::Extended {
                     source,
@@ -657,20 +854,139 @@ impl<'a> Planner<'a> {
                         .iter()
                         .map(|(_, p)| p.default_selectivity())
                         .product();
-                    (total * sel).max(1.0)
+                    ((total * sel).max(1.0), EstSource::Heuristic)
                 }
             },
         }
     }
 
-    fn remote_rows(&self, source: &str, table: &str) -> f64 {
-        self.catalog
+    /// Distinct-count of a (possibly binding-qualified) join key from
+    /// the persisted synopsis of its owning binding's table.
+    fn key_ndv_of(&self, bindings: &[Binding], key: &str) -> Option<f64> {
+        let (qual, name) = match key.split_once('.') {
+            Some((q, n)) => (Some(q), n),
+            None => (None, key),
+        };
+        let idx = binding_of_column(bindings, qual, name)?;
+        let stats = self.ctx.stats.table_stats(&bindings[idx].table)?;
+        estimator::key_ndv(&stats, name)
+    }
+
+    /// Width of a plan node in column-equivalents: average row bytes
+    /// from the synopsis (8-byte units) when the node scans a
+    /// stats-backed table, else its column count.
+    fn node_width(&self, node: &PlanNode) -> f64 {
+        if let PlanOp::ColumnScan { table, .. }
+        | PlanOp::RowScan { table, .. }
+        | PlanOp::DistScan { table, .. } = &node.op
+        {
+            if let Some(s) = self.ctx.stats.table_stats(table) {
+                return (s.row_bytes() / 8.0).max(1.0);
+            }
+        }
+        node.schema.len() as f64
+    }
+
+    /// Decide broadcast-vs-repartition for a hash join whose probe side
+    /// is a distributed scan. Broadcasting ships the build side to every
+    /// surviving partition; gathering (the repartition fallback) ships
+    /// the probe rows to the coordinator instead. Without statistics on
+    /// both sides the decision is deferred to the executor's runtime
+    /// row-limit knob.
+    fn dist_join_strategy(&self, left: &PlanNode, right: &PlanNode) -> DistJoinStrategy {
+        let PlanOp::DistScan { table, preds, .. } = &left.op else {
+            return DistJoinStrategy::Runtime;
+        };
+        if left.est_source != EstSource::Stats || right.est_source != EstSource::Stats {
+            return DistJoinStrategy::Runtime;
+        }
+        let Ok(TableSource::Distributed(t)) = self.ctx.catalog.resolve_table(table) else {
+            return DistJoinStrategy::Runtime;
+        };
+        let mask = prune_mask(&t, preds);
+        let surviving = mask.iter().filter(|&&k| k).count().max(1) as f64;
+        if right.est_rows * surviving <= left.est_rows {
+            DistJoinStrategy::Broadcast
+        } else {
+            DistJoinStrategy::Repartition
+        }
+    }
+
+    /// An ndv-aware hash-join node. With a key synopsis on either side
+    /// the output is priced under the containment assumption and keeps
+    /// the `stats` provenance; otherwise the legacy `min(|L|, |R|)`
+    /// heuristic applies.
+    #[allow(clippy::too_many_arguments)]
+    fn join_node(
+        &self,
+        left: PlanNode,
+        right: PlanNode,
+        left_key: String,
+        right_key: String,
+        kind: JoinKind,
+        left_ndv: Option<f64>,
+        right_ndv: Option<f64>,
+    ) -> Result<PlanNode> {
+        let schema = left.schema.join(&right.schema)?;
+        let (est, est_source) = if left_ndv.is_some() || right_ndv.is_some() {
+            (
+                estimator::join_out(left.est_rows, right.est_rows, left_ndv, right_ndv),
+                left.est_source.and(right.est_source),
+            )
+        } else {
+            (
+                left.est_rows.min(right.est_rows).max(1.0),
+                EstSource::Heuristic,
+            )
+        };
+        let dist = self.dist_join_strategy(&left, &right);
+        Ok(PlanNode {
+            op: PlanOp::HashJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_key,
+                right_key,
+                kind,
+                dist,
+            },
+            schema,
+            est_rows: est,
+            est_source,
+        })
+    }
+
+    fn remote_rows_opt(&self, source: &str, table: &str) -> Option<f64> {
+        self.ctx
+            .catalog
             .sda()
             .source(source)
-            .and_then(|s| s.adapter.table_stats(table))
+            .ok()
+            .and_then(|s| s.adapter.table_stats(table).ok())
             .map(|s| s.row_count as f64)
-            .unwrap_or(10_000.0)
     }
+
+    fn remote_rows(&self, source: &str, table: &str) -> f64 {
+        self.remote_rows_opt(source, table).unwrap_or(10_000.0)
+    }
+}
+
+/// Partition-prune mask of a distributed table under lowered predicates
+/// (`true` = the partition may contain matching rows).
+fn prune_mask(
+    t: &hana_dist::DistTable,
+    preds: &[(String, hana_columnar::ColumnPredicate)],
+) -> Vec<bool> {
+    let mut mask = vec![true; t.node_count()];
+    for (col, pred) in preds {
+        if col == t.spec().column() {
+            if let Some(c) = t.spec().prune(pred) {
+                for (m, keep) in mask.iter_mut().zip(&c) {
+                    *m &= *keep;
+                }
+            }
+        }
+    }
+    mask
 }
 
 impl Binding {
@@ -794,28 +1110,6 @@ fn resolves(schema: &Schema, key: &str) -> bool {
     hana_sql::resolve_column(schema, q, n).is_ok()
 }
 
-fn join_node(
-    left: PlanNode,
-    right: PlanNode,
-    left_key: String,
-    right_key: String,
-    kind: JoinKind,
-) -> Result<PlanNode> {
-    let schema = left.schema.join(&right.schema)?;
-    let est = left.est_rows.min(right.est_rows).max(1.0);
-    Ok(PlanNode {
-        op: PlanOp::HashJoin {
-            left: Box::new(left),
-            right: Box::new(right),
-            left_key,
-            right_key,
-            kind,
-        },
-        schema,
-        est_rows: est,
-    })
-}
-
 fn nested_loop_node(left: PlanNode, right: PlanNode, on: Expr) -> Result<PlanNode> {
     let schema = left.schema.join(&right.schema)?;
     let est = (left.est_rows * right.est_rows * 0.1).max(1.0);
@@ -827,6 +1121,7 @@ fn nested_loop_node(left: PlanNode, right: PlanNode, on: Expr) -> Result<PlanNod
         },
         schema,
         est_rows: est,
+        est_source: EstSource::Heuristic,
     })
 }
 

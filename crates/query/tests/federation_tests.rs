@@ -10,7 +10,9 @@ use parking_lot::RwLock;
 use hana_columnar::ColumnTable;
 use hana_hadoop::{Hdfs, Hive, MrCluster, MrConfig};
 use hana_iq::IqEngine;
-use hana_query::{execute_query, explain_query, Catalog, FederationStrategy, Planner, TableSource};
+use hana_query::{
+    execute_query, explain_query, Catalog, FederationStrategy, PlannerContext, TableSource,
+};
 use hana_rowstore::RowTable;
 use hana_sda::{HiveOdbcAdapter, IqAdapter, SdaAdapter, SdaRegistry};
 use hana_sql::{parse_statement, Statement};
@@ -286,7 +288,7 @@ fn figure7_semijoin_selected_and_correct() {
         "SELECT d.d_name, f.f_val FROM dim d JOIN fact f ON d.d_id = f.f_dim \
          WHERE d.d_id = 42",
     );
-    let plan = Planner::new(&cat).plan(&q).unwrap();
+    let plan = PlannerContext::new(&cat).planner().plan(&q).unwrap();
     assert!(
         plan.strategies().contains(&FederationStrategy::SemiJoin),
         "expected semijoin, plan:\n{}",
@@ -306,7 +308,7 @@ fn remote_scan_when_remote_filter_is_selective() {
         "SELECT d.d_name, f.f_val FROM dim d JOIN fact f ON d.d_id = f.f_dim \
          WHERE f.f_val < 3",
     );
-    let plan = Planner::new(&cat).plan(&q).unwrap();
+    let plan = PlannerContext::new(&cat).planner().plan(&q).unwrap();
     assert!(
         plan.strategies().contains(&FederationStrategy::RemoteScan),
         "plan:\n{}",
@@ -325,7 +327,7 @@ fn whole_query_ships_to_hive() {
         "SELECT c.c_seg, COUNT(*) AS n FROM customer_v c JOIN orders_v o \
          ON c.c_id = o.o_cust GROUP BY c.c_seg ORDER BY c.c_seg",
     );
-    let plan = Planner::new(&cat).plan(&q).unwrap();
+    let plan = PlannerContext::new(&cat).planner().plan(&q).unwrap();
     let text = plan.explain();
     assert!(
         text.contains("whole query"),
@@ -352,7 +354,7 @@ fn remote_prefix_then_local_join() {
          JOIN dim d ON o.o_cust = d.d_id \
          WHERE c.c_seg = 'HOUSEHOLD' AND o.o_total < 100",
     );
-    let plan = Planner::new(&cat).plan(&q).unwrap();
+    let plan = PlannerContext::new(&cat).planner().plan(&q).unwrap();
     let text = plan.explain();
     assert!(
         text.contains("remote prefix"),
@@ -368,7 +370,7 @@ fn remote_prefix_then_local_join() {
 fn hybrid_scan_unions_hot_and_cold() {
     let cat = world();
     let q = query("SELECT COUNT(*) FROM sales WHERE s_amt >= 0");
-    let plan = Planner::new(&cat).plan(&q).unwrap();
+    let plan = PlannerContext::new(&cat).planner().plan(&q).unwrap();
     assert!(
         plan.strategies().contains(&FederationStrategy::UnionPlan),
         "plan:\n{}",

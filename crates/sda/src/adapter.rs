@@ -114,6 +114,14 @@ pub trait SdaAdapter: Send + Sync {
         let _ = (table, column, pred);
         None
     }
+
+    /// Distinct-count of a remote column, if the source maintains one.
+    /// Feeds the join-key synopsis of the federated cost model
+    /// (`JoinSituation::remote_key_ndv`); `None` leaves it unknown.
+    fn column_distinct(&self, table: &str, column: &str) -> Option<u64> {
+        let _ = (table, column);
+        None
+    }
 }
 
 // ---------------------------------------------------------------- hive
@@ -514,6 +522,11 @@ impl SdaAdapter for IqAdapter {
             }
             _ => None,
         }
+    }
+
+    /// Exact distinct-count from the IQ store.
+    fn column_distinct(&self, table: &str, column: &str) -> Option<u64> {
+        self.engine.column_distinct(table, column).ok()
     }
 }
 

@@ -243,6 +243,10 @@ impl SdaAdapter for ChaosAdapter {
     ) -> Option<f64> {
         self.inner.estimate_selectivity(table, column, pred)
     }
+
+    fn column_distinct(&self, table: &str, column: &str) -> Option<u64> {
+        self.inner.column_distinct(table, column)
+    }
 }
 
 #[cfg(test)]

@@ -164,6 +164,7 @@ mod tests {
             },
             schema: Schema::of(&[]),
             est_rows: est,
+            est_source: hana_query::EstSource::Heuristic,
         })
     }
 

@@ -155,6 +155,7 @@ mod tests {
             },
             schema: Schema::of(&[]),
             est_rows: est,
+            est_source: hana_query::EstSource::Heuristic,
         }
     }
 
@@ -180,6 +181,7 @@ mod tests {
             },
             schema: Schema::of(&[]),
             est_rows: 1.0,
+            est_source: hana_query::EstSource::Heuristic,
         };
         assert_eq!(m.classify(&agg), WorkloadClass::Olap);
     }
@@ -199,6 +201,7 @@ mod tests {
             },
             schema: Schema::of(&[]),
             est_rows: 1.0,
+            est_source: hana_query::EstSource::Heuristic,
         };
         assert_eq!(m.classify(&finish), WorkloadClass::Oltp);
     }
