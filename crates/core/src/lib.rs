@@ -22,6 +22,7 @@
 //! ```
 
 mod catalog;
+mod durability;
 mod platform;
 mod repository;
 mod security;

@@ -41,6 +41,10 @@ pub const INTERNAL_IQ_SOURCE: &str = "_iq_internal";
 /// Record separator for bulk-load WAL payloads.
 const ROW_SEP: char = '\u{1e}';
 
+/// Marker payload prefix for distributed bulk loads whose row data lives
+/// in the per-partition logs rather than the coordinator log.
+const DIST_LOAD_MARKER: &str = "--DISTLOAD\u{1}";
+
 type AdapterFactory = Box<dyn Fn(&str) -> Arc<dyn SdaAdapter> + Send + Sync>;
 
 /// A logical, transactionally consistent backup spanning the in-memory
@@ -49,15 +53,15 @@ type AdapterFactory = Box<dyn Fn(&str) -> Arc<dyn SdaAdapter> + Send + Sync>;
 pub struct Backup {
     /// The snapshot commit ID everything was captured under.
     pub cid: u64,
-    entries: Vec<BackupEntry>,
+    pub(crate) entries: Vec<BackupEntry>,
 }
 
-struct BackupEntry {
-    name: String,
-    kind: TableKindInfo,
-    schema: Schema,
-    rows: Vec<Row>,
-    cold_rows: Vec<Row>,
+pub(crate) struct BackupEntry {
+    pub(crate) name: String,
+    pub(crate) kind: TableKindInfo,
+    pub(crate) schema: Schema,
+    pub(crate) rows: Vec<Row>,
+    pub(crate) cold_rows: Vec<Row>,
 }
 
 impl Backup {
@@ -100,6 +104,47 @@ impl HanaPlatform {
     /// [`HanaPlatform::recover_replay`]).
     pub fn with_log_file(path: &Path) -> Result<HanaPlatform> {
         Ok(Self::build(TransactionManager::with_log_file(path)?))
+    }
+
+    /// Open (or create) a durable platform over the segmented log
+    /// directory `dir` and recover its state: restore the latest
+    /// checkpoint snapshot, then replay every committed suffix record.
+    /// Returns the platform and the number of replayed statements.
+    pub fn open_durable(dir: &Path) -> Result<(HanaPlatform, usize)> {
+        Self::open_durable_with(dir, hana_txn::WalConfig::from_env())
+    }
+
+    /// [`open_durable`](Self::open_durable) with an explicit WAL
+    /// configuration (group-commit window, segment size, failpoints).
+    pub fn open_durable_with(
+        dir: &Path,
+        config: hana_txn::WalConfig,
+    ) -> Result<(HanaPlatform, usize)> {
+        let wal = Arc::new(hana_txn::Wal::open_dir_with(dir, config)?);
+        let platform = Self::build(TransactionManager::with_shared_wal(Arc::clone(&wal)));
+        let replayed = platform.recover_from_wal(&wal)?;
+        Ok((platform, replayed))
+    }
+
+    /// Restore the checkpoint and replay the committed log suffix. The
+    /// platform's own WAL is put in passive mode for the duration so
+    /// replaying a statement does not log it a second time.
+    fn recover_from_wal(&self, wal: &hana_txn::Wal) -> Result<usize> {
+        wal.set_passive(true);
+        let result = (|| {
+            let report = wal.recover();
+            let session = self.connect("SYSTEM", "manager")?;
+            let mut after_cid = 0;
+            if let Some(ckpt) = wal.latest_checkpoint() {
+                let backup = crate::durability::decode_backup(&ckpt.payload)?;
+                after_cid = ckpt.cid;
+                self.restore(&session, &backup)?;
+            }
+            let committed: HashMap<u64, u64> = report.committed.iter().copied().collect();
+            self.replay_records(&session, wal, &committed, after_cid)
+        })();
+        wal.set_passive(false);
+        result
     }
 
     fn build(tm: TransactionManager) -> HanaPlatform {
@@ -579,6 +624,10 @@ impl HanaPlatform {
                 if !self.refresh_statistics(&table)? {
                     self.catalog.bump_version();
                 }
+                // MERGE DELTA is a checkpoint barrier: the merged main
+                // fragment is exactly the state worth snapshotting, and
+                // pruning here keeps the replay suffix short.
+                self.maybe_checkpoint();
                 Ok(ok_result())
             }
         }
@@ -628,11 +677,22 @@ impl HanaPlatform {
                     "PARTITION BY is supported on column tables only".into(),
                 ));
             }
-            let dt = hana_dist::DistTable::new(&ct.name, schema, partition_spec(p))?;
+            let dt = Arc::new(hana_dist::DistTable::new(
+                &ct.name,
+                schema,
+                partition_spec(p),
+            )?);
+            if let Some(base) = self.tm.wal().dir() {
+                // Durable platform: give every partition its own log
+                // under the coordinator's directory so scale-out loads
+                // are durable per partition.
+                let pdir = base.join("dist").join(ct.name.to_ascii_lowercase());
+                dt.attach_wal(&pdir)?;
+            }
             return self.catalog.add_table(
                 &ct.name,
                 TableEntry {
-                    source: TableSource::Distributed(Arc::new(dt)),
+                    source: TableSource::Distributed(dt),
                     kind: TableKindInfo::Distributed {
                         partition: p.clone(),
                     },
@@ -718,6 +778,19 @@ impl HanaPlatform {
 
     fn drop_table(&self, name: &str) -> Result<()> {
         let entry = self.catalog.remove_table(name)?;
+        if let TableSource::Distributed(dt) = &entry.source {
+            if let Some(wals) = dt.partition_wals() {
+                // The table is gone; its partition logs are dead weight.
+                let dir = wals.dir().to_path_buf();
+                drop(wals);
+                if let Err(e) = std::fs::remove_dir_all(&dir) {
+                    hana_obs::warn(format!(
+                        "could not remove partition logs at {}: {e}",
+                        dir.display()
+                    ));
+                }
+            }
+        }
         match entry.kind {
             TableKindInfo::Extended => self.iq.drop_table(name)?,
             TableKindInfo::Hybrid { cold_table, .. } => self.iq.drop_table(&cold_table)?,
@@ -1094,6 +1167,7 @@ impl HanaPlatform {
             schema.check_row(row.values())?;
         }
         let txn = self.tm.begin();
+        let mut dist_logged = false;
         match &entry.source {
             TableSource::Column(t) | TableSource::Hybrid { hot: t, .. } => {
                 for row in rows {
@@ -1139,6 +1213,18 @@ impl HanaPlatform {
                         );
                     }
                 }
+                // Coordinated durability: write the rows to their home
+                // partitions' logs and fsync them *before* the
+                // coordinator's commit record, so a committed coordinator
+                // record guarantees every partition has its rows. The
+                // coordinator log then only carries a marker.
+                if dt.wal_attached() && !self.tm.wal().passive() {
+                    for row in rows {
+                        dt.log_insert(txn.tid, row.values())?;
+                    }
+                    dt.sync_wal()?;
+                    dist_logged = true;
+                }
             }
             TableSource::Virtual { .. } => {
                 return Err(HanaError::Unsupported(format!(
@@ -1146,20 +1232,38 @@ impl HanaPlatform {
                 )));
             }
         }
-        // Log the bulk load for point-in-time recovery.
-        let payload = format!(
-            "LOAD\u{1}{table}\u{1}{}",
-            rows.iter()
-                .map(|r| r.to_delimited('\u{1f}'))
-                .collect::<Vec<_>>()
-                .join(&ROW_SEP.to_string())
-        );
-        self.tm.log_data(txn.tid, "hana", &payload)?;
-        self.tm.commit(txn, &self.participants())?;
+        // Log the bulk load for point-in-time recovery: a marker when
+        // the rows already sit durably in partition logs, the full row
+        // payload otherwise.
+        let payload = if dist_logged {
+            format!("{DIST_LOAD_MARKER}{table}")
+        } else {
+            format!(
+                "LOAD\u{1}{table}\u{1}{}",
+                rows.iter()
+                    .map(|r| r.to_delimited('\u{1f}'))
+                    .collect::<Vec<_>>()
+                    .join(&ROW_SEP.to_string())
+            )
+        };
+        let tid = txn.tid;
+        self.tm.log_data(tid, "hana", &payload)?;
+        let receipt = self.tm.commit(txn, &self.participants())?;
+        if dist_logged {
+            if let TableSource::Distributed(dt) = &entry.source {
+                // Best-effort bookkeeping marker in the partition logs;
+                // the coordinator's commit record is the source of truth.
+                dt.log_commit(tid, receipt.cid);
+            }
+        }
         // Bulk load is a natural statistics trigger (§3.1 synopses):
         // restore and ESP ingestion funnel through here too, so
         // recovered tables come back with fresh statistics.
         self.refresh_statistics(table)?;
+        // Bulk load is also a checkpoint barrier: the snapshot it
+        // triggers keeps recovery from replaying the (potentially large)
+        // load payload ever again.
+        self.maybe_checkpoint();
         Ok(rows.len())
     }
 
@@ -1357,6 +1461,38 @@ impl HanaPlatform {
     /// the extended storage (one snapshot CID for both).
     pub fn backup(&self, session: &Session) -> Result<Backup> {
         self.security.check(session, Privilege::Operate)?;
+        self.snapshot_backup()
+    }
+
+    /// Durably checkpoint the platform: capture a transactionally
+    /// consistent snapshot of every table, write it as the WAL's
+    /// checkpoint sidecar and prune sealed log segments, so the next
+    /// recovery restores the snapshot and replays only the log suffix.
+    /// Returns the snapshot commit ID. Errors if the platform's WAL is
+    /// not a durable segment directory.
+    pub fn write_checkpoint(&self) -> Result<u64> {
+        let backup = self.snapshot_backup()?;
+        let cid = backup.cid;
+        let payload = crate::durability::encode_backup(&backup);
+        self.tm.checkpoint(cid, &payload)?;
+        Ok(cid)
+    }
+
+    /// Checkpoint barrier: merge-delta and bulk load call this. A no-op
+    /// on non-durable platforms and during recovery replay; a checkpoint
+    /// failure is surfaced as a warning, never as a failure of the
+    /// statement that triggered it (the log alone still recovers).
+    fn maybe_checkpoint(&self) {
+        let wal = self.tm.wal();
+        if !wal.is_durable_dir() || wal.passive() {
+            return;
+        }
+        if let Err(e) = self.write_checkpoint() {
+            hana_obs::warn(format!("checkpoint barrier failed: {e}"));
+        }
+    }
+
+    fn snapshot_backup(&self) -> Result<Backup> {
         let cid = self.tm.current_snapshot().cid();
         let mut entries = Vec::new();
         for (name, _) in self.catalog.list_tables() {
@@ -1465,35 +1601,95 @@ impl HanaPlatform {
             Some(cid) => wal.recover_to(cid),
             None => wal.recover(),
         };
-        let committed: std::collections::HashSet<u64> =
-            report.committed.iter().map(|&(tid, _)| tid).collect();
+        let committed: HashMap<u64, u64> = report.committed.iter().copied().collect();
         let platform = HanaPlatform::new_in_memory();
         let session = platform.connect("SYSTEM", "manager")?;
+        let replayed = platform.replay_records(&session, &wal, &committed, 0)?;
+        Ok((platform, replayed))
+    }
+
+    /// Re-apply the committed records of `wal` whose commit IDs are
+    /// greater than `after_cid` — the "roll forward from a backup" half
+    /// of point-in-time recovery: restore a [`Backup`], then replay the
+    /// log after [`Backup::cid`]. When `wal` is the platform's own log
+    /// the replay runs in passive mode so nothing is logged twice.
+    pub fn replay_wal_after(
+        &self,
+        session: &Session,
+        wal: &hana_txn::Wal,
+        after_cid: u64,
+    ) -> Result<usize> {
+        self.security.check(session, Privilege::Operate)?;
+        let report = wal.recover();
+        let committed: HashMap<u64, u64> = report.committed.iter().copied().collect();
+        let own = Arc::clone(self.tm.wal());
+        let replaying_own_log = std::ptr::eq(own.as_ref(), wal as *const _);
+        if replaying_own_log {
+            own.set_passive(true);
+        }
+        let result = self.replay_records(session, wal, &committed, after_cid);
+        if replaying_own_log {
+            own.set_passive(false);
+        }
+        result
+    }
+
+    /// Shared redo loop: walk `wal`'s data records, keep those of
+    /// committed transactions past `after_cid`, and re-apply each
+    /// through the normal execution path (bulk loads through
+    /// [`load_rows`](Self::load_rows), distributed-load markers through
+    /// partition-log redo, everything else as SQL).
+    fn replay_records(
+        &self,
+        session: &Session,
+        wal: &hana_txn::Wal,
+        committed: &HashMap<u64, u64>,
+        after_cid: u64,
+    ) -> Result<usize> {
         let mut replayed = 0usize;
         for rec in wal.records() {
             let hana_txn::LogRecord::Data { tid, payload, .. } = rec else {
                 continue;
             };
-            if !committed.contains(tid) || payload.starts_with("--") {
+            let Some(&cid) = committed.get(&tid) else {
+                continue;
+            };
+            if cid <= after_cid {
                 continue;
             }
-            if let Some(rest) = payload.strip_prefix("LOAD\u{1}") {
+            if let Some(table) = payload.strip_prefix(DIST_LOAD_MARKER) {
+                // The coordinator log only holds a marker; the rows live
+                // in the table's per-partition logs. Allocate a fresh
+                // commit ID for the redone rows, then pull them in.
+                let entry = self.catalog.table(table)?;
+                let TableSource::Distributed(dt) = &entry.source else {
+                    return Err(HanaError::Io(format!(
+                        "DISTLOAD record for non-distributed table '{table}'"
+                    )));
+                };
+                let txn = self.tm.begin();
+                let receipt = self.tm.commit(txn, &[])?;
+                dt.redo_txn(tid, receipt.cid)?;
+                self.refresh_statistics(table)?;
+            } else if payload.starts_with("--") {
+                continue; // structural marker, nothing to redo
+            } else if let Some(rest) = payload.strip_prefix("LOAD\u{1}") {
                 let (table, rows_text) = rest
                     .split_once('\u{1}')
                     .ok_or_else(|| HanaError::Io("corrupt LOAD record".into()))?;
-                let schema = platform.catalog.table(table)?.source.schema();
+                let schema = self.catalog.table(table)?.source.schema();
                 let rows: Vec<Row> = rows_text
                     .split(ROW_SEP)
                     .filter(|s| !s.is_empty())
                     .map(|line| parse_load_row(line, &schema))
                     .collect::<Result<_>>()?;
-                platform.load_rows(&session, table, &rows)?;
+                self.load_rows(session, table, &rows)?;
             } else {
-                platform.execute_sql(&session, payload)?;
+                self.execute_sql(session, &payload)?;
             }
             replayed += 1;
         }
-        Ok((platform, replayed))
+        Ok(replayed)
     }
 
     /// Landscape summary (single administration interface, §2).

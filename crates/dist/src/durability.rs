@@ -1,0 +1,164 @@
+//! Per-partition write-ahead logs with coordinated recovery.
+//!
+//! Each node of a distributed table gets its own segmented WAL
+//! (`<dir>/part-NNN/`), holding full row images of the inserts routed to
+//! that partition. Durability is **coordinated** with the transaction
+//! coordinator's log:
+//!
+//! 1. routed rows are appended to their home partition's log;
+//! 2. every touched partition log is fsynced (`sync`) *before* the
+//!    coordinator makes its commit record durable — so a commit record
+//!    in the coordinator log proves the partition redo is on disk;
+//! 3. after the commit point, a `Commit` marker is appended to the
+//!    partition logs without its own fsync (pure bookkeeping — the
+//!    coordinator log is the source of truth for outcomes).
+//!
+//! Recovery therefore replays a partition log's `Data` records only for
+//! transactions the *coordinator* log committed: a partition record
+//! whose coordinator commit never became durable is ignored, and a
+//! partition tail torn mid-append can only affect transactions whose
+//! commit record cannot exist either.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use hana_txn::{LogRecord, Wal};
+use hana_types::{HanaError, Result, Row, Value};
+
+use crate::table::DistTable;
+
+/// Field separator inside one partition redo payload.
+const FIELD_SEP: char = '\u{1f}';
+
+/// One WAL per node of a distributed table.
+pub struct PartitionWals {
+    dir: PathBuf,
+    wals: Vec<Arc<Wal>>,
+}
+
+impl PartitionWals {
+    /// Open (or create) one log per partition under `dir`.
+    pub fn open(dir: &Path, partitions: usize) -> Result<PartitionWals> {
+        let mut wals = Vec::with_capacity(partitions);
+        for p in 0..partitions {
+            wals.push(Arc::new(Wal::open_dir(&dir.join(format!("part-{p:03}")))?));
+        }
+        Ok(PartitionWals {
+            dir: dir.to_path_buf(),
+            wals,
+        })
+    }
+
+    /// Root directory of the partition logs.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The per-partition logs, index = partition number.
+    pub fn wals(&self) -> &[Arc<Wal>] {
+        &self.wals
+    }
+}
+
+impl DistTable {
+    /// Attach per-partition WALs under `dir` (one subdirectory per
+    /// node). Idempotent for the same directory.
+    pub fn attach_wal(&self, dir: &Path) -> Result<()> {
+        let mut slot = self.wal_slot().write();
+        if slot.is_none() {
+            *slot = Some(Arc::new(PartitionWals::open(dir, self.node_count())?));
+        }
+        Ok(())
+    }
+
+    /// Whether per-partition WALs are attached.
+    pub fn wal_attached(&self) -> bool {
+        self.wal_slot().read().is_some()
+    }
+
+    /// The attached partition logs, if any.
+    pub fn partition_wals(&self) -> Option<Arc<PartitionWals>> {
+        self.wal_slot().read().clone()
+    }
+
+    /// Log one routed row image to its home partition's WAL (no fsync;
+    /// [`DistTable::sync_wal`] is the durability point). A no-op when no
+    /// WAL is attached.
+    pub fn log_insert(&self, tid: u64, row: &[Value]) -> Result<()> {
+        let Some(wals) = self.partition_wals() else {
+            return Ok(());
+        };
+        let node = self.route(row);
+        wals.wals[node].append(LogRecord::Data {
+            tid,
+            engine: "dist".into(),
+            payload: Row(row.to_vec()).to_delimited(FIELD_SEP),
+        })
+    }
+
+    /// Make every partition log durable. Called *before* the
+    /// coordinator's commit record so a durable commit implies durable
+    /// partition redo.
+    pub fn sync_wal(&self) -> Result<()> {
+        if let Some(wals) = self.partition_wals() {
+            for w in &wals.wals {
+                w.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-commit bookkeeping: mark `tid` committed in every partition
+    /// log (not individually fsynced — the coordinator log decides).
+    pub fn log_commit(&self, tid: u64, cid: u64) {
+        if let Some(wals) = self.partition_wals() {
+            for w in &wals.wals {
+                if let Err(e) = w.append(LogRecord::Commit { tid, cid }) {
+                    hana_obs::warn(format!(
+                        "partition WAL commit marker for txn {tid} lost: {e}"
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Redo the partition-logged inserts of coordinator-committed
+    /// transaction `tid`, applying them at `cid` into each node's
+    /// fragment. Returns the number of rows applied.
+    pub fn redo_txn(&self, tid: u64, cid: u64) -> Result<usize> {
+        let Some(wals) = self.partition_wals() else {
+            return Ok(0);
+        };
+        let schema = self.schema().clone();
+        let mut applied = 0usize;
+        for (node, wal) in wals.wals.iter().enumerate() {
+            for rec in wal.records() {
+                let LogRecord::Data {
+                    tid: t, payload, ..
+                } = rec
+                else {
+                    continue;
+                };
+                if t != tid {
+                    continue;
+                }
+                let fields: Vec<&str> = payload.split(FIELD_SEP).collect();
+                if fields.len() != schema.len() {
+                    return Err(HanaError::Io(format!(
+                        "corrupt partition redo record for txn {tid} on node {node}"
+                    )));
+                }
+                let mut vals = Vec::with_capacity(fields.len());
+                for (f, c) in fields.iter().zip(schema.columns()) {
+                    vals.push(Value::parse_typed(f, c.data_type)?);
+                }
+                self.nodes()[node].insert(&vals, cid)?;
+                applied += 1;
+            }
+        }
+        hana_obs::registry()
+            .counter("hana_dist_partition_redo_rows_total")
+            .add(applied as u64);
+        Ok(applied)
+    }
+}

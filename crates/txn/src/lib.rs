@@ -26,4 +26,4 @@ mod wal;
 pub use manager::{CommitReceipt, TransactionManager, TxnHandle};
 pub use participant::{TwoPhaseParticipant, Vote};
 pub use snapshot::Snapshot;
-pub use wal::{LogRecord, RecoveryReport, Wal};
+pub use wal::{DurableTicket, LogRecord, RecoveryReport, Wal, WalCheckpoint, WalConfig};

@@ -55,7 +55,14 @@ pub struct CommitReceipt {
 pub struct TransactionManager {
     next_tid: AtomicU64,
     last_cid: AtomicU64,
-    wal: Mutex<Wal>,
+    wal: Arc<Wal>,
+    /// Serializes the commit point: CID assignment and the enqueue of
+    /// the commit record happen under this lock, so commit records land
+    /// in the log in CID order and any log prefix recovers to a
+    /// contiguous committed prefix. The fsync wait happens *outside*
+    /// the lock — that is what lets group commit batch concurrent
+    /// committers into one fsync.
+    commit_order: Mutex<()>,
     active: Mutex<HashMap<u64, Snapshot>>,
     in_doubt: Mutex<Vec<(u64, Vec<String>)>>,
 }
@@ -63,39 +70,58 @@ pub struct TransactionManager {
 impl TransactionManager {
     /// A manager with a volatile WAL.
     pub fn new() -> TransactionManager {
-        TransactionManager::with_wal(Wal::in_memory())
+        TransactionManager::with_shared_wal(Arc::new(Wal::in_memory()))
     }
 
-    /// A manager whose WAL is appended to `path`.
+    /// A manager whose WAL is appended to the single file `path`.
     pub fn with_log_file(path: &Path) -> Result<TransactionManager> {
-        Ok(TransactionManager::with_wal(Wal::with_file(path)?))
+        Ok(TransactionManager::with_shared_wal(Arc::new(
+            Wal::with_file(path)?,
+        )))
     }
 
-    fn with_wal(wal: Wal) -> TransactionManager {
-        // Resume CIDs after the highest committed CID in the log.
-        let max_cid = wal
-            .recover()
-            .committed
-            .last()
-            .map(|&(_, cid)| cid)
-            .unwrap_or(0);
+    /// A manager over a segmented log directory.
+    pub fn with_log_dir(dir: &Path) -> Result<TransactionManager> {
+        Ok(TransactionManager::with_shared_wal(Arc::new(
+            Wal::open_dir(dir)?,
+        )))
+    }
+
+    /// A manager sharing `wal` with other components (the platform holds
+    /// a handle for data logging and checkpoints).
+    pub fn with_shared_wal(wal: Arc<Wal>) -> TransactionManager {
+        // Resume CIDs after the highest committed CID (checkpoint
+        // included) and TIDs after the highest TID ever allocated — a
+        // reused TID would merge two distinct transactions at replay.
+        let report = wal.recover();
+        let max_cid = report.max_committed_cid();
+        let ckpt_tid = wal.latest_checkpoint().map(|c| c.max_tid).unwrap_or(0);
+        let max_tid = report.max_tid().max(ckpt_tid);
         TransactionManager {
-            next_tid: AtomicU64::new(1),
+            next_tid: AtomicU64::new(max_tid + 1),
             last_cid: AtomicU64::new(max_cid),
-            wal: Mutex::new(wal),
+            wal,
+            commit_order: Mutex::new(()),
             active: Mutex::new(HashMap::new()),
             in_doubt: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The shared write-ahead log.
+    pub fn wal(&self) -> &Arc<Wal> {
+        &self.wal
     }
 
     /// Begin a transaction; its snapshot sees everything committed so far.
     pub fn begin(&self) -> TxnHandle {
         let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
         let snapshot = Snapshot::at(self.last_cid.load(Ordering::SeqCst));
-        self.wal
-            .lock()
-            .append(LogRecord::Begin { tid })
-            .expect("WAL append");
+        // A Begin record is bookkeeping, not a commit point: losing it
+        // only costs diagnostics, so a failed log is surfaced as a
+        // warning here and as a hard error at the commit point.
+        if let Err(e) = self.wal.append(LogRecord::Begin { tid }) {
+            hana_obs::warn(format!("WAL Begin append failed for txn {tid}: {e}"));
+        }
         self.active.lock().insert(tid, snapshot);
         TxnHandle { tid, snapshot }
     }
@@ -110,13 +136,27 @@ impl TransactionManager {
         self.last_cid.load(Ordering::SeqCst)
     }
 
-    /// Append a logical redo record for `tid`.
+    /// Append a logical redo record for `tid`. The record is not
+    /// individually fsynced — it becomes durable with (and strictly
+    /// before) the transaction's commit record, which is all redo needs.
     pub fn log_data(&self, tid: u64, engine: &str, payload: &str) -> Result<()> {
-        self.wal.lock().append(LogRecord::Data {
+        self.wal.append(LogRecord::Data {
             tid,
             engine: engine.to_string(),
             payload: payload.to_string(),
         })
+    }
+
+    /// Durably checkpoint `payload`, an opaque engine snapshot covering
+    /// every commit up to and including `cid` (which must not exceed
+    /// [`last_commit_id`](Self::last_commit_id) — the caller captured
+    /// the snapshot, so the caller knows the cid it is consistent at).
+    /// Sealed log segments are pruned only when no transaction is
+    /// active.
+    pub fn checkpoint(&self, cid: u64, payload: &[u8]) -> Result<()> {
+        let max_tid = self.next_tid.load(Ordering::SeqCst).saturating_sub(1);
+        let prune = self.active.lock().is_empty();
+        self.wal.checkpoint(cid, max_tid, payload, prune)
     }
 
     /// Commit `txn` across `participants` with the improved 2PC.
@@ -143,7 +183,7 @@ impl TransactionManager {
             match p.prepare(txn.tid) {
                 Ok(vote) => {
                     if vote == Vote::Prepared {
-                        self.wal.lock().append(LogRecord::Prepare {
+                        self.wal.append(LogRecord::Prepare {
                             tid: txn.tid,
                             participant: p.name().to_string(),
                         })?;
@@ -156,7 +196,7 @@ impl TransactionManager {
                     for q in participants {
                         let _ = q.abort(txn.tid);
                     }
-                    self.wal.lock().append(LogRecord::Abort { tid: txn.tid })?;
+                    self.wal.append(LogRecord::Abort { tid: txn.tid })?;
                     return Err(HanaError::Transaction(format!(
                         "participant '{}' failed to prepare: {e}",
                         p.name()
@@ -165,11 +205,30 @@ impl TransactionManager {
             }
         }
 
-        // Commit point: assign the CID and make the decision durable.
-        let cid = self.last_cid.fetch_add(1, Ordering::SeqCst) + 1;
-        self.wal
-            .lock()
-            .append(LogRecord::Commit { tid: txn.tid, cid })?;
+        // Commit point: assign the CID and enqueue the commit record
+        // under the ordering lock (so records hit the log in CID order),
+        // then wait for durability *outside* it — concurrent committers
+        // pile into one group-commit fsync here.
+        let (cid, ticket) = {
+            let _order = self.commit_order.lock();
+            let cid = self.last_cid.fetch_add(1, Ordering::SeqCst) + 1;
+            let ticket = self
+                .wal
+                .submit_durable(LogRecord::Commit { tid: txn.tid, cid });
+            (cid, ticket)
+        };
+        if let Err(e) = ticket.wait() {
+            // The commit record never became durable: the transaction
+            // did not happen. Roll everyone back.
+            for q in participants {
+                let _ = q.abort(txn.tid);
+            }
+            let _ = self.wal.append(LogRecord::Abort { tid: txn.tid });
+            return Err(HanaError::Transaction(format!(
+                "commit record for transaction {} was not durable: {e}",
+                txn.tid
+            )));
+        }
 
         // ---- client acknowledgment happens here (early ack) ----
 
@@ -219,20 +278,20 @@ impl TransactionManager {
         for p in participants {
             let _ = p.abort(txn.tid);
         }
-        self.wal.lock().append(LogRecord::Abort { tid: txn.tid })
+        self.wal.append(LogRecord::Abort { tid: txn.tid })
     }
 
     /// Replay the WAL and surface in-doubt transactions (crash recovery
     /// is "recovered jointly" for HANA and the extended store, §3.1).
     pub fn recover(&self) -> RecoveryReport {
-        let report = self.wal.lock().recover();
+        let report = self.wal.recover();
         *self.in_doubt.lock() = report.in_doubt.clone();
         report
     }
 
     /// Point-in-time variant of [`TransactionManager::recover`].
     pub fn recover_to(&self, cid: u64) -> RecoveryReport {
-        self.wal.lock().recover_to(cid)
+        self.wal.recover_to(cid)
     }
 
     /// Currently known in-doubt transactions.
@@ -257,7 +316,7 @@ impl TransactionManager {
         for p in participants {
             let _ = p.abort(tid);
         }
-        self.wal.lock().append(LogRecord::Abort { tid })
+        self.wal.append(LogRecord::Abort { tid })
     }
 
     /// Number of active (begun, not yet finished) transactions.
@@ -430,7 +489,7 @@ mod tests {
         let path = dir.join("recovery.log");
         let _ = std::fs::remove_file(&path);
         {
-            let mut wal = Wal::with_file(&path).unwrap();
+            let wal = Wal::with_file(&path).unwrap();
             wal.append(LogRecord::Begin { tid: 1 }).unwrap();
             wal.append(LogRecord::Prepare {
                 tid: 1,
@@ -444,8 +503,11 @@ mod tests {
         let report = tm.recover();
         assert_eq!(report.committed, vec![(2, 7)]);
         assert_eq!(tm.in_doubt(), vec![(1, vec!["iq".to_string()])]);
-        // New CIDs continue after the recovered maximum.
+        // New CIDs continue after the recovered maximum, and TIDs resume
+        // past every TID in the log (a reused TID would merge two
+        // distinct transactions at replay).
         let t = tm.begin();
+        assert!(t.tid > 2);
         let r = tm.commit(t, &[]).unwrap();
         assert!(r.cid > 7);
         std::fs::remove_file(&path).ok();

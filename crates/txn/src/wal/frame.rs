@@ -1,0 +1,154 @@
+//! The on-disk record frame: `[len: u32 LE][crc32: u32 LE][payload]`.
+//!
+//! Every log record is wrapped in one frame so the reader can tell a
+//! cleanly ended log from a torn tail (a crash mid-write) without
+//! trusting file lengths: a frame is only accepted when the whole
+//! payload is present *and* its checksum matches.
+
+/// Frame header size: 4 bytes length + 4 bytes CRC-32.
+pub(crate) const FRAME_HEADER: usize = 8;
+
+/// Upper bound on one frame's payload; anything larger in a length
+/// field is treated as corruption, not as a gigantic allocation.
+pub(crate) const MAX_FRAME: usize = 1 << 26;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data`.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Append one framed payload to `out`.
+pub(crate) fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// What the reader found at the head of `buf`.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum FrameOutcome<'a> {
+    /// A complete, checksum-valid frame occupying `consumed` bytes.
+    Complete {
+        /// The frame's payload.
+        payload: &'a [u8],
+        /// Total bytes of the frame (header + payload).
+        consumed: usize,
+    },
+    /// The buffer ends mid-frame: a torn tail if this is the end of the
+    /// last segment, corruption anywhere else.
+    Torn,
+    /// The frame is structurally present but damaged (checksum mismatch
+    /// or an impossible length field).
+    Corrupt,
+}
+
+/// Decode the frame at the head of `buf`.
+pub(crate) fn decode_frame(buf: &[u8]) -> FrameOutcome<'_> {
+    if buf.len() < FRAME_HEADER {
+        return FrameOutcome::Torn;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return FrameOutcome::Corrupt;
+    }
+    let crc = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    if buf.len() < FRAME_HEADER + len {
+        return FrameOutcome::Torn;
+    }
+    let payload = &buf[FRAME_HEADER..FRAME_HEADER + len];
+    if crc32(payload) != crc {
+        return FrameOutcome::Corrupt;
+    }
+    FrameOutcome::Complete {
+        payload,
+        consumed: FRAME_HEADER + len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        encode_frame(b"hello", &mut buf);
+        encode_frame(b"", &mut buf);
+        match decode_frame(&buf) {
+            FrameOutcome::Complete { payload, consumed } => {
+                assert_eq!(payload, b"hello");
+                let rest = &buf[consumed..];
+                assert!(matches!(
+                    decode_frame(rest),
+                    FrameOutcome::Complete { payload: b"", .. }
+                ));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_torn_never_corrupt() {
+        let mut buf = Vec::new();
+        encode_frame(b"some payload bytes", &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(
+                decode_frame(&buf[..cut]),
+                FrameOutcome::Torn,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_corrupt() {
+        let mut buf = Vec::new();
+        encode_frame(b"payload", &mut buf);
+        for i in FRAME_HEADER..buf.len() {
+            let mut copy = buf.clone();
+            copy[i] ^= 0x40;
+            assert_eq!(decode_frame(&copy), FrameOutcome::Corrupt, "flip at {i}");
+        }
+        // A damaged CRC field is also caught.
+        let mut copy = buf.clone();
+        copy[5] ^= 0x01;
+        assert_eq!(decode_frame(&copy), FrameOutcome::Corrupt);
+        // An absurd length field is corruption, not an allocation.
+        let mut copy = buf;
+        copy[3] = 0xFF;
+        assert_eq!(decode_frame(&copy), FrameOutcome::Corrupt);
+    }
+}
