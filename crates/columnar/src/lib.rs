@@ -26,6 +26,7 @@ mod bitpack;
 mod codec;
 mod column;
 mod dictionary;
+mod index;
 mod predicate;
 mod stats;
 mod table;
@@ -36,6 +37,7 @@ pub use bitpack::{width_for, BitPackedVec, BLOCK_ROWS};
 pub use codec::{BlockSynopsis, VidCodec, VidRepr};
 pub use column::{plain_columnar_bytes, row_layout_bytes, DeltaColumn, MainColumn};
 pub use dictionary::{DeltaDictionary, OrderedDictionary, NULL_VID};
+pub use index::{IndexDef, SecondaryIndex};
 pub use predicate::{ColumnPredicate, MatchKind, VidMatch};
 pub use stats::{ColumnStats, StatsBucket, TableStatistics, DEFAULT_STATS_BUCKETS};
 pub use table::{ColumnTable, RowVersions, NEVER};

@@ -6,6 +6,7 @@ use hana_types::{HanaError, Result, Row, Schema, Value};
 
 use crate::bitmap::RowIdBitmap;
 use crate::column::{DeltaColumn, MainColumn};
+use crate::index::{IndexDef, SecondaryIndex};
 use crate::predicate::ColumnPredicate;
 
 /// Commit ID sentinel meaning "never" (row not deleted).
@@ -78,6 +79,7 @@ pub struct ColumnTable {
     versions: RowVersions,
     main_rows: usize,
     merges: u64,
+    indexes: Vec<SecondaryIndex>,
 }
 
 impl ColumnTable {
@@ -96,6 +98,7 @@ impl ColumnTable {
             versions: RowVersions::default(),
             main_rows: 0,
             merges: 0,
+            indexes: Vec::new(),
         }
     }
 
@@ -147,7 +150,15 @@ impl ColumnTable {
             pair.delta.append(v);
         }
         self.versions.push(cid);
-        Ok(self.versions.len() - 1)
+        let row_id = self.versions.len() - 1;
+        // Routed DML maintenance: every secondary index absorbs the new
+        // row on its ordered delta side. Deletes need no maintenance —
+        // seeks re-check MVCC visibility per hit.
+        for ix in &mut self.indexes {
+            let key = ix.key_of(row);
+            ix.append(key, row_id);
+        }
+        Ok(row_id)
     }
 
     /// Mark a row deleted as of `cid`.
@@ -407,6 +418,7 @@ impl ColumnTable {
         }
         self.main_rows = self.versions.len();
         self.merges += 1;
+        self.rebuild_indexes();
         let obs = hana_obs::registry();
         obs.histogram("hana_columnar_delta_merge_ns")
             .record(started.elapsed().as_nanos() as u64);
@@ -458,6 +470,121 @@ impl ColumnTable {
             }
         }
         freq.into_iter().collect()
+    }
+
+    // ---- secondary indexes ----
+
+    /// Create a secondary index over `columns` (key order). The index
+    /// is built from the table's current rows (main and delta) and kept
+    /// maintained by [`ColumnTable::insert`] and
+    /// [`ColumnTable::merge_delta`] from then on.
+    pub fn create_index(&mut self, name: &str, columns: &[String]) -> Result<()> {
+        let name = name.to_ascii_lowercase();
+        if columns.is_empty() {
+            return Err(HanaError::Catalog(format!(
+                "index '{name}' needs at least one column"
+            )));
+        }
+        if self.indexes.iter().any(|ix| ix.def().name == name) {
+            return Err(HanaError::Catalog(format!(
+                "index '{name}' already exists on '{}'",
+                self.name
+            )));
+        }
+        let mut cols = Vec::with_capacity(columns.len());
+        let mut lowered = Vec::with_capacity(columns.len());
+        for c in columns {
+            let c = c.to_ascii_lowercase();
+            cols.push(self.schema.require(&c)?);
+            lowered.push(c);
+        }
+        let mut ix = SecondaryIndex::new(
+            IndexDef {
+                name,
+                columns: lowered,
+            },
+            cols,
+        );
+        ix.rebuild(self.index_entries(&ix));
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Drop a secondary index by name.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        let name = name.to_ascii_lowercase();
+        let before = self.indexes.len();
+        self.indexes.retain(|ix| ix.def().name != name);
+        if self.indexes.len() == before {
+            return Err(HanaError::Catalog(format!(
+                "no index '{name}' on '{}'",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// The table's secondary indexes.
+    pub fn indexes(&self) -> &[SecondaryIndex] {
+        &self.indexes
+    }
+
+    /// Index definitions (for the planner and catalog persistence).
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        self.indexes.iter().map(|ix| ix.def().clone()).collect()
+    }
+
+    /// Look up an index by name.
+    pub fn index(&self, name: &str) -> Option<&SecondaryIndex> {
+        let name = name.to_ascii_lowercase();
+        self.indexes.iter().find(|ix| ix.def().name == name)
+    }
+
+    /// Seek an index: rows matching the equality `prefix` (plus an
+    /// optional range predicate on the next indexed column), masked by
+    /// snapshot visibility. Only the hit rows are visibility-checked —
+    /// a point seek never touches the full row domain.
+    pub fn index_seek(
+        &self,
+        index: &str,
+        prefix: &[Value],
+        range: Option<&ColumnPredicate>,
+        cid: u64,
+    ) -> Result<RowIdBitmap> {
+        let ix = self
+            .index(index)
+            .ok_or_else(|| HanaError::Catalog(format!("no index '{index}' on '{}'", self.name)))?;
+        let mut out = RowIdBitmap::new(self.versions.len());
+        for row in ix.seek(prefix, range) {
+            if self.versions.visible(row, cid) {
+                out.set(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `(key, row id)` pairs for every current row of `ix`'s columns.
+    fn index_entries(&self, ix: &SecondaryIndex) -> Vec<(Vec<Value>, usize)> {
+        (0..self.versions.len())
+            .map(|row| {
+                let key = ix
+                    .columns()
+                    .iter()
+                    .map(|&c| self.value(row, c))
+                    .collect::<Vec<_>>();
+                (key, row)
+            })
+            .collect()
+    }
+
+    /// Rebuild every index's sorted main side (delta-merge barrier).
+    fn rebuild_indexes(&mut self) {
+        let mut indexes = std::mem::take(&mut self.indexes);
+        for ix in &mut indexes {
+            let entries = self.index_entries(ix);
+            ix.rebuild(entries);
+        }
+        self.indexes = indexes;
     }
 
     /// Sorted distinct values of a column (dictionary view; feeds the
@@ -593,6 +720,45 @@ mod tests {
         assert_eq!(min, Some(Value::Int(5)));
         assert_eq!(max, Some(Value::Int(9)));
         assert_eq!(t.distinct_values(0), vec![Value::Int(5), Value::Int(9)]);
+    }
+
+    #[test]
+    fn index_seek_tracks_dml_and_merge() {
+        let mut t = table();
+        for i in 0..50i64 {
+            t.insert(&[Value::Int(i % 10), Value::from(format!("v{i}"))], 1)
+                .unwrap();
+        }
+        t.create_index("ix_id", &["id".into()]).unwrap();
+        assert!(
+            t.create_index("ix_id", &["tag".into()]).is_err(),
+            "duplicate index name"
+        );
+        let seek = |t: &ColumnTable, v: i64, cid: u64| {
+            t.index_seek("ix_id", &[Value::Int(v)], None, cid)
+                .unwrap()
+                .iter()
+                .collect::<Vec<_>>()
+        };
+        let scan = |t: &ColumnTable, v: i64, cid: u64| {
+            t.scan(0, &ColumnPredicate::Eq(Value::Int(v)), cid)
+                .unwrap()
+                .iter()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seek(&t, 3, 1), scan(&t, 3, 1));
+        // Post-DML: inserts land on the index delta, deletes vanish via
+        // visibility.
+        t.insert(&[Value::Int(3), Value::from("new")], 2).unwrap();
+        t.delete(3, 2).unwrap();
+        assert_eq!(seek(&t, 3, 2), scan(&t, 3, 2));
+        // Post-merge: rebuilt main side, empty delta, same answers.
+        t.merge_delta();
+        assert_eq!(seek(&t, 3, 2), scan(&t, 3, 2));
+        assert_eq!(t.index("ix_id").unwrap().entry_count(), 51);
+        t.drop_index("ix_id").unwrap();
+        assert!(t.index_seek("ix_id", &[Value::Int(3)], None, 2).is_err());
+        assert!(t.drop_index("ix_id").is_err());
     }
 
     #[test]

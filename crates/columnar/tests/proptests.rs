@@ -308,3 +308,105 @@ fn single_worker_par_scan_is_deterministic() {
         assert_eq!(t.par_scan(&exec, 0, &pred, 5).unwrap(), first);
     }
 }
+
+/// Seek/scan equivalence helper: compare an `index_seek` against the
+/// full-scan answer for the equivalent predicate set.
+fn assert_seek_matches_scan(
+    t: &ColumnTable,
+    prefix: &[Value],
+    range: Option<&ColumnPredicate>,
+    cid: u64,
+) {
+    let seek: Vec<usize> = t
+        .index_seek("ix", prefix, range, cid)
+        .unwrap()
+        .iter()
+        .collect();
+    let mut preds: Vec<(usize, ColumnPredicate)> = prefix
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i, ColumnPredicate::Eq(v.clone())))
+        .collect();
+    if let Some(p) = range {
+        preds.push((prefix.len(), p.clone()));
+    }
+    let scan: Vec<usize> = t.scan_all(&preds, cid).unwrap().iter().collect();
+    assert_eq!(seek, scan, "prefix {prefix:?} range {range:?} cid {cid}");
+}
+
+proptest! {
+    /// An index seek returns exactly the rows the equivalent full scan
+    /// returns — across delta-resident rows, a mid-stream merge,
+    /// post-index DML (inserts and deletes), null keys, point and range
+    /// probes, and every snapshot cid.
+    #[test]
+    fn index_seek_matches_scan(
+        keys in prop::collection::vec(
+            (prop_oneof![Just(-1i64), 0i64..6], 0u8..3),
+            1..80,
+        ),
+        deletes in prop::collection::vec(0usize..1_000, 0..12),
+        merge_pct in 0usize..100,
+        probe_a in prop_oneof![Just(-1i64), 0i64..6],
+        probe_b in 0u8..3,
+        range_sel in 0usize..6,
+        lo in 0i64..6,
+        span in 0i64..3,
+    ) {
+        let schema = Schema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Varchar),
+            ("v", DataType::Int),
+        ]);
+        let mut t = ColumnTable::new("t", schema);
+        // Index created up front: inserts must maintain the delta side,
+        // and the mid-stream merge must rebuild the main side.
+        t.create_index("ix", &["a".into(), "b".into()]).unwrap();
+        let n = keys.len();
+        let merge_at = n * merge_pct / 100;
+        // The sentinel -1 stands in for a NULL key.
+        let int_or_null = |v: i64| if v < 0 { Value::Null } else { Value::Int(v) };
+        for (i, (a, b)) in keys.iter().enumerate() {
+            t.insert(
+                &[int_or_null(*a), Value::from(format!("g{b}")), Value::Int(i as i64)],
+                (i + 1) as u64,
+            )
+            .unwrap();
+            if i + 1 == merge_at {
+                t.merge_delta();
+            }
+        }
+        let del_cid = (n + 1) as u64;
+        for d in &deletes {
+            // Repeated indices double-delete; that error is irrelevant
+            // here.
+            let _ = t.delete(d % n, del_cid);
+        }
+
+        let pa = int_or_null(probe_a);
+        let pb = Value::from(format!("g{probe_b}"));
+        let glo = Value::from(format!("g{lo}"));
+        let ghi = Value::from(format!("g{}", (lo + span).min(5)));
+        let range: Option<ColumnPredicate> = match range_sel {
+            0 => None,
+            1 => Some(ColumnPredicate::Lt(ghi.clone())),
+            2 => Some(ColumnPredicate::Le(ghi.clone())),
+            3 => Some(ColumnPredicate::Gt(glo.clone())),
+            4 => Some(ColumnPredicate::Ge(glo.clone())),
+            _ => Some(ColumnPredicate::Between(glo.clone(), ghi.clone())),
+        };
+        // Snapshots: mid-insert, fully inserted, and post-delete.
+        for cid in [(n as u64).div_ceil(2), n as u64, del_cid] {
+            // Point probe on the full key.
+            assert_seek_matches_scan(&t, &[pa.clone(), pb.clone()], None, cid);
+            // Eq prefix plus optional range on the next key column.
+            assert_seek_matches_scan(&t, std::slice::from_ref(&pa), range.as_ref(), cid);
+            // Pure range on the leading key column (empty prefix).
+            let arange = ColumnPredicate::Between(Value::Int(lo), Value::Int(lo + span));
+            assert_seek_matches_scan(&t, &[], Some(&arange), cid);
+        }
+        // Post-delete merge: visibility survives the rebuild.
+        t.merge_delta();
+        assert_seek_matches_scan(&t, &[pa, pb], None, del_cid);
+    }
+}

@@ -12,10 +12,12 @@
 //! <cid>
 //! T <name> <kind...>          -- one per table
 //! C <name> <sql type> <n|y>   -- one per column of the last T
+//! I <name> <cols...>          -- one per secondary index of the last T
 //! R <rows...>                 -- hot/in-memory rows of the last T
 //! X <rows...>                 -- cold (extended) rows of the last T
 //! ```
 
+use hana_columnar::IndexDef;
 use hana_sql::PartitionBy;
 use hana_types::{ColumnDef, DataType, HanaError, Result, Row, Schema, Value};
 
@@ -106,6 +108,16 @@ pub(crate) fn encode_backup(backup: &Backup) -> Vec<u8> {
             out.push(FIELD_SEP);
             out.push(if c.nullable { 'y' } else { 'n' });
         }
+        for ix in &e.indexes {
+            out.push(REC_SEP);
+            out.push('I');
+            out.push(FIELD_SEP);
+            out.push_str(&ix.name);
+            for col in &ix.columns {
+                out.push(FIELD_SEP);
+                out.push_str(col);
+            }
+        }
         push_rows(&mut out, 'R', &e.rows);
         push_rows(&mut out, 'X', &e.cold_rows);
     }
@@ -188,6 +200,7 @@ pub(crate) fn decode_backup(payload: &[u8]) -> Result<Backup> {
         name: String,
         kind_fields: Vec<String>,
         columns: Vec<ColumnDef>,
+        indexes: Vec<IndexDef>,
         rows_text: String,
         cold_text: String,
     }
@@ -202,6 +215,7 @@ pub(crate) fn decode_backup(payload: &[u8]) -> Result<Backup> {
                     name: name.to_string(),
                     kind_fields: fields.map(str::to_string).collect(),
                     columns: Vec::new(),
+                    indexes: Vec::new(),
                     rows_text: String::new(),
                     cold_text: String::new(),
                 });
@@ -218,6 +232,21 @@ pub(crate) fn decode_backup(payload: &[u8]) -> Result<Backup> {
                     name: name.to_string(),
                     data_type: DataType::parse_sql(ty)?,
                     nullable: nullable == "y",
+                });
+            }
+            "I" => {
+                let cur = pending
+                    .last_mut()
+                    .ok_or_else(|| bad("index before table"))?;
+                let mut fields = rest.split(FIELD_SEP);
+                let name = fields.next().ok_or_else(|| bad("missing index name"))?;
+                let columns: Vec<String> = fields.map(str::to_string).collect();
+                if columns.is_empty() {
+                    return Err(bad("index without columns"));
+                }
+                cur.indexes.push(IndexDef {
+                    name: name.to_string(),
+                    columns,
                 });
             }
             "R" => {
@@ -250,6 +279,7 @@ pub(crate) fn decode_backup(payload: &[u8]) -> Result<Backup> {
             schema,
             rows,
             cold_rows,
+            indexes: p.indexes,
         });
     }
     Ok(Backup { cid, entries })
@@ -274,6 +304,10 @@ mod tests {
                         Row(vec![Value::Int(2), Value::Null]),
                     ],
                     cold_rows: Vec::new(),
+                    indexes: vec![IndexDef {
+                        name: "ix_ks".into(),
+                        columns: vec!["k".into(), "s".into()],
+                    }],
                 },
                 BackupEntry {
                     name: "parts".into(),
@@ -286,6 +320,7 @@ mod tests {
                     schema,
                     rows: Vec::new(),
                     cold_rows: Vec::new(),
+                    indexes: Vec::new(),
                 },
             ],
         };
@@ -294,7 +329,9 @@ mod tests {
         assert_eq!(decoded.entries.len(), 2);
         assert_eq!(decoded.entries[0].rows, backup.entries[0].rows);
         assert_eq!(decoded.entries[0].kind, backup.entries[0].kind);
+        assert_eq!(decoded.entries[0].indexes, backup.entries[0].indexes);
         assert_eq!(decoded.entries[1].kind, backup.entries[1].kind);
+        assert!(decoded.entries[1].indexes.is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use hana_columnar::ColumnTable;
+use hana_columnar::{ColumnTable, IndexDef};
 use hana_esp::{EspEngine, Sink};
 use hana_exec::ExecContext;
 use hana_hadoop::{Hive, MrFunctionRegistry};
@@ -62,6 +62,9 @@ pub(crate) struct BackupEntry {
     pub(crate) schema: Schema,
     pub(crate) rows: Vec<Row>,
     pub(crate) cold_rows: Vec<Row>,
+    /// Secondary index definitions (checkpoints prune the log, so
+    /// CREATE INDEX records cannot be relied on surviving replay).
+    pub(crate) indexes: Vec<IndexDef>,
 }
 
 impl Backup {
@@ -458,6 +461,48 @@ impl HanaPlatform {
                 self.log_ddl(sql_text)?;
                 Ok(ok_result())
             }
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+            } => {
+                self.security.check(session, Privilege::Ddl)?;
+                let entry = self.catalog.table(&table)?;
+                match &entry.source {
+                    TableSource::Column(t) => t.write().create_index(&name, &columns)?,
+                    TableSource::Hybrid { hot, .. } => hot.write().create_index(&name, &columns)?,
+                    _ => {
+                        return Err(HanaError::Unsupported(format!(
+                            "'{table}' does not support secondary indexes"
+                        )))
+                    }
+                }
+                // Index metadata changes which plans are valid: bump the
+                // catalog version so cached plans re-prepare.
+                self.catalog.bump_version();
+                self.log_ddl(sql_text)?;
+                Ok(ok_result())
+            }
+            Statement::DropIndex { name, table } => {
+                self.security.check(session, Privilege::Ddl)?;
+                let owner = match table {
+                    Some(t) => t,
+                    None => self.find_index_owner(&name)?,
+                };
+                let entry = self.catalog.table(&owner)?;
+                match &entry.source {
+                    TableSource::Column(t) => t.write().drop_index(&name)?,
+                    TableSource::Hybrid { hot, .. } => hot.write().drop_index(&name)?,
+                    _ => {
+                        return Err(HanaError::Catalog(format!(
+                            "table '{owner}' has no index '{name}'"
+                        )))
+                    }
+                }
+                self.catalog.bump_version();
+                self.log_ddl(sql_text)?;
+                Ok(ok_result())
+            }
             Statement::CreateRemoteSource {
                 name,
                 adapter,
@@ -797,6 +842,24 @@ impl HanaPlatform {
             _ => {}
         }
         Ok(())
+    }
+
+    /// Resolve which table owns an index named without an `ON` clause.
+    fn find_index_owner(&self, index: &str) -> Result<String> {
+        for (name, _) in self.catalog.list_tables() {
+            let Ok(entry) = self.catalog.table(&name) else {
+                continue;
+            };
+            let found = match &entry.source {
+                TableSource::Column(t) => t.read().index(index).is_some(),
+                TableSource::Hybrid { hot, .. } => hot.read().index(index).is_some(),
+                _ => false,
+            };
+            if found {
+                return Ok(name);
+            }
+        }
+        Err(HanaError::Catalog(format!("unknown index '{index}'")))
     }
 
     fn log_ddl(&self, sql: &str) -> Result<()> {
@@ -1513,12 +1576,18 @@ impl HanaPlatform {
                 TableSource::Distributed(dt) => (dt.snapshot_rows(cid), Vec::new()),
                 TableSource::Virtual { .. } => continue, // remote data
             };
+            let indexes = match &entry.source {
+                TableSource::Column(t) => t.read().index_defs(),
+                TableSource::Hybrid { hot, .. } => hot.read().index_defs(),
+                _ => Vec::new(),
+            };
             entries.push(BackupEntry {
                 name,
                 kind: entry.kind.clone(),
                 schema,
                 rows,
                 cold_rows,
+                indexes,
             });
         }
         Ok(Backup { cid, entries })
@@ -1576,6 +1645,18 @@ impl HanaPlatform {
             })?;
             if !e.rows.is_empty() {
                 self.load_rows(session, &e.name, &e.rows)?;
+            }
+            if !e.indexes.is_empty() {
+                let entry = self.catalog.table(&e.name)?;
+                for ix in &e.indexes {
+                    match &entry.source {
+                        TableSource::Column(t) => t.write().create_index(&ix.name, &ix.columns)?,
+                        TableSource::Hybrid { hot, .. } => {
+                            hot.write().create_index(&ix.name, &ix.columns)?
+                        }
+                        _ => {}
+                    }
+                }
             }
             if !e.cold_rows.is_empty() {
                 // Straight into the cold partition.

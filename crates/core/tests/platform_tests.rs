@@ -435,6 +435,56 @@ fn point_in_time_recovery_replays_wal() {
 }
 
 #[test]
+fn secondary_indexes_survive_checkpoint_and_restart() {
+    let dir = std::env::temp_dir().join(format!("hana-ixdur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    {
+        let (hana, _) = HanaPlatform::open_durable(&dir).unwrap();
+        let s = hana.connect("SYSTEM", "manager").unwrap();
+        hana.execute_sql(&s, "CREATE COLUMN TABLE t (k INTEGER, v VARCHAR(10))")
+            .unwrap();
+        hana.execute_sql(&s, "INSERT INTO t VALUES (1, 'a'), (2, 'b'), (2, 'c')")
+            .unwrap();
+        hana.execute_sql(&s, "CREATE INDEX ix_k ON t (k)").unwrap();
+        // A checkpoint prunes sealed log segments, so the CREATE INDEX
+        // record cannot be the only place the definition lives: the
+        // checkpoint snapshot must carry it too.
+        hana.write_checkpoint().unwrap();
+        hana.execute_sql(&s, "INSERT INTO t VALUES (2, 'd')")
+            .unwrap();
+    }
+    let (hana, _) = HanaPlatform::open_durable(&dir).unwrap();
+    let s = hana.connect("SYSTEM", "manager").unwrap();
+    let entry = hana.catalog().table("t").unwrap();
+    let hana_query::TableSource::Column(t) = &entry.source else {
+        panic!("expected a column table");
+    };
+    {
+        let t = t.read();
+        let ix = t.index("ix_k").expect("index survived restart");
+        assert_eq!(ix.def().columns, vec!["k".to_string()]);
+        assert_eq!(
+            ix.entry_count(),
+            4,
+            "post-checkpoint insert replayed into the index"
+        );
+    }
+    let rs = hana
+        .execute_sql(&s, "SELECT COUNT(*) FROM t WHERE k = 2")
+        .unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(3));
+    // DROP INDEX resolves the owning table without an ON clause.
+    hana.execute_sql(&s, "DROP INDEX ix_k").unwrap();
+    let entry = hana.catalog().table("t").unwrap();
+    let hana_query::TableSource::Column(t) = &entry.source else {
+        panic!("expected a column table");
+    };
+    assert!(t.read().index("ix_k").is_none());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn explain_and_landscape() {
     let (hana, s) = platform();
     hana.execute_sql(&s, "CREATE COLUMN TABLE t (a INTEGER)")
@@ -461,4 +511,110 @@ fn merge_delta_via_sql() {
     let rs = hana.execute_sql(&s, "SELECT COUNT(*) FROM t").unwrap();
     assert_eq!(rs.scalar().unwrap(), &Value::Int(50));
     assert!(hana.execute_sql(&s, "MERGE DELTA OF missing").is_err());
+}
+
+#[test]
+fn index_seek_explain_provenance_and_results() {
+    let (hana, s) = platform();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE orders (k INTEGER, cat VARCHAR(8), v INTEGER)",
+    )
+    .unwrap();
+    for i in 0..200 {
+        hana.execute_sql(
+            &s,
+            &format!(
+                "INSERT INTO orders VALUES ({}, 'c{}', {})",
+                i % 20,
+                i % 3,
+                i
+            ),
+        )
+        .unwrap();
+    }
+    hana.execute_sql(&s, "CREATE INDEX ix_orders ON orders (k, cat)")
+        .unwrap();
+
+    let explain = |sql: &str| -> String {
+        let rs = hana.execute_sql(&s, sql).unwrap();
+        rs.rows
+            .iter()
+            .map(|r| r[0].to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    // No statistics yet: the seek is chosen from index NDV heuristics.
+    let text = explain("EXPLAIN SELECT v FROM orders WHERE k = 5 AND cat = 'c1'");
+    assert!(text.contains("Index Seek orders.ix_orders"), "{text}");
+    assert!(text.contains("prefix 2 cols"), "{text}");
+    assert!(text.contains("heuristic"), "{text}");
+
+    // MERGE DELTA refreshes persisted statistics; provenance flips.
+    hana.execute_sql(&s, "MERGE DELTA OF orders").unwrap();
+    let text = explain("EXPLAIN SELECT v FROM orders WHERE k = 5 AND cat = 'c1'");
+    assert!(text.contains("Index Seek orders.ix_orders"), "{text}");
+    assert!(text.contains("stats"), "{text}");
+
+    // Residual predicate the key does not cover is re-checked per hit.
+    let text = explain("EXPLAIN SELECT v FROM orders WHERE k = 5 AND v > 100");
+    assert!(text.contains("Index Seek orders.ix_orders"), "{text}");
+    assert!(text.contains("1 residual"), "{text}");
+
+    // Seek answers match the unindexed scan answers exactly.
+    let rs = hana
+        .execute_sql(
+            &s,
+            "SELECT COUNT(*), SUM(v) FROM orders WHERE k = 5 AND v > 100",
+        )
+        .unwrap();
+    let seek_row = rs.rows[0].clone();
+    hana.execute_sql(&s, "DROP INDEX ix_orders").unwrap();
+    let rs = hana
+        .execute_sql(
+            &s,
+            "SELECT COUNT(*), SUM(v) FROM orders WHERE k = 5 AND v > 100",
+        )
+        .unwrap();
+    assert_eq!(seek_row, rs.rows[0]);
+}
+
+#[test]
+fn compiled_and_interpreted_expressions_agree() {
+    let (hana, s) = platform();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE t (k INTEGER, v INTEGER, tag VARCHAR(8))",
+    )
+    .unwrap();
+    for i in 0..300 {
+        let tag = if i % 7 == 0 { "NULL" } else { "'x'" };
+        hana.execute_sql(
+            &s,
+            &format!("INSERT INTO t VALUES ({i}, {}, {tag})", i % 13),
+        )
+        .unwrap();
+    }
+    // Non-pushable filters land in PlanOp::Filter (the VM's territory);
+    // expression projections land in Finish.
+    let queries = [
+        "SELECT k FROM t WHERE k * 2 + 1 < 50 ORDER BY k",
+        "SELECT k + v, v * 3 FROM t WHERE k - v > 100 ORDER BY k + v LIMIT 20",
+        "SELECT DISTINCT v FROM t WHERE tag IS NOT NULL AND (v BETWEEN 2 AND 5 OR k < 10) ORDER BY v",
+        "SELECT k FROM t WHERE tag LIKE 'x%' AND k IN (1, 7, 295, 296) ORDER BY k",
+        "SELECT -k, v FROM t WHERE NOT (v = 3) AND k < 25 ORDER BY k DESC",
+    ];
+    for q in queries {
+        let compiled = hana.execute_sql(&s, q).unwrap();
+        let interpreted = {
+            let _g = hana_query::override_compiled_expressions(false);
+            hana.execute_sql(&s, q).unwrap()
+        };
+        assert_eq!(compiled.rows, interpreted.rows, "{q}");
+        assert_eq!(
+            compiled.schema.to_string(),
+            interpreted.schema.to_string(),
+            "{q}"
+        );
+    }
 }

@@ -1,0 +1,250 @@
+//! Lowering `Expr` trees into [`Program`] bytecode.
+//!
+//! Compilation is best-effort: shapes the VM does not model — function
+//! calls, CASE, unbound parameters, non-constant IN lists, wildcards —
+//! return `None` and the caller keeps the tree-walking evaluator for
+//! that expression. Column references resolve to positions **here**,
+//! once, with the same [`resolve_column`] rules the tree-walk applies
+//! per row (qualified-first, then bare, then unambiguous suffix).
+
+use hana_sql::{resolve_column, BinOp, Expr, UnaryOp};
+use hana_types::Schema;
+
+use crate::vm::{ArithOp, CmpOp, Op, Program, Reg};
+
+/// Compile `e` against `schema`, or `None` when the expression uses a
+/// shape the VM does not support.
+pub fn compile_expr(e: &Expr, schema: &Schema) -> Option<Program> {
+    let mut c = Compiler {
+        schema,
+        ops: Vec::new(),
+        regs: 0,
+    };
+    let result = c.lower(e)?;
+    Some(Program {
+        ops: c.ops,
+        regs: c.regs,
+        result,
+    })
+}
+
+struct Compiler<'a> {
+    schema: &'a Schema,
+    ops: Vec<Op>,
+    regs: usize,
+}
+
+impl Compiler<'_> {
+    fn fresh(&mut self) -> Reg {
+        self.regs += 1;
+        self.regs - 1
+    }
+
+    fn lower(&mut self, e: &Expr) -> Option<Reg> {
+        match e {
+            Expr::Literal(v) => {
+                let dst = self.fresh();
+                self.ops.push(Op::LoadConst {
+                    val: v.clone(),
+                    dst,
+                });
+                Some(dst)
+            }
+            Expr::Column { qualifier, name } => {
+                let col = resolve_column(self.schema, qualifier.as_deref(), name).ok()?;
+                let dst = self.fresh();
+                self.ops.push(Op::LoadCol { col, dst });
+                Some(dst)
+            }
+            // Unbound parameters error at evaluation time; leave that
+            // to the tree-walk so the message matches.
+            Expr::Parameter(_) | Expr::Wildcard => None,
+            Expr::Unary { op, expr } => {
+                let src = self.lower(expr)?;
+                let dst = self.fresh();
+                self.ops.push(match op {
+                    UnaryOp::Neg => Op::Neg { src, dst },
+                    UnaryOp::Not => Op::Not { src, dst },
+                });
+                Some(dst)
+            }
+            Expr::Binary { left, op, right } => {
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    return self.lower_logic(left, *op, right);
+                }
+                let lhs = self.lower(left)?;
+                let rhs = self.lower(right)?;
+                let dst = self.fresh();
+                self.ops.push(match op {
+                    BinOp::Add => Op::Arith {
+                        op: ArithOp::Add,
+                        lhs,
+                        rhs,
+                        dst,
+                    },
+                    BinOp::Sub => Op::Arith {
+                        op: ArithOp::Sub,
+                        lhs,
+                        rhs,
+                        dst,
+                    },
+                    BinOp::Mul => Op::Arith {
+                        op: ArithOp::Mul,
+                        lhs,
+                        rhs,
+                        dst,
+                    },
+                    BinOp::Div => Op::Arith {
+                        op: ArithOp::Div,
+                        lhs,
+                        rhs,
+                        dst,
+                    },
+                    BinOp::Eq => Op::Cmp {
+                        op: CmpOp::Eq,
+                        lhs,
+                        rhs,
+                        dst,
+                    },
+                    BinOp::Ne => Op::Cmp {
+                        op: CmpOp::Ne,
+                        lhs,
+                        rhs,
+                        dst,
+                    },
+                    BinOp::Lt => Op::Cmp {
+                        op: CmpOp::Lt,
+                        lhs,
+                        rhs,
+                        dst,
+                    },
+                    BinOp::Le => Op::Cmp {
+                        op: CmpOp::Le,
+                        lhs,
+                        rhs,
+                        dst,
+                    },
+                    BinOp::Gt => Op::Cmp {
+                        op: CmpOp::Gt,
+                        lhs,
+                        rhs,
+                        dst,
+                    },
+                    BinOp::Ge => Op::Cmp {
+                        op: CmpOp::Ge,
+                        lhs,
+                        rhs,
+                        dst,
+                    },
+                    BinOp::And | BinOp::Or => unreachable!("handled by lower_logic"),
+                });
+                Some(dst)
+            }
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => {
+                let src = self.lower(expr)?;
+                let lo = self.lower(lo)?;
+                let hi = self.lower(hi)?;
+                let dst = self.fresh();
+                self.ops.push(Op::Between {
+                    src,
+                    lo,
+                    hi,
+                    negated: *negated,
+                    dst,
+                });
+                Some(dst)
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                // Only constant probe lists compile; item expressions
+                // would need lazy per-item evaluation to match the
+                // tree-walk's early break.
+                let consts: Option<Vec<_>> = list
+                    .iter()
+                    .map(|i| match i {
+                        Expr::Literal(v) => Some(v.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let src = self.lower(expr)?;
+                let dst = self.fresh();
+                self.ops.push(Op::InProbe {
+                    src,
+                    list: consts?,
+                    negated: *negated,
+                    dst,
+                });
+                Some(dst)
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let src = self.lower(expr)?;
+                let dst = self.fresh();
+                self.ops.push(Op::Like {
+                    src,
+                    pattern: pattern.clone(),
+                    negated: *negated,
+                    dst,
+                });
+                Some(dst)
+            }
+            Expr::IsNull { expr, negated } => {
+                let src = self.lower(expr)?;
+                let dst = self.fresh();
+                self.ops.push(Op::IsNull {
+                    src,
+                    negated: *negated,
+                    dst,
+                });
+                Some(dst)
+            }
+            Expr::Func { .. } | Expr::Case { .. } => None,
+        }
+    }
+
+    /// AND/OR with a block-level short-circuit: evaluate the left side,
+    /// then skip the right side entirely when the whole block already
+    /// decided (all-false for AND, all-true for OR).
+    fn lower_logic(&mut self, left: &Expr, op: BinOp, right: &Expr) -> Option<Reg> {
+        let lhs = self.lower(left)?;
+        let dst = self.fresh();
+        let jump_at = self.ops.len();
+        // Placeholder target, patched once the right side is laid out.
+        self.ops.push(match op {
+            BinOp::And => Op::JumpIfAllFalse {
+                src: lhs,
+                dst,
+                target: 0,
+            },
+            _ => Op::JumpIfAllTrue {
+                src: lhs,
+                dst,
+                target: 0,
+            },
+        });
+        let rhs = self.lower(right)?;
+        self.ops.push(match op {
+            BinOp::And => Op::And { lhs, rhs, dst },
+            _ => Op::Or { lhs, rhs, dst },
+        });
+        let after = self.ops.len();
+        match &mut self.ops[jump_at] {
+            Op::JumpIfAllFalse { target, .. } | Op::JumpIfAllTrue { target, .. } => {
+                *target = after;
+            }
+            _ => unreachable!(),
+        }
+        Some(dst)
+    }
+}

@@ -1,10 +1,9 @@
 //! The planner's injection point.
 //!
 //! [`PlannerContext`] bundles everything a planning run depends on —
-//! catalog, statistics, cost model, resolved knobs — into one value,
-//! replacing the old ad-hoc `Planner::new(catalog)` /
-//! `Planner::with_cost_model(catalog, cost)` constructors (kept as
-//! deprecated shims for one release). Knobs are resolved **once**, when
+//! catalog, statistics, cost model, resolved knobs — into one value
+//! (the old ad-hoc `Planner::new(catalog)` constructors are gone; build
+//! through [`PlannerContext::new`]). Knobs are resolved **once**, when
 //! the context is built, so a plan sees a consistent snapshot even if
 //! the environment changes mid-flight.
 

@@ -3,7 +3,7 @@
 use hana_columnar::BLOCK_ROWS;
 use hana_exec::ExecContext;
 use hana_sda::{RemoteContext, RetryPolicy};
-use hana_sql::finish::finish_query;
+use hana_sql::finish::{finish_query, project_final, sort_rows};
 use hana_sql::{evaluate, evaluate_predicate, resolve_column, Expr, JoinKind, Query, TableRef};
 use hana_types::{Accumulator, AggFunc, HanaError, Result, ResultSet, Row, Schema, Value};
 
@@ -62,6 +62,7 @@ pub fn execute_plan(plan: &PlanNode, catalog: &dyn Catalog, cid: u64) -> Result<
 fn span_name(op: &PlanOp) -> String {
     match op {
         PlanOp::ColumnScan { table, .. } => format!("column_scan[{table}]"),
+        PlanOp::IndexSeek { table, index, .. } => format!("index_seek[{table}.{index}]"),
         PlanOp::RowScan { table, .. } => format!("row_scan[{table}]"),
         PlanOp::DistScan { table, .. } => format!("dist_scan[{table}]"),
         PlanOp::HybridScan { table, .. } => format!("hybrid_scan[{table}]"),
@@ -129,6 +130,44 @@ fn execute_plan_inner(
                 t.scan_all(&resolved, cid)?
             };
             span.attr("input_rows", t.row_count() as u64);
+            Ok(ResultSet::new(
+                plan.schema.clone(),
+                t.collect_rows(&hits, &[]),
+            ))
+        }
+        PlanOp::IndexSeek {
+            table,
+            index,
+            prefix,
+            range,
+            residual,
+            ..
+        } => {
+            let TableSource::Column(t) = catalog.resolve_table(table)? else {
+                return Err(HanaError::Plan(format!("'{table}' is not a column table")));
+            };
+            let t = t.read();
+            let prefix_vals: Vec<Value> = prefix.iter().map(|(_, v)| v.clone()).collect();
+            let mut hits =
+                t.index_seek(index, &prefix_vals, range.as_ref().map(|(_, p)| p), cid)?;
+            span.attr("input_rows", t.row_count() as u64);
+            span.attr("seek_hits", hits.count() as u64);
+            // Residual predicates the index key does not cover are
+            // re-checked per hit — seek output stays bit-identical to
+            // the equivalent scan.
+            if !residual.is_empty() {
+                let resolved: Vec<(usize, hana_columnar::ColumnPredicate)> = residual
+                    .iter()
+                    .map(|(c, p)| t.schema().require(c).map(|i| (i, p.clone())))
+                    .collect::<Result<_>>()?;
+                let mut filtered = hana_columnar::RowIdBitmap::new(hits.len());
+                for row in hits.iter() {
+                    if resolved.iter().all(|(i, p)| p.matches(&t.value(row, *i))) {
+                        filtered.set(row);
+                    }
+                }
+                hits = filtered;
+            }
             Ok(ResultSet::new(
                 plan.schema.clone(),
                 t.collect_rows(&hits, &[]),
@@ -391,12 +430,7 @@ fn execute_plan_inner(
         }
         PlanOp::Filter { input, pred } => {
             let inp = execute_plan_with(exec, input, catalog, cid)?;
-            let mut rows = Vec::with_capacity(inp.rows.len());
-            for r in inp.rows {
-                if evaluate_predicate(pred, &inp.schema, &r)? {
-                    rows.push(r);
-                }
-            }
+            let rows = filter_rows(pred, &inp.schema, inp.rows, span)?;
             Ok(ResultSet::new(plan.schema.clone(), rows))
         }
         PlanOp::Aggregate {
@@ -481,12 +515,146 @@ fn execute_plan_inner(
         }
         PlanOp::Finish { input, query } => {
             let inp = execute_plan_with(exec, input, catalog, cid)?;
+            if let Some(rs) = try_vm_finish(&inp, query, span)? {
+                return Ok(rs);
+            }
             // When the child already satisfied the whole query remotely,
             // the planner does not emit Finish; here the epilogue runs.
             let (rows, schema) = finish_query(inp.rows, &inp.schema, query)?;
             Ok(ResultSet::new(schema, rows))
         }
     }
+}
+
+/// Apply a filter predicate over materialized rows.
+///
+/// When expression compilation is on and the predicate lowers to
+/// bytecode, rows run through the VM one [`BLOCK_ROWS`] block at a
+/// time. Block-level evaluation can raise an error the tree-walk's
+/// per-row short-circuit would have skipped (see [`crate::vm`]), and a
+/// predicate may legally evaluate to a non-boolean the tree-walk
+/// reports with its own message — any such block falls back to the
+/// row-at-a-time evaluator, which is the authority for both results
+/// and errors.
+fn filter_rows(
+    pred: &Expr,
+    schema: &Schema,
+    rows: Vec<Row>,
+    span: &hana_obs::Span,
+) -> Result<Vec<Row>> {
+    let prog = if crate::knobs::compiled_expressions() {
+        crate::compile::compile_expr(pred, schema)
+    } else {
+        None
+    };
+    let Some(prog) = prog else {
+        let mut out = Vec::with_capacity(rows.len());
+        for r in rows {
+            if evaluate_predicate(pred, schema, &r)? {
+                out.push(r);
+            }
+        }
+        return Ok(out);
+    };
+    let mut keep = vec![false; rows.len()];
+    let mut regs: Vec<Vec<Value>> = Vec::new();
+    let mut compiled_blocks = 0u64;
+    for (bi, block) in rows.chunks(BLOCK_ROWS).enumerate() {
+        let base = bi * BLOCK_ROWS;
+        let vm_ok = prog.run_block(block, &mut regs).is_ok()
+            && regs[prog.result]
+                .iter()
+                .all(|v| matches!(v, Value::Bool(_) | Value::Null));
+        if vm_ok {
+            compiled_blocks += 1;
+            for (i, v) in regs[prog.result].iter().enumerate() {
+                keep[base + i] = *v == Value::Bool(true);
+            }
+        } else {
+            for (i, r) in block.iter().enumerate() {
+                keep[base + i] = evaluate_predicate(pred, schema, r)?;
+            }
+        }
+    }
+    span.attr("compiled_blocks", compiled_blocks);
+    let mut out = Vec::with_capacity(rows.len());
+    for (r, k) in rows.into_iter().zip(keep) {
+        if k {
+            out.push(r);
+        }
+    }
+    Ok(out)
+}
+
+/// The Finish epilogue through the VM: when the query has no
+/// aggregation and no HAVING and every select item compiles, project
+/// each block with one bytecode program per output column, then apply
+/// DISTINCT / ORDER BY / LIMIT exactly as [`finish_query`] would.
+/// Returns `Ok(None)` when the shape does not fit and the tree-walking
+/// epilogue should run instead.
+fn try_vm_finish(inp: &ResultSet, q: &Query, span: &hana_obs::Span) -> Result<Option<ResultSet>> {
+    if !crate::knobs::compiled_expressions() || q.select.is_empty() {
+        return Ok(None);
+    }
+    let aggregated = !q.group_by.is_empty()
+        || q.having.is_some()
+        || q.select.iter().any(|s| s.expr.contains_aggregate());
+    if aggregated {
+        return Ok(None);
+    }
+    let progs: Option<Vec<crate::vm::Program>> = q
+        .select
+        .iter()
+        .map(|s| crate::compile::compile_expr(&s.expr, &inp.schema))
+        .collect();
+    let Some(progs) = progs else {
+        return Ok(None);
+    };
+    span.attr("compiled", 1);
+    // The output schema from the shared projection code, so names,
+    // de-duplication and inferred types match the tree-walk path.
+    let (_, out_schema) = project_final(&[], &inp.schema, q)?;
+    let mut rows: Vec<Row> = Vec::with_capacity(inp.rows.len());
+    let mut regs: Vec<Vec<Value>> = Vec::new();
+    for block in inp.rows.chunks(BLOCK_ROWS) {
+        let base = rows.len();
+        for _ in 0..block.len() {
+            rows.push(Row(vec![Value::Null; progs.len()]));
+        }
+        let mut vm_ok = true;
+        for (ci, p) in progs.iter().enumerate() {
+            if p.run_block(block, &mut regs).is_err() {
+                vm_ok = false;
+                break;
+            }
+            for i in 0..block.len() {
+                rows[base + i].0[ci] = std::mem::replace(&mut regs[p.result][i], Value::Null);
+            }
+        }
+        if !vm_ok {
+            // Same per-block fallback as the filter: the tree-walk is
+            // the authority for rows the VM cannot evaluate.
+            rows.truncate(base);
+            for r in block {
+                let mut vals = Vec::with_capacity(q.select.len());
+                for s in &q.select {
+                    vals.push(evaluate(&s.expr, &inp.schema, r)?);
+                }
+                rows.push(Row(vals));
+            }
+        }
+    }
+    if q.distinct {
+        let mut seen = std::collections::HashSet::new();
+        rows.retain(|r| seen.insert(r.clone()));
+    }
+    if !q.order_by.is_empty() {
+        sort_rows(&mut rows, &out_schema, &q.order_by)?;
+    }
+    if let Some(n) = q.limit {
+        rows.truncate(n);
+    }
+    Ok(Some(ResultSet::new(out_schema, rows)))
 }
 
 /// Feed one row into a group's accumulators.

@@ -1,14 +1,20 @@
 //! Runtime-tunable query-engine knobs.
 //!
-//! The broadcast-join build-side limit resolves, most-specific first:
+//! Every knob resolves, most-specific first:
 //!
-//! 1. a thread-scoped override installed with
-//!    [`override_broadcast_build_row_limit`] (the session layer wraps
-//!    each statement of a session that customized the knob);
-//! 2. the `HANA_BROADCAST_BUILD_ROW_LIMIT` environment variable
-//!    (malformed values warn through `hana-obs` and are ignored);
-//! 3. the compiled-in default
-//!    [`BROADCAST_BUILD_ROW_LIMIT`](crate::executor::BROADCAST_BUILD_ROW_LIMIT).
+//! 1. a thread-scoped override installed with its `override_*` function
+//!    (the session layer wraps each statement of a session that
+//!    customized the knob); guards nest and restore on drop;
+//! 2. an environment variable (malformed values warn through
+//!    `hana-obs` and are ignored);
+//! 3. the compiled-in default.
+//!
+//! Knobs: the broadcast-join build-side row limit
+//! ([`BROADCAST_BUILD_ROW_LIMIT`](crate::executor::BROADCAST_BUILD_ROW_LIMIT))
+//! and the compiled-expressions switch ([`compiled_expressions`],
+//! default on — disables the bytecode VM so filters and projections run
+//! through the tree-walking evaluator; used for A/B benches and as an
+//! escape hatch).
 
 use std::cell::Cell;
 
@@ -17,8 +23,13 @@ use crate::executor::BROADCAST_BUILD_ROW_LIMIT;
 /// Environment variable overriding the broadcast build-side row limit.
 pub const ENV_BROADCAST_BUILD_ROW_LIMIT: &str = "HANA_BROADCAST_BUILD_ROW_LIMIT";
 
+/// Environment variable toggling expression compilation
+/// (`0`/`false`/`off` disable; anything else warns and is ignored).
+pub const ENV_COMPILED_EXPRESSIONS: &str = "HANA_COMPILED_EXPRESSIONS";
+
 thread_local! {
     static BROADCAST_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static COMPILED_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
 }
 
 /// The broadcast build-side row limit in effect on this thread.
@@ -48,6 +59,53 @@ pub struct BroadcastLimitGuard {
 impl Drop for BroadcastLimitGuard {
     fn drop(&mut self) {
         BROADCAST_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Whether the executor compiles filter/projection expressions to
+/// bytecode on this thread (default: yes).
+pub fn compiled_expressions() -> bool {
+    if let Some(b) = COMPILED_OVERRIDE.with(Cell::get) {
+        return b;
+    }
+    match std::env::var(ENV_COMPILED_EXPRESSIONS) {
+        Ok(raw) => parse_switch(&raw).unwrap_or(true),
+        Err(_) => true,
+    }
+}
+
+/// Install a thread-scoped compiled-expressions switch until the guard
+/// drops. Guards nest; the innermost wins and dropping restores the
+/// previous value.
+pub fn override_compiled_expressions(on: bool) -> CompiledExpressionsGuard {
+    let prev = COMPILED_OVERRIDE.with(|c| c.replace(Some(on)));
+    CompiledExpressionsGuard { prev }
+}
+
+/// Restores the previous compiled-expressions switch on drop.
+pub struct CompiledExpressionsGuard {
+    prev: Option<bool>,
+}
+
+impl Drop for CompiledExpressionsGuard {
+    fn drop(&mut self) {
+        COMPILED_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Parse a boolean switch; unrecognized values warn through `hana-obs`
+/// and resolve to `None` (the default stays in effect).
+fn parse_switch(raw: &str) -> Option<bool> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => {
+            hana_obs::warn(format!(
+                "{ENV_COMPILED_EXPRESSIONS}={raw:?} is not a boolean switch; \
+                 falling back to the default"
+            ));
+            None
+        }
     }
 }
 
@@ -126,6 +184,38 @@ mod tests {
         match saved {
             Some(v) => std::env::set_var(ENV_BROADCAST_BUILD_ROW_LIMIT, v),
             None => std::env::remove_var(ENV_BROADCAST_BUILD_ROW_LIMIT),
+        }
+    }
+
+    #[test]
+    fn compiled_expressions_resolution() {
+        // Env vars are process-global: this is the only test that sets
+        // this variable, and it restores the previous state on exit.
+        let saved = std::env::var(ENV_COMPILED_EXPRESSIONS).ok();
+
+        std::env::remove_var(ENV_COMPILED_EXPRESSIONS);
+        assert!(compiled_expressions(), "default is on");
+
+        std::env::set_var(ENV_COMPILED_EXPRESSIONS, "off");
+        assert!(!compiled_expressions(), "env beats default");
+
+        {
+            let _g = override_compiled_expressions(true);
+            assert!(compiled_expressions(), "override beats env");
+            {
+                let _inner = override_compiled_expressions(false);
+                assert!(!compiled_expressions(), "innermost wins");
+            }
+            assert!(compiled_expressions(), "nested guard restores");
+        }
+        assert!(!compiled_expressions(), "guard drop restores env");
+
+        std::env::set_var(ENV_COMPILED_EXPRESSIONS, "maybe");
+        assert!(compiled_expressions(), "malformed env falls back");
+
+        match saved {
+            Some(v) => std::env::set_var(ENV_COMPILED_EXPRESSIONS, v),
+            None => std::env::remove_var(ENV_COMPILED_EXPRESSIONS),
         }
     }
 }

@@ -13,6 +13,7 @@
 //! here.
 
 mod catalog;
+mod compile;
 mod context;
 mod cost;
 mod estimator;
@@ -23,8 +24,10 @@ mod knobs;
 mod plan;
 mod planner;
 mod stats;
+mod vm;
 
 pub use catalog::{Catalog, TableFunction, TableSource};
+pub use compile::compile_expr;
 pub use context::{PlannerContext, PlannerKnobs};
 pub use cost::{CostModel, JoinSituation};
 pub use executor::{
@@ -34,12 +37,14 @@ pub use executor::{
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use histogram::{Bucket, QHistogram};
 pub use knobs::{
-    broadcast_build_row_limit, override_broadcast_build_row_limit, BroadcastLimitGuard,
-    ENV_BROADCAST_BUILD_ROW_LIMIT,
+    broadcast_build_row_limit, compiled_expressions, override_broadcast_build_row_limit,
+    override_compiled_expressions, BroadcastLimitGuard, CompiledExpressionsGuard,
+    ENV_BROADCAST_BUILD_ROW_LIMIT, ENV_COMPILED_EXPRESSIONS,
 };
 pub use plan::{DistJoinStrategy, EstSource, FederationStrategy, PlanNode, PlanOp};
 pub use planner::Planner;
 pub use stats::{MemoryStatsProvider, NoStats, StatsProvider, NO_STATS};
+pub use vm::{ArithOp, CmpOp, Op, Program, Reg};
 
 /// Lower a conjunct into a pushable column predicate (re-exported from
 /// SDA so the planner and external callers share one definition).

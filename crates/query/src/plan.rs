@@ -2,7 +2,7 @@
 
 use hana_columnar::ColumnPredicate;
 use hana_sql::{Expr, JoinKind, Query};
-use hana_types::{AggFunc, Schema};
+use hana_types::{AggFunc, Schema, Value};
 
 /// A physical plan node with its output schema and cardinality estimate.
 #[derive(Debug, Clone)]
@@ -111,6 +111,23 @@ pub enum PlanOp {
         table: String,
         /// Pushed-down predicates.
         preds: Vec<(String, ColumnPredicate)>,
+    },
+    /// Ordered seek on a secondary index of a column table: an equality
+    /// prefix over the leading indexed columns, an optional range on the
+    /// next one, and residual predicates re-checked per hit.
+    IndexSeek {
+        /// Binding name in the query.
+        binding: String,
+        /// Catalog table name.
+        table: String,
+        /// Index name.
+        index: String,
+        /// Equality prefix `(column, value)` in key order.
+        prefix: Vec<(String, Value)>,
+        /// Range predicate on the key column after the prefix.
+        range: Option<(String, ColumnPredicate)>,
+        /// Pushed-down predicates the index does not consume.
+        residual: Vec<(String, ColumnPredicate)>,
     },
     /// Scan of a local row table.
     RowScan {
@@ -287,6 +304,30 @@ impl PlanNode {
                     self.est_label()
                 ),
             ),
+            PlanOp::IndexSeek {
+                binding,
+                table,
+                index,
+                prefix,
+                range,
+                residual,
+            } => {
+                let range_text = match range {
+                    Some((col, _)) => format!(", range on {col}"),
+                    None => String::new(),
+                };
+                Self::line(
+                    indent,
+                    out,
+                    &format!(
+                        "Index Seek {table}.{index} [{binding}] \
+                         (prefix {} cols{range_text}, {} residual preds, {})",
+                        prefix.len(),
+                        residual.len(),
+                        self.est_label()
+                    ),
+                );
+            }
             PlanOp::RowScan {
                 binding,
                 table,

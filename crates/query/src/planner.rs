@@ -25,13 +25,14 @@
 //! statistics the planner falls back to the plan-time heuristics and
 //! marks the node `heuristic`.
 
+use hana_columnar::{ColumnPredicate, ColumnTable};
 use hana_sql::finish::{aggregate_output_schema, collect_aggregates, infer_type};
 use hana_sql::{BinOp, Expr, JoinKind, Query, SelectItem, TableRef};
-use hana_types::{ColumnDef, HanaError, Result, Schema};
+use hana_types::{ColumnDef, HanaError, Result, Schema, Value};
 
-use crate::catalog::{Catalog, TableSource};
+use crate::catalog::TableSource;
 use crate::context::PlannerContext;
-use crate::cost::{CostModel, JoinSituation};
+use crate::cost::JoinSituation;
 use crate::estimator;
 use crate::histogram::QHistogram;
 use crate::plan::{DistJoinStrategy, EstSource, FederationStrategy, PlanNode, PlanOp};
@@ -64,22 +65,6 @@ impl<'a> Planner<'a> {
     /// Build the planner from a fully assembled context.
     pub fn with_context(ctx: PlannerContext<'a>) -> Planner<'a> {
         Planner { ctx }
-    }
-
-    /// A planner over `catalog` with the default cost model and no
-    /// statistics.
-    #[deprecated(since = "0.7.0", note = "use PlannerContext::new(catalog).planner()")]
-    pub fn new(catalog: &'a dyn Catalog) -> Planner<'a> {
-        Planner::with_context(PlannerContext::new(catalog))
-    }
-
-    /// Override the cost model (ablation benches).
-    #[deprecated(
-        since = "0.7.0",
-        note = "use PlannerContext::new(catalog).with_cost_model(cost).planner()"
-    )]
-    pub fn with_cost_model(catalog: &'a dyn Catalog, cost: CostModel) -> Planner<'a> {
-        Planner::with_context(PlannerContext::new(catalog).with_cost_model(cost))
     }
 
     /// Compile a query into a physical plan.
@@ -564,8 +549,8 @@ impl<'a> Planner<'a> {
     fn leaf(&self, b: &Binding, hints: &[String]) -> Result<PlanNode> {
         let (est, est_source) = self.binding_estimate(b);
         let lowered = lower_preds(&b.preds);
-        match &b.source {
-            BindingKind::Function { function, args } => Ok(PlanNode {
+        let node = match &b.source {
+            BindingKind::Function { function, args } => PlanNode {
                 op: PlanOp::FunctionScan {
                     binding: b.name.clone(),
                     function: function.clone(),
@@ -574,19 +559,22 @@ impl<'a> Planner<'a> {
                 schema: b.schema.clone(),
                 est_rows: est,
                 est_source,
-            }),
+            },
             BindingKind::Table(ts) => match ts {
-                TableSource::Column(_) => Ok(PlanNode {
-                    op: PlanOp::ColumnScan {
-                        binding: b.name.clone(),
-                        table: b.table.clone(),
-                        preds: lowered,
+                TableSource::Column(t) => match self.try_index_seek(b, &t.read(), &lowered) {
+                    Some(node) => node,
+                    None => PlanNode {
+                        op: PlanOp::ColumnScan {
+                            binding: b.name.clone(),
+                            table: b.table.clone(),
+                            preds: lowered,
+                        },
+                        schema: b.schema.clone(),
+                        est_rows: est,
+                        est_source,
                     },
-                    schema: b.schema.clone(),
-                    est_rows: est,
-                    est_source,
-                }),
-                TableSource::Row(_) => Ok(PlanNode {
+                },
+                TableSource::Row(_) => PlanNode {
                     op: PlanOp::RowScan {
                         binding: b.name.clone(),
                         table: b.table.clone(),
@@ -595,8 +583,8 @@ impl<'a> Planner<'a> {
                     schema: b.schema.clone(),
                     est_rows: est,
                     est_source,
-                }),
-                TableSource::Distributed(_) => Ok(PlanNode {
+                },
+                TableSource::Distributed(_) => PlanNode {
                     op: PlanOp::DistScan {
                         binding: b.name.clone(),
                         table: b.table.clone(),
@@ -605,8 +593,8 @@ impl<'a> Planner<'a> {
                     schema: b.schema.clone(),
                     est_rows: est,
                     est_source,
-                }),
-                TableSource::Hybrid { .. } => Ok(PlanNode {
+                },
+                TableSource::Hybrid { .. } => PlanNode {
                     op: PlanOp::HybridScan {
                         binding: b.name.clone(),
                         table: b.table.clone(),
@@ -615,10 +603,12 @@ impl<'a> Planner<'a> {
                     schema: b.schema.clone(),
                     est_rows: est,
                     est_source,
-                }),
+                },
                 TableSource::Extended { source, .. } | TableSource::Virtual { source, .. } => {
                     // A single remote table accessed without a join
-                    // strategy: ship a remote scan sub-query.
+                    // strategy: ship a remote scan sub-query. The
+                    // remote side evaluates full SQL, so *every*
+                    // binding predicate ships — no local re-check.
                     let sub = Query {
                         from: Some(TableRef::Named {
                             name: b.remote_table_name(),
@@ -628,7 +618,7 @@ impl<'a> Planner<'a> {
                         hints: hints.to_vec(),
                         ..Query::default()
                     };
-                    Ok(PlanNode {
+                    return Ok(PlanNode {
                         op: PlanOp::RemoteQuery {
                             source: source.clone(),
                             query: sub,
@@ -637,10 +627,152 @@ impl<'a> Planner<'a> {
                         schema: b.schema.clone(),
                         est_rows: est,
                         est_source,
-                    })
+                    });
                 }
             },
+        };
+        // Predicates assigned to this binding that the storage layer
+        // cannot evaluate (arithmetic, functions, OR trees — anything
+        // `pushdown_expr` refuses) re-apply as Filter operators above
+        // the leaf; dropping them would change results.
+        Ok(wrap_unlowerable(node, &b.preds))
+    }
+
+    /// Try to turn a column-table leaf into a secondary-index seek.
+    ///
+    /// Across the table's indexes, the candidate consuming the longest
+    /// equality prefix (ties broken by carrying a range on the next key
+    /// column) wins. Pure-range seeks on the leading column are only
+    /// worth it when the estimated selected fraction stays at or below
+    /// 1/4 — beyond that, the ordered walk touches enough of the key
+    /// space that the vectorized full scan is the better skip-scan.
+    /// With a persisted synopsis the estimate comes from the statistics
+    /// (`stats` provenance); otherwise the index's own live distinct-key
+    /// count feeds the heuristic.
+    fn try_index_seek(
+        &self,
+        b: &Binding,
+        table: &ColumnTable,
+        lowered: &[(String, ColumnPredicate)],
+    ) -> Option<PlanNode> {
+        struct Candidate<'ix> {
+            ix: &'ix hana_columnar::SecondaryIndex,
+            prefix: Vec<(String, Value)>,
+            range: Option<(String, ColumnPredicate)>,
+            used: Vec<bool>,
+            key_width: usize,
         }
+        if lowered.is_empty() {
+            return None;
+        }
+        let mut best: Option<Candidate> = None;
+        for ix in table.indexes() {
+            let cols = &ix.def().columns;
+            let mut used = vec![false; lowered.len()];
+            let mut prefix: Vec<(String, Value)> = Vec::new();
+            for col in cols {
+                let eq = lowered.iter().enumerate().find_map(|(i, (c, p))| match p {
+                    ColumnPredicate::Eq(v) if !used[i] && c == col => Some((i, v.clone())),
+                    _ => None,
+                });
+                let Some((i, v)) = eq else { break };
+                used[i] = true;
+                prefix.push((col.clone(), v));
+            }
+            let mut range = None;
+            if prefix.len() < cols.len() {
+                let next = &cols[prefix.len()];
+                let hit = lowered.iter().enumerate().find(|(i, (c, p))| {
+                    !used[*i]
+                        && c == next
+                        && matches!(
+                            p,
+                            ColumnPredicate::Lt(_)
+                                | ColumnPredicate::Le(_)
+                                | ColumnPredicate::Gt(_)
+                                | ColumnPredicate::Ge(_)
+                                | ColumnPredicate::Between(_, _)
+                        )
+                });
+                if let Some((i, (c, p))) = hit {
+                    used[i] = true;
+                    range = Some((c.clone(), p.clone()));
+                }
+            }
+            if prefix.is_empty() && range.is_none() {
+                continue;
+            }
+            let better = best.as_ref().is_none_or(|cur| {
+                (prefix.len(), range.is_some()) > (cur.prefix.len(), cur.range.is_some())
+            });
+            if better {
+                best = Some(Candidate {
+                    ix,
+                    prefix,
+                    range,
+                    used,
+                    key_width: cols.len(),
+                });
+            }
+        }
+        let cand = best?;
+        let row_count = table.row_count() as f64;
+        let stats = self.ctx.stats.table_stats(&b.table);
+        let (est, est_source) = match &stats {
+            Some(s) => (estimator::scan_estimate(s, lowered), EstSource::Stats),
+            None => {
+                // The live index NDV feeds the heuristic: an equality
+                // prefix over `k` of `w` key columns selects about
+                // `rows / ndv^(k/w)`; range and residual predicates
+                // scale by their default selectivities on top. Counting
+                // distinct keys walks the index, so it is only paid
+                // here, on the statistics-less path.
+                let ndv = cand.ix.distinct_keys().max(1) as f64;
+                let mut est =
+                    row_count / ndv.powf(cand.prefix.len() as f64 / cand.key_width as f64);
+                if let Some((_, p)) = &cand.range {
+                    est *= p.default_selectivity();
+                }
+                for (i, (_, p)) in lowered.iter().enumerate() {
+                    if !cand.used[i] {
+                        est *= p.default_selectivity();
+                    }
+                }
+                (est.max(1.0), EstSource::Heuristic)
+            }
+        };
+        if cand.prefix.is_empty() {
+            let seek_preds: Vec<(String, ColumnPredicate)> = cand.range.iter().cloned().collect();
+            let fraction = match &stats {
+                Some(s) => estimator::scan_estimate(s, &seek_preds) / (s.row_count as f64).max(1.0),
+                None => seek_preds
+                    .first()
+                    .map(|(_, p)| p.default_selectivity())
+                    .unwrap_or(1.0),
+            };
+            if fraction > 0.25 {
+                return None;
+            }
+        }
+        let residual: Vec<(String, ColumnPredicate)> = lowered
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !cand.used[*i])
+            .map(|(_, x)| x.clone())
+            .collect();
+        Some(PlanNode {
+            op: PlanOp::IndexSeek {
+                binding: b.name.clone(),
+                table: b.table.clone(),
+                index: cand.ix.def().name.clone(),
+                prefix: cand.prefix,
+                range: cand.range,
+                residual,
+            },
+            schema: b.schema.clone(),
+            est_rows: est,
+            est_source,
+        })
     }
 
     // ---- remote join strategies ----
@@ -1007,6 +1139,30 @@ impl Binding {
 /// cannot be lowered (they are still shipped/evaluated as expressions).
 fn lower_preds(preds: &[Expr]) -> Vec<(String, hana_columnar::ColumnPredicate)> {
     preds.iter().filter_map(crate::pushdown_expr).collect()
+}
+
+/// Wrap a local leaf in Filter operators for every binding predicate
+/// that did not lower to a [`ColumnPredicate`] — the expression engine
+/// (bytecode VM with tree-walk fallback) evaluates those per block.
+fn wrap_unlowerable(mut node: PlanNode, preds: &[Expr]) -> PlanNode {
+    for pred in preds {
+        if crate::pushdown_expr(pred).is_some() {
+            continue;
+        }
+        let schema = node.schema.clone();
+        let est = (node.est_rows * 0.5).max(1.0);
+        let est_source = node.est_source;
+        node = PlanNode {
+            op: PlanOp::Filter {
+                input: Box::new(node),
+                pred: pred.clone(),
+            },
+            schema,
+            est_rows: est,
+            est_source,
+        };
+    }
+    node
 }
 
 /// Which binding owns column `(qualifier, name)`? `None` if ambiguous or

@@ -1,0 +1,395 @@
+//! Block-vectorized bytecode interpreter for SQL expressions.
+//!
+//! The tree-walking evaluator in `hana-sql` re-dispatches on the `Expr`
+//! enum and re-resolves column names *per row*. For the OLTP hot path
+//! (a residual filter or a projection applied to thousands of rows)
+//! that dispatch dominates. [`compile`](crate::compile::compile_expr)
+//! lowers an expression tree once into flat register bytecode — columns
+//! resolved to positions, constants materialized, short-circuit jumps
+//! laid out — and this module executes it **one opcode per block** of
+//! up to [`BLOCK_ROWS`](hana_columnar::BLOCK_ROWS) rows: each
+//! instruction loops over the block before the interpreter advances,
+//! so the per-row cost is the operation itself, not the dispatch.
+//!
+//! Semantics are identical to `hana_sql::evaluate` with one deliberate
+//! exception: tree-walk `AND`/`OR` short-circuits *per row*, while the
+//! VM short-circuits *per block* ([`Op::JumpIfAllFalse`] /
+//! [`Op::JumpIfAllTrue`]). A block that does not short-circuit
+//! evaluates both sides for every row, which can raise an error the
+//! tree-walk would have skipped (e.g. a division by zero guarded by
+//! the left conjunct). Callers therefore treat any VM error as "this
+//! block is not VM-able" and re-run that block through the tree-walk,
+//! which either succeeds row-by-row or raises the authoritative error.
+
+use std::cmp::Ordering;
+
+use hana_types::{HanaError, Result, Row, Value};
+
+/// A register index. Registers are column vectors of block length.
+pub type Reg = usize;
+
+/// Arithmetic opcodes (delegate to the checked `Value` arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Comparison opcodes (three-valued over [`Value::sql_cmp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One bytecode instruction. Every instruction processes the whole
+/// block before the next dispatches; `dst` registers are always freshly
+/// allocated by the compiler, so an instruction never reads a register
+/// it writes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Copy a column of the input rows into `dst`.
+    LoadCol {
+        /// Input column position (resolved at compile time).
+        col: usize,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Fill `dst` with a constant.
+    LoadConst {
+        /// The constant.
+        val: Value,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Arithmetic negation (`0 - src`, matching the tree-walk).
+    Neg {
+        /// Operand register.
+        src: Reg,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Boolean NOT; null passes through, non-boolean errors.
+    Not {
+        /// Operand register.
+        src: Reg,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `lhs ∘ rhs` for `+ - * /`.
+    Arith {
+        /// The operator.
+        op: ArithOp,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `lhs ∘ rhs` for comparisons; incomparable values yield null.
+    Cmp {
+        /// The operator.
+        op: CmpOp,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Three-valued AND.
+    And {
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Three-valued OR.
+    Or {
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `src [NOT] BETWEEN lo AND hi` (inclusive, null-propagating).
+    Between {
+        /// Probe register.
+        src: Reg,
+        /// Lower-bound register.
+        lo: Reg,
+        /// Upper-bound register.
+        hi: Reg,
+        /// NOT given.
+        negated: bool,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `src [NOT] IN (consts…)` against a constant probe list.
+    InProbe {
+        /// Probe register.
+        src: Reg,
+        /// The constant list.
+        list: Vec<Value>,
+        /// NOT given.
+        negated: bool,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `src [NOT] LIKE pattern`.
+    Like {
+        /// Probe register.
+        src: Reg,
+        /// Pattern with `%`/`_` wildcards.
+        pattern: String,
+        /// NOT given.
+        negated: bool,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `src IS [NOT] NULL`.
+    IsNull {
+        /// Probe register.
+        src: Reg,
+        /// NOT given.
+        negated: bool,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Block-level AND short-circuit: when every row of `src` is
+    /// `false`, copy `src` into `dst` (the conjunction *is* all-false)
+    /// and jump past the right-hand side.
+    JumpIfAllFalse {
+        /// Left-conjunct register.
+        src: Reg,
+        /// The AND's destination register.
+        dst: Reg,
+        /// Instruction index to resume at when taken.
+        target: usize,
+    },
+    /// Block-level OR short-circuit: when every row of `src` is `true`,
+    /// copy `src` into `dst` and jump past the right-hand side.
+    JumpIfAllTrue {
+        /// Left-disjunct register.
+        src: Reg,
+        /// The OR's destination register.
+        dst: Reg,
+        /// Instruction index to resume at when taken.
+        target: usize,
+    },
+}
+
+/// A compiled expression: flat bytecode plus the register holding the
+/// per-row result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The instructions, executed in order (subject to jumps).
+    pub ops: Vec<Op>,
+    /// Number of registers the program uses.
+    pub regs: usize,
+    /// Register holding the expression's value after execution.
+    pub result: Reg,
+}
+
+impl Program {
+    /// Execute over one block of rows. `regs` is caller-owned scratch
+    /// reused across blocks (resized/cleared here); after `Ok(())`,
+    /// `regs[self.result][i]` is the expression's value for `rows[i]`.
+    pub fn run_block(&self, rows: &[Row], regs: &mut Vec<Vec<Value>>) -> Result<()> {
+        let n = rows.len();
+        regs.resize_with(self.regs, Vec::new);
+        for r in regs.iter_mut() {
+            r.clear();
+            r.resize(n, Value::Null);
+        }
+        // The compiler allocates a fresh destination register per node,
+        // so `dst` never aliases a source register: each arm below takes
+        // the destination vector out of `regs` (cheap pointer swap),
+        // fills it by zipping the source registers, and puts it back. An
+        // early `?` leaves the taken register empty; the resize at the
+        // top of the next call restores it.
+        let mut pc = 0;
+        while pc < self.ops.len() {
+            match &self.ops[pc] {
+                Op::LoadCol { col, dst } => {
+                    for (i, row) in rows.iter().enumerate() {
+                        regs[*dst][i] = row[*col].clone();
+                    }
+                }
+                Op::LoadConst { val, dst } => {
+                    regs[*dst].fill(val.clone());
+                }
+                Op::Neg { src, dst } => {
+                    let mut out = std::mem::take(&mut regs[*dst]);
+                    for (o, v) in out.iter_mut().zip(&regs[*src]) {
+                        *o = Value::Int(0).sub(v)?;
+                    }
+                    regs[*dst] = out;
+                }
+                Op::Not { src, dst } => {
+                    let mut out = std::mem::take(&mut regs[*dst]);
+                    for (o, v) in out.iter_mut().zip(&regs[*src]) {
+                        *o = match v {
+                            Value::Null => Value::Null,
+                            Value::Bool(b) => Value::Bool(!b),
+                            other => {
+                                return Err(HanaError::Execution(format!(
+                                    "NOT applied to non-boolean {other}"
+                                )))
+                            }
+                        };
+                    }
+                    regs[*dst] = out;
+                }
+                Op::Arith { op, lhs, rhs, dst } => {
+                    let mut out = std::mem::take(&mut regs[*dst]);
+                    for (o, (l, r)) in out.iter_mut().zip(regs[*lhs].iter().zip(&regs[*rhs])) {
+                        *o = match op {
+                            ArithOp::Add => l.add(r)?,
+                            ArithOp::Sub => l.sub(r)?,
+                            ArithOp::Mul => l.mul(r)?,
+                            ArithOp::Div => l.div(r)?,
+                        };
+                    }
+                    regs[*dst] = out;
+                }
+                Op::Cmp { op, lhs, rhs, dst } => {
+                    let mut out = std::mem::take(&mut regs[*dst]);
+                    for (o, (l, r)) in out.iter_mut().zip(regs[*lhs].iter().zip(&regs[*rhs])) {
+                        *o = match l.sql_cmp(r) {
+                            None => Value::Null,
+                            Some(ord) => Value::Bool(match op {
+                                CmpOp::Eq => ord == Ordering::Equal,
+                                CmpOp::Ne => ord != Ordering::Equal,
+                                CmpOp::Lt => ord == Ordering::Less,
+                                CmpOp::Le => ord != Ordering::Greater,
+                                CmpOp::Gt => ord == Ordering::Greater,
+                                CmpOp::Ge => ord != Ordering::Less,
+                            }),
+                        };
+                    }
+                    regs[*dst] = out;
+                }
+                Op::And { lhs, rhs, dst } => {
+                    let mut out = std::mem::take(&mut regs[*dst]);
+                    for (o, (l, r)) in out.iter_mut().zip(regs[*lhs].iter().zip(&regs[*rhs])) {
+                        *o = match (l.as_bool(), r.as_bool()) {
+                            (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                            (Some(true), Some(true)) => Value::Bool(true),
+                            _ => Value::Null,
+                        };
+                    }
+                    regs[*dst] = out;
+                }
+                Op::Or { lhs, rhs, dst } => {
+                    let mut out = std::mem::take(&mut regs[*dst]);
+                    for (o, (l, r)) in out.iter_mut().zip(regs[*lhs].iter().zip(&regs[*rhs])) {
+                        *o = match (l.as_bool(), r.as_bool()) {
+                            (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                            (Some(false), Some(false)) => Value::Bool(false),
+                            _ => Value::Null,
+                        };
+                    }
+                    regs[*dst] = out;
+                }
+                Op::Between {
+                    src,
+                    lo,
+                    hi,
+                    negated,
+                    dst,
+                } => {
+                    let mut out = std::mem::take(&mut regs[*dst]);
+                    let bounds = regs[*lo].iter().zip(&regs[*hi]);
+                    for (o, (v, (l, h))) in out.iter_mut().zip(regs[*src].iter().zip(bounds)) {
+                        *o = if v.is_null() || l.is_null() || h.is_null() {
+                            Value::Null
+                        } else {
+                            Value::Bool((v >= l && v <= h) != *negated)
+                        };
+                    }
+                    regs[*dst] = out;
+                }
+                Op::InProbe {
+                    src,
+                    list,
+                    negated,
+                    dst,
+                } => {
+                    let mut out = std::mem::take(&mut regs[*dst]);
+                    for (o, v) in out.iter_mut().zip(&regs[*src]) {
+                        *o = if v.is_null() {
+                            Value::Null
+                        } else {
+                            let found = list.iter().any(|w| v.sql_cmp(w) == Some(Ordering::Equal));
+                            Value::Bool(found != *negated)
+                        };
+                    }
+                    regs[*dst] = out;
+                }
+                Op::Like {
+                    src,
+                    pattern,
+                    negated,
+                    dst,
+                } => {
+                    let mut out = std::mem::take(&mut regs[*dst]);
+                    for (o, v) in out.iter_mut().zip(&regs[*src]) {
+                        *o = match v.sql_like(pattern) {
+                            None => Value::Null,
+                            Some(m) => Value::Bool(m != *negated),
+                        };
+                    }
+                    regs[*dst] = out;
+                }
+                Op::IsNull { src, negated, dst } => {
+                    let mut out = std::mem::take(&mut regs[*dst]);
+                    for (o, v) in out.iter_mut().zip(&regs[*src]) {
+                        *o = Value::Bool(v.is_null() != *negated);
+                    }
+                    regs[*dst] = out;
+                }
+                Op::JumpIfAllFalse { src, dst, target } => {
+                    if regs[*src].iter().all(|v| *v == Value::Bool(false)) {
+                        let mut out = std::mem::take(&mut regs[*dst]);
+                        out.clone_from_slice(&regs[*src]);
+                        regs[*dst] = out;
+                        pc = *target;
+                        continue;
+                    }
+                }
+                Op::JumpIfAllTrue { src, dst, target } => {
+                    if regs[*src].iter().all(|v| *v == Value::Bool(true)) {
+                        let mut out = std::mem::take(&mut regs[*dst]);
+                        out.clone_from_slice(&regs[*src]);
+                        regs[*dst] = out;
+                        pc = *target;
+                        continue;
+                    }
+                }
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+}

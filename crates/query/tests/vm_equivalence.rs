@@ -1,0 +1,240 @@
+//! Property tests: the bytecode VM agrees with the tree-walking
+//! evaluator on every expression it compiles.
+//!
+//! The soundness contract the executor relies on (see
+//! `executor::filter_rows`): when [`Program::run_block`] returns `Ok`,
+//! every row's value must equal what `hana_sql::evaluate` produces for
+//! that row. When the VM errors, the executor re-runs the block through
+//! the tree-walk, so an erroring block only needs the *tree-walk* to be
+//! authoritative — no equivalence is asserted there. The generator
+//! below builds random type-disciplined expression trees (all compiled
+//! operators, null literals, int/double/varchar/bool columns, nested
+//! logic with short-circuit shapes) over random row blocks.
+
+use hana_query::compile_expr;
+use hana_sql::{evaluate, BinOp, Expr, UnaryOp};
+use hana_types::{DataType, Row, Schema, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::of(&[
+        ("a", DataType::Int),
+        ("b", DataType::Int),
+        ("c", DataType::Varchar),
+        ("d", DataType::Bool),
+        ("e", DataType::Double),
+    ])
+}
+
+/// One random row: every column independently nullable.
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        prop_oneof![Just(None), (-4i64..5).prop_map(Some)],
+        prop_oneof![Just(None), (-4i64..5).prop_map(Some)],
+        prop_oneof![Just(None), (0u8..4).prop_map(Some)],
+        prop_oneof![Just(None), any::<bool>().prop_map(Some)],
+        prop_oneof![Just(None), (-8i64..9).prop_map(Some)],
+    )
+        .prop_map(|(a, b, c, d, e)| {
+            Row::from_values([
+                a.map(Value::Int).unwrap_or(Value::Null),
+                b.map(Value::Int).unwrap_or(Value::Null),
+                c.map(|i| Value::from(format!("s{i}")))
+                    .unwrap_or(Value::Null),
+                d.map(Value::Bool).unwrap_or(Value::Null),
+                e.map(|i| Value::Double(i as f64 / 2.0))
+                    .unwrap_or(Value::Null),
+            ])
+        })
+}
+
+/// Numeric-valued expressions (int/double columns, literals, arithmetic
+/// including division, unary negation).
+fn arb_num(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-4i64..5).prop_map(|i| Expr::Literal(Value::Int(i))),
+        (-6i64..7).prop_map(|i| Expr::Literal(Value::Double(i as f64 / 2.0))),
+        Just(Expr::Literal(Value::Null)),
+        Just(Expr::col("a")),
+        Just(Expr::col("b")),
+        Just(Expr::col("e")),
+    ]
+    .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = arb_num(depth - 1);
+    prop_oneof![
+        leaf,
+        (inner.clone(), 0usize..4, inner.clone()).prop_map(|(l, op, r)| Expr::Binary {
+            left: Box::new(l),
+            op: [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div][op],
+            right: Box::new(r),
+        }),
+        inner.prop_map(|x| Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(x),
+        }),
+    ]
+    .boxed()
+}
+
+/// String-valued expressions (column or literal).
+fn arb_str() -> BoxedStrategy<Expr> {
+    prop_oneof![
+        (0u8..4).prop_map(|i| Expr::Literal(Value::from(format!("s{i}")))),
+        Just(Expr::Literal(Value::Null)),
+        Just(Expr::col("c")),
+    ]
+    .boxed()
+}
+
+/// Boolean-valued expressions: comparisons over numbers and strings,
+/// BETWEEN, IN lists, LIKE, IS NULL, three-valued AND/OR/NOT.
+fn arb_bool(depth: u32) -> BoxedStrategy<Expr> {
+    let cmp_ops = [
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+    ];
+    let num = arb_num(1);
+    let leaf = prop_oneof![
+        Just(Expr::col("d")),
+        any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
+        Just(Expr::Literal(Value::Null)),
+        (num.clone(), 0usize..6, num.clone()).prop_map(move |(l, op, r)| Expr::Binary {
+            left: Box::new(l),
+            op: cmp_ops[op],
+            right: Box::new(r),
+        }),
+        (arb_str(), 0usize..6, arb_str()).prop_map(move |(l, op, r)| Expr::Binary {
+            left: Box::new(l),
+            op: cmp_ops[op],
+            right: Box::new(r),
+        }),
+        (num.clone(), -4i64..5, 0i64..4, any::<bool>()).prop_map(|(x, lo, span, neg)| {
+            Expr::Between {
+                expr: Box::new(x),
+                lo: Box::new(Expr::Literal(Value::Int(lo))),
+                hi: Box::new(Expr::Literal(Value::Int(lo + span))),
+                negated: neg,
+            }
+        }),
+        (
+            num.clone(),
+            prop::collection::vec(
+                prop_oneof![
+                    (-4i64..5).prop_map(Value::Int),
+                    Just(Value::Null),
+                    (0u8..4).prop_map(|i| Value::from(format!("s{i}"))),
+                ],
+                0..5,
+            ),
+            any::<bool>(),
+        )
+            .prop_map(|(x, list, neg)| Expr::InList {
+                expr: Box::new(x),
+                list: list.into_iter().map(Expr::Literal).collect(),
+                negated: neg,
+            }),
+        (arb_str(), 0usize..4, any::<bool>()).prop_map(|(x, p, neg)| Expr::Like {
+            expr: Box::new(x),
+            pattern: ["s%", "%1", "s_", "x%"][p].to_string(),
+            negated: neg,
+        }),
+        (num, any::<bool>()).prop_map(|(x, neg)| Expr::IsNull {
+            expr: Box::new(x),
+            negated: neg,
+        }),
+    ]
+    .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = arb_bool(depth - 1);
+    prop_oneof![
+        leaf,
+        (inner.clone(), any::<bool>(), inner.clone()).prop_map(|(l, and, r)| Expr::Binary {
+            left: Box::new(l),
+            op: if and { BinOp::And } else { BinOp::Or },
+            right: Box::new(r),
+        }),
+        inner.prop_map(|x| Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(x),
+        }),
+    ]
+    .boxed()
+}
+
+/// Check the soundness contract for one expression over one row block.
+fn check_equivalence(e: &Expr, rows: &[Row]) {
+    let schema = schema();
+    let prog = compile_expr(e, &schema).expect("generator only emits compilable shapes");
+    let mut regs: Vec<Vec<Value>> = Vec::new();
+    // A VM error means the executor would re-run the block through the
+    // tree-walk; nothing to compare then.
+    if prog.run_block(rows, &mut regs).is_ok() {
+        for (i, row) in rows.iter().enumerate() {
+            let tree = evaluate(e, &schema, row)
+                .unwrap_or_else(|err| panic!("VM succeeded but tree-walk errors ({err}) on {e}"));
+            assert_eq!(
+                regs[prog.result][i], tree,
+                "row {i} diverges for expression {e}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Boolean predicate trees: VM block results equal per-row
+    /// tree-walk results whenever the VM succeeds.
+    #[test]
+    fn vm_matches_tree_walk_on_predicates(
+        e in arb_bool(3),
+        rows in prop::collection::vec(arb_row(), 1..200),
+    ) {
+        check_equivalence(&e, &rows);
+    }
+
+    /// Scalar (numeric) projection trees, the Finish-arm shape.
+    #[test]
+    fn vm_matches_tree_walk_on_projections(
+        e in arb_num(3),
+        rows in prop::collection::vec(arb_row(), 1..200),
+    ) {
+        check_equivalence(&e, &rows);
+    }
+}
+
+/// Shapes the VM must refuse so the executor keeps the tree-walk.
+#[test]
+fn uncompilable_shapes_fall_back() {
+    let s = schema();
+    for sql_shape in [
+        Expr::Func {
+            name: "UPPER".into(),
+            args: vec![Expr::col("c")],
+        },
+        Expr::Case {
+            whens: vec![(Expr::col("d"), Expr::col("a"))],
+            else_expr: None,
+        },
+        Expr::Parameter(0),
+        Expr::Wildcard,
+        // IN with a non-constant item must not compile (the tree-walk
+        // evaluates items lazily).
+        Expr::InList {
+            expr: Box::new(Expr::col("a")),
+            list: vec![Expr::col("b")],
+            negated: false,
+        },
+    ] {
+        assert!(compile_expr(&sql_shape, &s).is_none(), "{sql_shape}");
+    }
+    // Unknown columns also refuse at compile time.
+    assert!(compile_expr(&Expr::col("nope"), &s).is_none());
+}

@@ -345,6 +345,44 @@ mod tests {
     }
 
     #[test]
+    fn create_index_invalidates_cached_plans() {
+        let mgr = manager();
+        let s = setup(&mgr);
+        let ps = s.prepare("SELECT v FROM t WHERE k = ?").unwrap();
+        s.execute_prepared(&ps, &[Value::Int(1)]).unwrap();
+        let invalidations = || {
+            hana_obs::registry()
+                .counter("hana_session_plan_cache_invalidations_total")
+                .get()
+        };
+        let before = invalidations();
+        // CREATE INDEX bumps the catalog version: the cached plan (a
+        // full scan) is stale, and the prepared handle must re-prepare
+        // transparently into an index seek.
+        s.execute("CREATE INDEX ix_k ON t (k)").unwrap();
+        let rs = s.execute_prepared(&ps, &[Value::Int(1)]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(10));
+        assert_eq!(
+            invalidations(),
+            before + 1,
+            "stale plan dropped, not reused"
+        );
+        let explain = s.execute("EXPLAIN SELECT v FROM t WHERE k = 1").unwrap();
+        let text: Vec<String> = explain.rows.iter().map(|r| r[0].to_string()).collect();
+        assert!(
+            text.iter().any(|l| l.contains("Index Seek")),
+            "re-planned query seeks the new index: {text:?}"
+        );
+        // DROP INDEX invalidates again; the seek plan must not outlive
+        // the index it depends on.
+        let before = invalidations();
+        s.execute("DROP INDEX ix_k").unwrap();
+        let rs = s.execute_prepared(&ps, &[Value::Int(1)]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(10));
+        assert_eq!(invalidations(), before + 1);
+    }
+
+    #[test]
     fn bind_mismatch_is_a_plan_error() {
         let mgr = manager();
         let s = setup(&mgr);

@@ -124,7 +124,11 @@ fn is_olap_shape(n: &PlanNode, threshold: f64) -> bool {
         // Federated and semi/relocation joins ship data across the
         // landscape — never point lookups.
         PlanOp::RemoteQuery { .. } | PlanOp::SemiJoin { .. } | PlanOp::RelocateJoin { .. } => true,
+        // Index seeks are the OLTP hot path, but a wide range seek can
+        // still return a large fraction of the table — classify by the
+        // estimate like any other access path.
         PlanOp::ColumnScan { .. }
+        | PlanOp::IndexSeek { .. }
         | PlanOp::RowScan { .. }
         | PlanOp::DistScan { .. }
         | PlanOp::HybridScan { .. } => n.est_rows >= threshold,

@@ -18,6 +18,22 @@ pub enum Statement {
         /// Table to drop.
         name: String,
     },
+    /// `CREATE INDEX name ON table (col [, col]…)`
+    CreateIndex {
+        /// Index name, unique within the table.
+        name: String,
+        /// Table the index belongs to.
+        table: String,
+        /// Indexed columns, most significant first.
+        columns: Vec<String>,
+    },
+    /// `DROP INDEX name [ON table]`
+    DropIndex {
+        /// Index to drop.
+        name: String,
+        /// Owning table; when omitted, resolved by searching the catalog.
+        table: Option<String>,
+    },
     /// `CREATE REMOTE SOURCE name ADAPTER "x" CONFIGURATION '…'
     /// [WITH CREDENTIAL TYPE '…' USING '…']`
     CreateRemoteSource {

@@ -160,6 +160,15 @@ impl Parser {
             return self.create();
         }
         if self.eat_kw("drop") {
+            if self.eat_kw("index") {
+                let name = self.identifier()?;
+                let table = if self.eat_kw("on") {
+                    Some(self.dotted_name()?)
+                } else {
+                    None
+                };
+                return Ok(Statement::DropIndex { name, table });
+            }
             self.expect_kw("table")?;
             let name = self.dotted_name()?;
             return Ok(Statement::DropTable { name });
@@ -217,6 +226,9 @@ impl Parser {
             self.expect_kw("function")?;
             return self.create_virtual_function();
         }
+        if self.eat_kw("index") {
+            return self.create_index();
+        }
         let kind = if self.eat_kw("column") {
             TableKind::Column
         } else if self.eat_kw("row") {
@@ -226,6 +238,23 @@ impl Parser {
         };
         self.expect_kw("table")?;
         self.create_table(kind)
+    }
+
+    fn create_index(&mut self) -> Result<Statement> {
+        let name = self.identifier()?;
+        self.expect_kw("on")?;
+        let table = self.dotted_name()?;
+        self.expect_symbol(Symbol::LParen)?;
+        let mut columns = vec![self.identifier()?];
+        while self.eat_symbol(Symbol::Comma) {
+            columns.push(self.identifier()?);
+        }
+        self.expect_symbol(Symbol::RParen)?;
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            columns,
+        })
     }
 
     fn create_table(&mut self, kind: TableKind) -> Result<Statement> {
@@ -983,6 +1012,38 @@ mod tests {
         };
         assert_eq!(ct.kind, TableKind::Row);
         assert!(ct.extended.is_none());
+    }
+
+    #[test]
+    fn parse_create_and_drop_index() {
+        let s = parse_statement("CREATE INDEX ix_k ON Sales (Region, K)").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateIndex {
+                name: "ix_k".into(),
+                table: "sales".into(),
+                columns: vec!["region".into(), "k".into()],
+            }
+        );
+        let s = parse_statement("DROP INDEX ix_k ON sales").unwrap();
+        assert_eq!(
+            s,
+            Statement::DropIndex {
+                name: "ix_k".into(),
+                table: Some("sales".into()),
+            }
+        );
+        let s = parse_statement("DROP INDEX ix_k").unwrap();
+        assert_eq!(
+            s,
+            Statement::DropIndex {
+                name: "ix_k".into(),
+                table: None,
+            }
+        );
+        // Empty column lists and missing ON clauses are syntax errors.
+        assert!(parse_statement("CREATE INDEX ix ON t ()").is_err());
+        assert!(parse_statement("CREATE INDEX ix (a)").is_err());
     }
 
     #[test]
