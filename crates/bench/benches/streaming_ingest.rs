@@ -1,0 +1,231 @@
+//! E17 — streaming ingest: sustained pipeline throughput vs the
+//! per-row INSERT baseline, and OLAP interference while the stream
+//! (plus periodic delta merges) is running. Emits
+//! `BENCH_streaming_ingest.json` at the repository root with both
+//! rows/sec figures, the OLAP p95 with and without concurrent ingest,
+//! and the speedup of micro-batched epochs over per-row inserts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion, Throughput};
+use hana_core::HanaPlatform;
+use hana_ingest::{IngestConfig, IngestRuntime};
+use hana_session::SessionManager;
+use hana_types::{Row, Value};
+
+/// Rows streamed through the pipeline in the timed run.
+const STREAM_ROWS: usize = 50_000;
+/// Rows inserted one statement at a time for the baseline rate.
+const INSERT_ROWS: usize = 2_000;
+/// OLAP query repetitions per latency sample set.
+const OLAP_ITERS: usize = 120;
+
+fn platform() -> (Arc<HanaPlatform>, hana_core::Session) {
+    let hana = Arc::new(HanaPlatform::new_in_memory());
+    let s = hana.connect("SYSTEM", "manager").unwrap();
+    (hana, s)
+}
+
+fn event(i: usize) -> Row {
+    Row::from_values([Value::Int(i as i64 % 997), Value::Int(i as i64)])
+}
+
+/// Stream `n` rows through an ESP-fed pipeline into a 2-partition
+/// table and return sustained rows/sec (send → epoch-committed).
+fn run_pipeline(n: usize) -> f64 {
+    let (hana, s) = platform();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE readings (k INTEGER, v INTEGER) \
+         PARTITION BY HASH(k) PARTITIONS 2",
+    )
+    .unwrap();
+    hana.esp()
+        .deploy("CREATE INPUT STREAM events SCHEMA (k INTEGER, v INTEGER);")
+        .unwrap();
+    let rt = IngestRuntime::install_with(&hana, &s, IngestConfig::default());
+    rt.attach("feed", "events", "readings").unwrap();
+    let start = Instant::now();
+    for i in 0..n {
+        hana.esp().send("events", i as i64, event(i)).unwrap();
+    }
+    let stats = rt.detach("feed").unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(stats.rows_committed as usize, n, "every row exactly once");
+    n as f64 / elapsed.as_secs_f64()
+}
+
+/// Insert `n` rows one SQL statement at a time — the rate a naive
+/// row-at-a-time bridge would sustain.
+fn run_per_row_inserts(n: usize) -> f64 {
+    let (hana, s) = platform();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE readings (k INTEGER, v INTEGER) \
+         PARTITION BY HASH(k) PARTITIONS 2",
+    )
+    .unwrap();
+    let start = Instant::now();
+    for i in 0..n {
+        hana.execute_sql(
+            &s,
+            &format!("INSERT INTO readings VALUES ({}, {i})", i % 997),
+        )
+        .unwrap();
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// p95 over `OLAP_ITERS` runs of a group-by scan, optionally while a
+/// pipeline streams into the same table and a merger consolidates it.
+fn olap_p95_us(with_ingest: bool) -> f64 {
+    let (hana, s) = platform();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE readings (k INTEGER, v INTEGER) \
+         PARTITION BY HASH(k) PARTITIONS 2",
+    )
+    .unwrap();
+    let seed: Vec<Row> = (0..50_000).map(event).collect();
+    hana.load_rows(&s, "readings", &seed).unwrap();
+    hana.execute_sql(&s, "MERGE DELTA OF readings").unwrap();
+
+    let manager = SessionManager::new(Arc::clone(&hana));
+    let olap = manager.connect("SYSTEM", "manager").unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut background = Vec::new();
+    if with_ingest {
+        hana.esp()
+            .deploy("CREATE INPUT STREAM events SCHEMA (k INTEGER, v INTEGER);")
+            .unwrap();
+        let rt = IngestRuntime::install_with(&hana, &s, IngestConfig::default());
+        rt.attach("feed", "events", "readings").unwrap();
+        {
+            let hana = Arc::clone(&hana);
+            let stop = Arc::clone(&stop);
+            // A *sustained* feed (~25k rows/s), not an unbounded flood:
+            // the point is interference at a steady rate, not racing
+            // table growth against the scans.
+            background.push(std::thread::spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..256 {
+                        hana.esp().send("events", i as i64, event(i)).unwrap();
+                        i += 1;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                i
+            }));
+        }
+        {
+            let hana = Arc::clone(&hana);
+            let s = hana.connect("SYSTEM", "manager").unwrap();
+            let stop = Arc::clone(&stop);
+            background.push(std::thread::spawn(move || {
+                let mut merges = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    hana.execute_sql(&s, "MERGE DELTA OF readings").unwrap();
+                    merges += 1;
+                    // Merge cadence: consolidation every quarter second,
+                    // not a merge storm pinning the table write lock.
+                    std::thread::sleep(Duration::from_millis(250));
+                }
+                merges
+            }));
+        }
+        // Let the stream actually get going before sampling.
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let mut lat_us: Vec<f64> = Vec::with_capacity(OLAP_ITERS);
+    for _ in 0..OLAP_ITERS {
+        let t0 = Instant::now();
+        olap.execute("SELECT k, COUNT(*) AS n, SUM(v) AS s FROM readings GROUP BY k")
+            .unwrap();
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in background {
+        h.join().unwrap();
+    }
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lat_us[(lat_us.len() * 95) / 100]
+}
+
+fn bench_streaming_ingest(c: &mut Criterion) {
+    let (hana, s) = platform();
+    hana.execute_sql(
+        &s,
+        "CREATE COLUMN TABLE readings (k INTEGER, v INTEGER) \
+         PARTITION BY HASH(k) PARTITIONS 2",
+    )
+    .unwrap();
+    let batch: Vec<Row> = (0..1024).map(event).collect();
+    let mut epoch = 0u64;
+    let mut group = c.benchmark_group("streaming_ingest");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    // One exactly-once epoch commit of a full micro-batch — the unit
+    // of work the pipeline worker pays per batch.
+    group.bench_function("epoch_commit/1024_rows", |b| {
+        b.iter(|| {
+            epoch += 1;
+            hana.commit_ingest_batch(&s, "bench", epoch, "readings", &batch)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn emit_json() {
+    let insert_rate = run_per_row_inserts(INSERT_ROWS);
+    let pipeline_rate = run_pipeline(STREAM_ROWS);
+    let speedup = pipeline_rate / insert_rate;
+    let p95_quiet = olap_p95_us(false);
+    let p95_ingest = olap_p95_us(true);
+
+    println!(
+        "streaming_ingest: pipeline {pipeline_rate:.0} rows/s vs per-row inserts \
+         {insert_rate:.0} rows/s ({speedup:.1}x); OLAP p95 {p95_quiet:.0}us quiet, \
+         {p95_ingest:.0}us with concurrent ingest+merges"
+    );
+    assert!(
+        speedup >= 2.0,
+        "micro-batched ingest must clearly beat per-row inserts, measured {speedup:.2}x"
+    );
+    assert!(
+        p95_ingest < p95_quiet * 25.0,
+        "concurrent ingest+merges must not collapse OLAP latency \
+         ({p95_ingest:.0}us vs {p95_quiet:.0}us quiet)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"streaming_ingest\",\n  \
+         \"stream_rows\": {STREAM_ROWS},\n  \
+         \"baseline\": \"per_row_insert\",\n  \
+         \"per_row_insert\": {{\"rows\": {INSERT_ROWS}, \"rows_per_sec\": {ir:.1}}},\n  \
+         \"pipeline\": {{\"rows\": {STREAM_ROWS}, \"rows_per_sec\": {pr:.1}}},\n  \
+         \"olap_p95_quiet_us\": {pq:.1},\n  \
+         \"olap_p95_with_ingest_us\": {pi:.1},\n  \
+         \"speedup\": {speedup:.2}\n}}\n",
+        ir = insert_rate,
+        pr = pipeline_rate,
+        pq = p95_quiet,
+        pi = p95_ingest,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_streaming_ingest.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_streaming_ingest.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_streaming_ingest);
+
+fn main() {
+    benches();
+    emit_json();
+}

@@ -10,6 +10,7 @@
 //! ```text
 //! HANACKPT1
 //! <cid>
+//! E <pipeline> <epoch>        -- one per ingest-ledger entry
 //! T <name> <kind...>          -- one per table
 //! C <name> <sql type> <n|y>   -- one per column of the last T
 //! I <name> <cols...>          -- one per secondary index of the last T
@@ -91,6 +92,14 @@ pub(crate) fn encode_backup(backup: &Backup) -> Vec<u8> {
     out.push_str(MAGIC);
     out.push(REC_SEP);
     out.push_str(&backup.cid.to_string());
+    for (pipeline, epoch) in &backup.ingest_epochs {
+        out.push(REC_SEP);
+        out.push('E');
+        out.push(FIELD_SEP);
+        out.push_str(pipeline);
+        out.push(FIELD_SEP);
+        out.push_str(&epoch.to_string());
+    }
     for e in &backup.entries {
         out.push(REC_SEP);
         out.push('T');
@@ -205,9 +214,19 @@ pub(crate) fn decode_backup(payload: &[u8]) -> Result<Backup> {
         cold_text: String,
     }
     let mut pending: Vec<Pending> = Vec::new();
+    let mut ingest_epochs: Vec<(String, u64)> = Vec::new();
     for rec in records {
         let (tag, rest) = rec.split_once(FIELD_SEP).ok_or_else(|| bad("bad record"))?;
         match tag {
+            "E" => {
+                let (pipeline, epoch) = rest
+                    .split_once(FIELD_SEP)
+                    .ok_or_else(|| bad("bad ledger record"))?;
+                ingest_epochs.push((
+                    pipeline.to_string(),
+                    epoch.parse().map_err(|_| bad("bad ledger epoch"))?,
+                ));
+            }
             "T" => {
                 let mut fields = rest.split(FIELD_SEP);
                 let name = fields.next().ok_or_else(|| bad("missing name"))?;
@@ -282,7 +301,11 @@ pub(crate) fn decode_backup(payload: &[u8]) -> Result<Backup> {
             indexes: p.indexes,
         });
     }
-    Ok(Backup { cid, entries })
+    Ok(Backup {
+        cid,
+        entries,
+        ingest_epochs,
+    })
 }
 
 #[cfg(test)]
@@ -323,9 +346,11 @@ mod tests {
                     indexes: Vec::new(),
                 },
             ],
+            ingest_epochs: vec![("feed".into(), 12), ("other".into(), 3)],
         };
         let decoded = decode_backup(&encode_backup(&backup)).unwrap();
         assert_eq!(decoded.cid, 42);
+        assert_eq!(decoded.ingest_epochs, backup.ingest_epochs);
         assert_eq!(decoded.entries.len(), 2);
         assert_eq!(decoded.entries[0].rows, backup.entries[0].rows);
         assert_eq!(decoded.entries[0].kind, backup.entries[0].kind);

@@ -1,0 +1,120 @@
+//! Exactly-once streaming-ingest support: the durable epoch ledger and
+//! the driver interface the SQL layer dispatches `CREATE STREAM SINK`
+//! to.
+//!
+//! The platform core owns the *transactional* half of streaming ingest
+//! (`HanaPlatform::commit_ingest_batch`): each pipeline commits batches
+//! under a monotone epoch number, and the ledger — kept in memory,
+//! re-derived from WAL replay, and snapshotted into every checkpoint —
+//! remembers the highest committed epoch per pipeline. A batch whose
+//! epoch is not greater than the ledger entry is a duplicate delivery
+//! (producer retry after a lost ack, or log replay after recovery) and
+//! is acknowledged without being applied. The *pumping* half (batching,
+//! backpressure, retries) lives in the `hana-ingest` crate, which
+//! registers itself here as the [`IngestDriver`].
+
+use std::collections::HashMap;
+
+use parking_lot::{Mutex, MutexGuard};
+
+use hana_types::Result;
+
+use crate::security::Session;
+
+/// Outcome of [`commit_ingest_batch`](crate::HanaPlatform::commit_ingest_batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestCommit {
+    /// The epoch was applied and committed at this commit ID.
+    Committed {
+        /// Commit ID of the batch's transaction.
+        cid: u64,
+    },
+    /// The epoch had already been committed (duplicate delivery);
+    /// nothing was applied.
+    Deduplicated {
+        /// The pipeline's highest committed epoch.
+        last_epoch: u64,
+    },
+}
+
+/// What `CREATE STREAM SINK` / `DROP STREAM SINK` dispatch to. The
+/// platform core cannot depend on `hana-ingest` (which depends on it),
+/// so the runtime registers itself behind this trait via
+/// [`register_ingest_driver`](crate::HanaPlatform::register_ingest_driver).
+pub trait IngestDriver: Send + Sync {
+    /// Create and start a named pipeline delivering ESP `source` output
+    /// into `table`.
+    fn create_sink(&self, session: &Session, name: &str, source: &str, table: &str) -> Result<()>;
+
+    /// Stop and detach a pipeline; `Ok(false)` when no such pipeline.
+    fn drop_sink(&self, name: &str) -> Result<bool>;
+}
+
+/// Pipeline name → highest committed epoch, plus the epoch fence that
+/// makes checkpoint cuts atomic with respect to in-flight epochs.
+pub(crate) struct IngestLedger {
+    epochs: Mutex<HashMap<String, u64>>,
+    /// Held across an epoch commit (apply + ledger bump) and across the
+    /// checkpoint snapshot cut, so a checkpoint can never capture table
+    /// rows of an epoch without its ledger entry (or vice versa) —
+    /// which would make replay lose or double-apply that epoch.
+    fence: Mutex<()>,
+}
+
+impl IngestLedger {
+    pub(crate) fn new() -> IngestLedger {
+        IngestLedger {
+            epochs: Mutex::new(HashMap::new()),
+            fence: Mutex::new(()),
+        }
+    }
+
+    /// Acquire the epoch fence.
+    pub(crate) fn fence(&self) -> MutexGuard<'_, ()> {
+        self.fence.lock()
+    }
+
+    /// Highest committed epoch of a pipeline (`0` = none yet).
+    pub(crate) fn last_epoch(&self, pipeline: &str) -> u64 {
+        self.epochs
+            .lock()
+            .get(&pipeline.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Record `epoch` as committed (monotone: keeps the max).
+    pub(crate) fn note(&self, pipeline: &str, epoch: u64) {
+        let mut epochs = self.epochs.lock();
+        let slot = epochs.entry(pipeline.to_ascii_lowercase()).or_insert(0);
+        *slot = (*slot).max(epoch);
+    }
+
+    /// Sorted `(pipeline, last_epoch)` pairs for checkpointing.
+    pub(crate) fn entries(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .epochs
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_is_monotone_and_case_insensitive() {
+        let ledger = IngestLedger::new();
+        assert_eq!(ledger.last_epoch("p"), 0);
+        ledger.note("P", 3);
+        ledger.note("p", 1); // stale note cannot regress the ledger
+        assert_eq!(ledger.last_epoch("p"), 3);
+        ledger.note("q", 7);
+        assert_eq!(ledger.entries(), vec![("p".into(), 3), ("q".into(), 7)]);
+    }
+}

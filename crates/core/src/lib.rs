@@ -23,12 +23,14 @@
 
 mod catalog;
 mod durability;
+mod ingest;
 mod platform;
 mod repository;
 mod security;
 mod writes;
 
 pub use catalog::{PlatformCatalog, StatsEntry, TableEntry, TableKindInfo};
+pub use ingest::{IngestCommit, IngestDriver};
 pub use platform::{Backup, HanaPlatform, INTERNAL_IQ_SOURCE};
 pub use repository::{Artifact, ArtifactKind, DeliveryUnit, Repository};
 pub use security::{Privilege, SecurityManager, Session};

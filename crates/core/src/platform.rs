@@ -31,6 +31,7 @@ use hana_txn::{TransactionManager, TwoPhaseParticipant, TxnHandle};
 use hana_types::{ColumnDef, DataType, HanaError, Result, ResultSet, Row, Schema, Value};
 
 use crate::catalog::{PlatformCatalog, TableEntry, TableKindInfo};
+use crate::ingest::{IngestCommit, IngestDriver};
 use crate::repository::{ArtifactKind, DeliveryUnit, Repository};
 use crate::security::{Privilege, SecurityManager, Session};
 use crate::writes::{LocalOp, LocalWrites};
@@ -45,6 +46,15 @@ const ROW_SEP: char = '\u{1e}';
 /// in the per-partition logs rather than the coordinator log.
 const DIST_LOAD_MARKER: &str = "--DISTLOAD\u{1}";
 
+/// Payload prefix of a streaming-ingest epoch whose rows are inline:
+/// `INGEST <pipeline> <epoch> <table> <rows>` (field-separated).
+const INGEST_MARKER: &str = "INGEST\u{1}";
+
+/// Payload prefix of a streaming-ingest epoch into a distributed table:
+/// the rows live in the per-partition logs, the coordinator record only
+/// carries `INGESTD <pipeline> <epoch> <table>`.
+const INGEST_DIST_MARKER: &str = "INGESTD\u{1}";
+
 type AdapterFactory = Box<dyn Fn(&str) -> Arc<dyn SdaAdapter> + Send + Sync>;
 
 /// A logical, transactionally consistent backup spanning the in-memory
@@ -54,6 +64,10 @@ pub struct Backup {
     /// The snapshot commit ID everything was captured under.
     pub cid: u64,
     pub(crate) entries: Vec<BackupEntry>,
+    /// Streaming-ingest ledger at the snapshot cut: `(pipeline,
+    /// highest committed epoch)` — restoring it keeps epoch dedup
+    /// working after the log prefix holding those epochs is pruned.
+    pub(crate) ingest_epochs: Vec<(String, u64)>,
 }
 
 pub(crate) struct BackupEntry {
@@ -95,6 +109,10 @@ pub struct HanaPlatform {
     /// session id -> open explicit transaction.
     active_txns: Mutex<HashMap<u64, TxnHandle>>,
     adapter_factories: RwLock<HashMap<String, AdapterFactory>>,
+    /// Streaming-ingest epoch ledger + checkpoint fence.
+    ingest: crate::ingest::IngestLedger,
+    /// The registered `CREATE STREAM SINK` driver (hana-ingest).
+    ingest_driver: RwLock<Option<Arc<dyn crate::ingest::IngestDriver>>>,
 }
 
 impl HanaPlatform {
@@ -170,6 +188,8 @@ impl HanaPlatform {
             local_writes: Arc::new(LocalWrites::new()),
             active_txns: Mutex::new(HashMap::new()),
             adapter_factories: RwLock::new(HashMap::new()),
+            ingest: crate::ingest::IngestLedger::new(),
+            ingest_driver: RwLock::new(None),
         }
     }
 
@@ -673,6 +693,26 @@ impl HanaPlatform {
                 // fragment is exactly the state worth snapshotting, and
                 // pruning here keeps the replay suffix short.
                 self.maybe_checkpoint();
+                Ok(ok_result())
+            }
+            Statement::CreateStreamSink {
+                name,
+                source,
+                table,
+            } => {
+                self.security.check(session, Privilege::Stream)?;
+                // Runtime wiring, like CREATE REMOTE SOURCE: not WAL-
+                // logged; pipelines are re-attached after restart (the
+                // ledger makes re-delivery harmless).
+                self.ingest_driver()?
+                    .create_sink(session, &name, &source, &table)?;
+                Ok(ok_result())
+            }
+            Statement::DropStreamSink { name } => {
+                self.security.check(session, Privilege::Stream)?;
+                if !self.ingest_driver()?.drop_sink(&name)? {
+                    return Err(HanaError::Stream(format!("unknown stream sink '{name}'")));
+                }
                 Ok(ok_result())
             }
         }
@@ -1230,6 +1270,55 @@ impl HanaPlatform {
             schema.check_row(row.values())?;
         }
         let txn = self.tm.begin();
+        let dist_logged = match self.bulk_buffer(&txn, table, &entry, rows) {
+            Ok(d) => d,
+            Err(e) => {
+                // Abort so a retry of the same load starts clean.
+                let _ = self.tm.abort(txn, &self.participants());
+                return Err(e);
+            }
+        };
+        // Log the bulk load for point-in-time recovery: a marker when
+        // the rows already sit durably in partition logs, the full row
+        // payload otherwise.
+        let payload = if dist_logged {
+            format!("{DIST_LOAD_MARKER}{table}")
+        } else {
+            format!("LOAD\u{1}{table}\u{1}{}", encode_rows(rows))
+        };
+        let tid = txn.tid;
+        self.tm.log_data(tid, "hana", &payload)?;
+        let receipt = self.tm.commit(txn, &self.participants())?;
+        if dist_logged {
+            if let TableSource::Distributed(dt) = &entry.source {
+                // Best-effort bookkeeping marker in the partition logs;
+                // the coordinator's commit record is the source of truth.
+                dt.log_commit(tid, receipt.cid);
+            }
+        }
+        // Bulk load is a natural statistics trigger (§3.1 synopses):
+        // restore and ESP ingestion funnel through here too, so
+        // recovered tables come back with fresh statistics.
+        self.refresh_statistics(table)?;
+        // Bulk load is also a checkpoint barrier: the snapshot it
+        // triggers keeps recovery from replaying the (potentially large)
+        // load payload ever again.
+        self.maybe_checkpoint();
+        Ok(rows.len())
+    }
+
+    /// Buffer `rows` into `entry`'s storage under `txn` — the shared
+    /// apply half of [`load_rows`](Self::load_rows) and
+    /// [`commit_ingest_batch`](Self::commit_ingest_batch). Distributed
+    /// tables route through the repartition exchange and write their
+    /// per-partition logs; returns whether they did (`dist_logged`).
+    fn bulk_buffer(
+        &self,
+        txn: &TxnHandle,
+        table: &str,
+        entry: &TableEntry,
+        rows: &[Row],
+    ) -> Result<bool> {
         let mut dist_logged = false;
         match &entry.source {
             TableSource::Column(t) | TableSource::Hybrid { hot: t, .. } => {
@@ -1295,39 +1384,105 @@ impl HanaPlatform {
                 )));
             }
         }
-        // Log the bulk load for point-in-time recovery: a marker when
-        // the rows already sit durably in partition logs, the full row
-        // payload otherwise.
+        Ok(dist_logged)
+    }
+
+    // ---- streaming ingest (exactly-once epochs) ----
+
+    /// Commit one streaming-ingest batch under `(pipeline, epoch)`,
+    /// exactly once: if the ledger already covers `epoch` (producer
+    /// retry after a lost ack, or WAL replay), nothing is applied and
+    /// [`IngestCommit::Deduplicated`] is returned. Otherwise the rows
+    /// are bulk-applied (distributed tables via the repartition
+    /// exchange + per-partition logs), the epoch is logged with the
+    /// batch's transaction, and the ledger advances — all under the
+    /// epoch fence, so a concurrent checkpoint cut (MERGE DELTA, bulk
+    /// load) sees either none or all of the epoch.
+    ///
+    /// Deliberately *not* per-batch: statistics refresh (a catalog
+    /// version bump would invalidate every cached session plan on each
+    /// micro-batch) and checkpointing (a full snapshot per batch).
+    /// Delta merges and explicit checkpoints cover both at a sane
+    /// cadence.
+    pub fn commit_ingest_batch(
+        &self,
+        session: &Session,
+        pipeline: &str,
+        epoch: u64,
+        table: &str,
+        rows: &[Row],
+    ) -> Result<IngestCommit> {
+        self.security.check(session, Privilege::Stream)?;
+        let entry = self.catalog.table(table)?;
+        let schema = entry.source.schema();
+        for row in rows {
+            schema.check_row(row.values())?;
+        }
+        let _fence = self.ingest.fence();
+        let last = self.ingest.last_epoch(pipeline);
+        if epoch <= last {
+            hana_obs::registry()
+                .counter("hana_ingest_epochs_deduped_total")
+                .inc();
+            return Ok(IngestCommit::Deduplicated { last_epoch: last });
+        }
+        let txn = self.tm.begin();
+        let dist_logged = match self.bulk_buffer(&txn, table, &entry, rows) {
+            Ok(d) => d,
+            Err(e) => {
+                // Abort so a chunk-level or batch-level retry of the
+                // same epoch starts from a clean slate.
+                let _ = self.tm.abort(txn, &self.participants());
+                return Err(e);
+            }
+        };
         let payload = if dist_logged {
-            format!("{DIST_LOAD_MARKER}{table}")
+            format!("{INGEST_DIST_MARKER}{pipeline}\u{1}{epoch}\u{1}{table}")
         } else {
             format!(
-                "LOAD\u{1}{table}\u{1}{}",
-                rows.iter()
-                    .map(|r| r.to_delimited('\u{1f}'))
-                    .collect::<Vec<_>>()
-                    .join(&ROW_SEP.to_string())
+                "{INGEST_MARKER}{pipeline}\u{1}{epoch}\u{1}{table}\u{1}{}",
+                encode_rows(rows)
             )
         };
         let tid = txn.tid;
-        self.tm.log_data(tid, "hana", &payload)?;
+        if let Err(e) = self.tm.log_data(tid, "ingest", &payload) {
+            let _ = self.tm.abort(txn, &self.participants());
+            return Err(e);
+        }
         let receipt = self.tm.commit(txn, &self.participants())?;
         if dist_logged {
             if let TableSource::Distributed(dt) = &entry.source {
-                // Best-effort bookkeeping marker in the partition logs;
-                // the coordinator's commit record is the source of truth.
                 dt.log_commit(tid, receipt.cid);
             }
         }
-        // Bulk load is a natural statistics trigger (§3.1 synopses):
-        // restore and ESP ingestion funnel through here too, so
-        // recovered tables come back with fresh statistics.
-        self.refresh_statistics(table)?;
-        // Bulk load is also a checkpoint barrier: the snapshot it
-        // triggers keeps recovery from replaying the (potentially large)
-        // load payload ever again.
-        self.maybe_checkpoint();
-        Ok(rows.len())
+        self.ingest.note(pipeline, epoch);
+        hana_obs::registry()
+            .counter("hana_ingest_epochs_committed_total")
+            .inc();
+        hana_obs::registry()
+            .counter("hana_ingest_rows_committed_total")
+            .add(rows.len() as u64);
+        Ok(IngestCommit::Committed { cid: receipt.cid })
+    }
+
+    /// The highest committed epoch of an ingest pipeline (`0` = none).
+    /// Pipelines resume numbering from here after a restart.
+    pub fn ingest_epoch(&self, pipeline: &str) -> u64 {
+        self.ingest.last_epoch(pipeline)
+    }
+
+    /// Register the `CREATE STREAM SINK` driver (hana-ingest's runtime
+    /// installs itself here). Replaces any previous driver.
+    pub fn register_ingest_driver(&self, driver: Arc<dyn IngestDriver>) {
+        *self.ingest_driver.write() = Some(driver);
+    }
+
+    fn ingest_driver(&self) -> Result<Arc<dyn IngestDriver>> {
+        self.ingest_driver.read().clone().ok_or_else(|| {
+            HanaError::Config(
+                "no ingest driver installed; install hana-ingest's IngestRuntime first".into(),
+            )
+        })
     }
 
     /// Collect and persist optimizer statistics for `table`: per-column
@@ -1556,6 +1711,14 @@ impl HanaPlatform {
     }
 
     fn snapshot_backup(&self) -> Result<Backup> {
+        // Epoch fence (see `IngestLedger`): no ingest epoch can commit
+        // between reading the snapshot cid and reading the ledger, so
+        // the captured table rows and ledger agree on exactly which
+        // epochs are inside the snapshot. Without this, a checkpoint
+        // cut racing an epoch commit could snapshot the rows but not
+        // the ledger entry (replay double-applies) or vice versa
+        // (replay loses the epoch).
+        let _fence = self.ingest.fence();
         let cid = self.tm.current_snapshot().cid();
         let mut entries = Vec::new();
         for (name, _) in self.catalog.list_tables() {
@@ -1590,13 +1753,22 @@ impl HanaPlatform {
                 indexes,
             });
         }
-        Ok(Backup { cid, entries })
+        Ok(Backup {
+            cid,
+            entries,
+            ingest_epochs: self.ingest.entries(),
+        })
     }
 
     /// Restore a backup: captured tables are dropped, recreated and
     /// reloaded (in-memory and extended partitions together).
     pub fn restore(&self, session: &Session, backup: &Backup) -> Result<()> {
         self.security.check(session, Privilege::Operate)?;
+        // Ledger first: any epoch captured in the snapshot must dedup
+        // if the log suffix (or a producer) re-delivers it.
+        for (pipeline, epoch) in &backup.ingest_epochs {
+            self.ingest.note(pipeline, *epoch);
+        }
         for e in &backup.entries {
             if self.catalog.has_table(&e.name) {
                 self.drop_table(&e.name)?;
@@ -1752,6 +1924,62 @@ impl HanaPlatform {
                 let receipt = self.tm.commit(txn, &[])?;
                 dt.redo_txn(tid, receipt.cid)?;
                 self.refresh_statistics(table)?;
+            } else if let Some(rest) = payload.strip_prefix(INGEST_DIST_MARKER) {
+                // Distributed ingest epoch: rows live in the partition
+                // logs. Replay through the ledger so an epoch that is
+                // already inside the restored checkpoint (or appears
+                // twice in the log) applies exactly once.
+                let (pipeline, epoch, table) = parse_ingest_header(rest)?;
+                let _fence = self.ingest.fence();
+                if epoch <= self.ingest.last_epoch(pipeline) {
+                    hana_obs::registry()
+                        .counter("hana_ingest_epochs_deduped_total")
+                        .inc();
+                    continue;
+                }
+                let entry = self.catalog.table(table)?;
+                let TableSource::Distributed(dt) = &entry.source else {
+                    return Err(HanaError::Io(format!(
+                        "INGESTD record for non-distributed table '{table}'"
+                    )));
+                };
+                let txn = self.tm.begin();
+                let receipt = self.tm.commit(txn, &[])?;
+                dt.redo_txn(tid, receipt.cid)?;
+                self.ingest.note(pipeline, epoch);
+                hana_obs::registry()
+                    .counter("hana_ingest_epochs_replayed_total")
+                    .inc();
+            } else if let Some(rest) = payload.strip_prefix(INGEST_MARKER) {
+                let (pipeline, epoch, rest) = {
+                    let mut parts = rest.splitn(4, '\u{1}');
+                    let (Some(p), Some(e), Some(t), Some(rows_text)) =
+                        (parts.next(), parts.next(), parts.next(), parts.next())
+                    else {
+                        return Err(HanaError::Io("corrupt INGEST record".into()));
+                    };
+                    let epoch: u64 = e
+                        .parse()
+                        .map_err(|_| HanaError::Io("corrupt INGEST epoch".into()))?;
+                    (p, epoch, (t, rows_text))
+                };
+                let (table, rows_text) = rest;
+                let schema = self.catalog.table(table)?.source.schema();
+                let rows: Vec<Row> = rows_text
+                    .split(ROW_SEP)
+                    .filter(|s| !s.is_empty())
+                    .map(|line| parse_load_row(line, &schema))
+                    .collect::<Result<_>>()?;
+                // The normal commit path dedups against the ledger and,
+                // with the WAL passive, logs nothing a second time.
+                match self.commit_ingest_batch(session, pipeline, epoch, table, &rows)? {
+                    IngestCommit::Committed { .. } => {
+                        hana_obs::registry()
+                            .counter("hana_ingest_epochs_replayed_total")
+                            .inc();
+                    }
+                    IngestCommit::Deduplicated { .. } => continue,
+                }
             } else if payload.starts_with("--") {
                 continue; // structural marker, nothing to redo
             } else if let Some(rest) = payload.strip_prefix("LOAD\u{1}") {
@@ -1860,6 +2088,28 @@ fn count_result(n: usize) -> ResultSet {
         Schema::of(&[("rows_affected", DataType::BigInt)]),
         vec![Row::from_values([Value::Int(n as i64)])],
     )
+}
+
+/// Split the `pipeline \u{1} epoch \u{1} table` header of an INGESTD
+/// payload.
+fn parse_ingest_header(rest: &str) -> Result<(&str, u64, &str)> {
+    let mut parts = rest.splitn(3, '\u{1}');
+    let (Some(pipeline), Some(epoch), Some(table)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HanaError::Io("corrupt INGESTD record".into()));
+    };
+    let epoch = epoch
+        .parse()
+        .map_err(|_| HanaError::Io("corrupt INGESTD epoch".into()))?;
+    Ok((pipeline, epoch, table))
+}
+
+/// Delimit rows for a WAL payload (inverse of [`parse_load_row`]).
+fn encode_rows(rows: &[Row]) -> String {
+    rows.iter()
+        .map(|r| r.to_delimited('\u{1f}'))
+        .collect::<Vec<_>>()
+        .join(&ROW_SEP.to_string())
 }
 
 fn parse_load_row(line: &str, schema: &Schema) -> Result<Row> {

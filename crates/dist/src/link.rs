@@ -44,6 +44,9 @@ pub struct FaultPlan {
     /// Share of failures that are permanent (`remote`, not retryable);
     /// applied before the timeout split.
     pub permanent_share: f64,
+    /// Added latency per send attempt in microseconds — models a slow
+    /// (but correct) node. `0` = no slowdown.
+    pub slow_us: u64,
 }
 
 impl FaultPlan {
@@ -54,7 +57,26 @@ impl FaultPlan {
             failure_rate: failure_rate.clamp(0.0, 1.0),
             timeout_share: 0.5,
             permanent_share: 0.0,
+            slow_us: 0,
         }
+    }
+
+    /// A plan that never fails but delays every send attempt by
+    /// `slow_us` microseconds (a slow partition node).
+    pub fn slow(slow_us: u64) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            failure_rate: 0.0,
+            timeout_share: 0.0,
+            permanent_share: 0.0,
+            slow_us,
+        }
+    }
+
+    /// Copy of this plan with per-send latency injected.
+    pub fn with_slow_us(mut self, slow_us: u64) -> FaultPlan {
+        self.slow_us = slow_us;
+        self
     }
 
     /// Copy of this plan with a specific timeout share.
@@ -218,7 +240,11 @@ impl Link {
             }
             first_attempt = false;
             let n = self.sends.fetch_add(1, Ordering::Relaxed);
-            if let Some(plan) = *self.fault.lock() {
+            let installed = *self.fault.lock();
+            if let Some(plan) = installed {
+                if plan.slow_us > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(plan.slow_us));
+                }
                 if let Some(err) = plan.verdict(n, what) {
                     self.faults.fetch_add(1, Ordering::Relaxed);
                     hana_obs::registry()

@@ -17,6 +17,7 @@
 //! "no transactional guarantees are provided".
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -31,6 +32,107 @@ use crate::window::{event_passes, validate_window_query, window_output, WindowSt
 
 /// Write callback type of a [`Sink::Table`].
 pub type TableWriter = Arc<dyn Fn(&str, &Schema, &[Row]) -> Result<()> + Send + Sync>;
+
+/// Handle returned by [`EspEngine::attach_sink`]; pass it to
+/// [`EspEngine::detach_sink`] to remove exactly that sink.
+pub type SinkId = u64;
+
+/// What kind of CCL object a name refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EspTargetKind {
+    /// Raw input stream.
+    Stream,
+    /// Aggregating window (rows reach sinks on [`EspEngine::flush_window`]).
+    Window,
+    /// Stateless derived stream (rows reach sinks per event).
+    OutputStream,
+}
+
+/// Default bound of a stream's input queue: events admitted into the
+/// engine ahead of processing before further [`EspEngine::send`] calls
+/// block. Overridable via `HANA_ESP_INPUT_QUEUE_EVENTS`.
+pub const DEFAULT_INPUT_QUEUE_EVENTS: usize = 65_536;
+
+/// Per-stream admission gate: a counting semaphore in front of the
+/// engine lock. Slow sinks (e.g. an ingest pipeline applying
+/// backpressure) hold the engine lock, so waiting producers pile up
+/// here instead of growing unboundedly.
+struct StreamGate {
+    cap: usize,
+    queued: std::sync::Mutex<usize>,
+    space: std::sync::Condvar,
+    engaged: AtomicBool,
+}
+
+impl StreamGate {
+    fn new(cap: usize) -> StreamGate {
+        StreamGate {
+            cap: cap.max(1),
+            queued: std::sync::Mutex::new(0),
+            space: std::sync::Condvar::new(),
+            engaged: AtomicBool::new(false),
+        }
+    }
+
+    fn acquire(&self, stream: &str) {
+        let mut q = self.queued.lock().expect("gate poisoned");
+        if *q >= self.cap {
+            hana_obs::registry()
+                .counter("hana_esp_backpressure_engaged_total")
+                .inc();
+            // Warn once per engagement episode, not once per blocked event.
+            if !self.engaged.swap(true, Ordering::Relaxed) {
+                hana_obs::warn(format!(
+                    "esp: stream '{stream}' input queue full ({} events); \
+                     blocking producers (backpressure)",
+                    self.cap
+                ));
+            }
+            while *q >= self.cap {
+                q = self.space.wait(q).expect("gate poisoned");
+            }
+        }
+        *q += 1;
+    }
+
+    fn release(&self) {
+        let mut q = self.queued.lock().expect("gate poisoned");
+        *q = q.saturating_sub(1);
+        if *q * 2 < self.cap {
+            self.engaged.store(false, Ordering::Relaxed);
+        }
+        self.space.notify_one();
+    }
+
+    fn depth(&self) -> usize {
+        *self.queued.lock().expect("gate poisoned")
+    }
+}
+
+/// Releases the gate slot even when processing errors or panics.
+struct GateGuard<'a>(&'a StreamGate);
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+fn input_queue_cap_from_env() -> usize {
+    match std::env::var("HANA_ESP_INPUT_QUEUE_EVENTS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                hana_obs::warn(format!(
+                    "esp: ignoring invalid HANA_ESP_INPUT_QUEUE_EVENTS='{raw}' \
+                     (want a positive integer); using {DEFAULT_INPUT_QUEUE_EVENTS}"
+                ));
+                DEFAULT_INPUT_QUEUE_EVENTS
+            }
+        },
+        Err(_) => DEFAULT_INPUT_QUEUE_EVENTS,
+    }
+}
 
 /// Where emitted rows go.
 pub enum Sink {
@@ -82,8 +184,9 @@ struct Inner {
     windows: HashMap<String, WindowDef>,
     out_streams: HashMap<String, OutStreamDef>,
     patterns: HashMap<String, PatternDef>,
-    sinks: HashMap<String, Vec<Sink>>,
+    sinks: HashMap<String, Vec<(SinkId, Sink)>>,
     references: HashMap<String, ResultSet>,
+    next_sink_id: SinkId,
     events_in: u64,
     events_emitted: u64,
 }
@@ -92,6 +195,10 @@ struct Inner {
 /// so the engine can be shared across ingestion threads.
 pub struct EspEngine {
     inner: Mutex<Inner>,
+    /// Per-stream admission gates, created lazily on first send.
+    gates: Mutex<HashMap<String, Arc<StreamGate>>>,
+    /// Bound applied to newly created gates.
+    input_cap: AtomicUsize,
 }
 
 impl EspEngine {
@@ -99,7 +206,36 @@ impl EspEngine {
     pub fn new() -> EspEngine {
         EspEngine {
             inner: Mutex::new(Inner::default()),
+            gates: Mutex::new(HashMap::new()),
+            input_cap: AtomicUsize::new(input_queue_cap_from_env()),
         }
+    }
+
+    /// Override the per-stream input queue bound (events admitted ahead
+    /// of processing before producers block). Applies to streams that
+    /// have not sent yet; existing gates keep their bound.
+    pub fn set_input_queue_cap(&self, cap: usize) {
+        self.input_cap.store(cap.max(1), Ordering::Relaxed);
+        self.gates.lock().clear();
+    }
+
+    /// Events currently admitted (queued or processing) on a stream.
+    /// Observability hook for the backpressure gate.
+    pub fn pending_events(&self, stream: &str) -> usize {
+        self.gates
+            .lock()
+            .get(&stream.to_ascii_lowercase())
+            .map(|g| g.depth())
+            .unwrap_or(0)
+    }
+
+    fn gate(&self, key: &str) -> Arc<StreamGate> {
+        let mut gates = self.gates.lock();
+        Arc::clone(
+            gates.entry(key.to_string()).or_insert_with(|| {
+                Arc::new(StreamGate::new(self.input_cap.load(Ordering::Relaxed)))
+            }),
+        )
     }
 
     /// Deploy a CCL script (streams, windows, derived streams).
@@ -141,7 +277,8 @@ impl EspEngine {
     }
 
     /// Attach a sink to a stream (raw events), window or output stream.
-    pub fn attach_sink(&self, target: &str, sink: Sink) -> Result<()> {
+    /// Returns a handle for [`EspEngine::detach_sink`].
+    pub fn attach_sink(&self, target: &str, sink: Sink) -> Result<SinkId> {
         let mut inner = self.inner.lock();
         let t = target.to_ascii_lowercase();
         if !inner.streams.contains_key(&t)
@@ -150,8 +287,54 @@ impl EspEngine {
         {
             return Err(HanaError::Stream(format!("unknown sink target '{target}'")));
         }
-        inner.sinks.entry(t).or_default().push(sink);
-        Ok(())
+        inner.next_sink_id += 1;
+        let id = inner.next_sink_id;
+        inner.sinks.entry(t).or_default().push((id, sink));
+        Ok(id)
+    }
+
+    /// Remove one sink by the handle `attach_sink` returned. Returns
+    /// whether it was still attached.
+    pub fn detach_sink(&self, target: &str, id: SinkId) -> bool {
+        let mut inner = self.inner.lock();
+        let t = target.to_ascii_lowercase();
+        let Some(sinks) = inner.sinks.get_mut(&t) else {
+            return false;
+        };
+        let before = sinks.len();
+        sinks.retain(|(sid, _)| *sid != id);
+        let removed = sinks.len() < before;
+        if sinks.is_empty() {
+            inner.sinks.remove(&t);
+        }
+        removed
+    }
+
+    /// Remove every sink attached to a target; returns how many.
+    pub fn detach_sinks(&self, target: &str) -> usize {
+        self.inner
+            .lock()
+            .sinks
+            .remove(&target.to_ascii_lowercase())
+            .map(|v| v.len())
+            .unwrap_or(0)
+    }
+
+    /// What kind of CCL object `name` refers to.
+    pub fn target_kind(&self, name: &str) -> Result<EspTargetKind> {
+        let inner = self.inner.lock();
+        let key = name.to_ascii_lowercase();
+        if inner.streams.contains_key(&key) {
+            Ok(EspTargetKind::Stream)
+        } else if inner.windows.contains_key(&key) {
+            Ok(EspTargetKind::Window)
+        } else if inner.out_streams.contains_key(&key) {
+            Ok(EspTargetKind::OutputStream)
+        } else {
+            Err(HanaError::Stream(format!(
+                "unknown stream or window '{name}'"
+            )))
+        }
     }
 
     /// Push reference data for ESP joins ("slowly changing data is
@@ -194,10 +377,15 @@ impl EspEngine {
         Ok(())
     }
 
-    /// Ingest one event (event time in microseconds).
+    /// Ingest one event (event time in microseconds). Blocks when the
+    /// stream's bounded input queue is full (downstream sinks applying
+    /// backpressure) rather than buffering without bound.
     pub fn send(&self, stream: &str, ts: i64, row: Row) -> Result<()> {
-        let mut inner = self.inner.lock();
         let key = stream.to_ascii_lowercase();
+        let gate = self.gate(&key);
+        gate.acquire(&key);
+        let _slot = GateGuard(&gate);
+        let mut inner = self.inner.lock();
         let schema = inner
             .streams
             .get(&key)
@@ -208,7 +396,7 @@ impl EspEngine {
 
         // 1. Raw sinks on the input stream (HDFS archive, Figure 8).
         if let Some(sinks) = inner.sinks.get(&key) {
-            for s in sinks {
+            for (_, s) in sinks {
                 emit(s, &schema, std::slice::from_ref(&row))?;
             }
         }
@@ -238,7 +426,7 @@ impl EspEngine {
             };
             inner.events_emitted += rows_out.len() as u64;
             if let Some(sinks) = inner.sinks.get(&name) {
-                for s in sinks {
+                for (_, s) in sinks {
                     emit(s, &out_schema, &rows_out)?;
                 }
             }
@@ -302,7 +490,7 @@ impl EspEngine {
         let mut inner = self.inner.lock();
         let key = name.to_ascii_lowercase();
         if let Some(sinks) = inner.sinks.get(&key) {
-            for s in sinks {
+            for (_, s) in sinks {
                 emit(s, &rs.schema, &rs.rows)?;
             }
         }

@@ -29,6 +29,9 @@ mod pattern;
 mod window;
 
 pub use ccl::{parse_ccl, parse_ccl_statement, CclStatement};
-pub use engine::{parse_archive_line, EspEngine, Sink};
+pub use engine::{
+    parse_archive_line, EspEngine, EspTargetKind, Sink, SinkId, TableWriter,
+    DEFAULT_INPUT_QUEUE_EVENTS,
+};
 pub use pattern::PatternMatcher;
 pub use window::{validate_window_query, window_output, Keep, WindowState};

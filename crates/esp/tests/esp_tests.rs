@@ -259,3 +259,109 @@ fn errors_and_validation() {
     assert!(esp.deploy("CREATE INPUT STREAM s SCHEMA (v INT)").is_err());
     assert!(esp.window_snapshot("missing").is_err());
 }
+
+#[test]
+fn bounded_input_queue_blocks_producers_and_counts_engagements() {
+    let esp = Arc::new(EspEngine::new());
+    esp.set_input_queue_cap(2);
+    esp.deploy("CREATE INPUT STREAM slow SCHEMA (v INT)")
+        .unwrap();
+    // A sink that holds every event until released: the engine lock stays
+    // held inside emit(), so producers queue up at the gate.
+    let release: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)> =
+        Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let rel = Arc::clone(&release);
+    let writer: hana_esp::TableWriter = Arc::new(move |_t: &str, _s: &Schema, _r: &[Row]| {
+        let (lock, cv) = &*rel;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cv.wait(open).unwrap();
+        }
+        Ok(())
+    });
+    esp.attach_sink(
+        "slow",
+        Sink::Table {
+            table: "t".into(),
+            writer,
+        },
+    )
+    .unwrap();
+
+    let before = hana_obs::registry()
+        .snapshot()
+        .counter("hana_esp_backpressure_engaged_total");
+    let producers: Vec<_> = (0..4)
+        .map(|i| {
+            let esp = Arc::clone(&esp);
+            std::thread::spawn(move || esp.send("slow", i, Row::from_values([Value::Int(i)])))
+        })
+        .collect();
+    // Wait until the gate is saturated: 2 admitted, the rest blocked.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while esp.pending_events("slow") < 2 && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    assert_eq!(esp.pending_events("slow"), 2);
+    // Give the remaining producers a moment to hit the full gate.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert_eq!(esp.pending_events("slow"), 2);
+
+    // Open the sink: everyone drains.
+    {
+        let (lock, cv) = &*release;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    for p in producers {
+        p.join().unwrap().unwrap();
+    }
+    assert_eq!(esp.pending_events("slow"), 0);
+    let after = hana_obs::registry()
+        .snapshot()
+        .counter("hana_esp_backpressure_engaged_total");
+    assert!(
+        after > before,
+        "backpressure engagement should be counted ({before} -> {after})"
+    );
+    let (events_in, _) = esp.stats();
+    assert_eq!(events_in, 4);
+}
+
+#[test]
+fn sinks_detach_individually_by_id() {
+    let esp = telecom_engine();
+    let a: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
+    let b: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
+    let id_a = esp
+        .attach_sink("overload_alerts", Sink::Memory(Arc::clone(&a)))
+        .unwrap();
+    let _id_b = esp
+        .attach_sink("overload_alerts", Sink::Memory(Arc::clone(&b)))
+        .unwrap();
+    esp.send("network_events", 0, ev("c1", "status", 99.0))
+        .unwrap();
+    assert_eq!(a.lock().len(), 1);
+    assert_eq!(b.lock().len(), 1);
+    assert!(esp.detach_sink("overload_alerts", id_a));
+    assert!(!esp.detach_sink("overload_alerts", id_a));
+    esp.send("network_events", 1, ev("c1", "status", 99.0))
+        .unwrap();
+    assert_eq!(a.lock().len(), 1, "detached sink must not receive rows");
+    assert_eq!(b.lock().len(), 2);
+    assert_eq!(esp.detach_sinks("overload_alerts"), 1);
+    use hana_esp::EspTargetKind;
+    assert_eq!(
+        esp.target_kind("network_events").unwrap(),
+        EspTargetKind::Stream
+    );
+    assert_eq!(
+        esp.target_kind("cell_health").unwrap(),
+        EspTargetKind::Window
+    );
+    assert_eq!(
+        esp.target_kind("overload_alerts").unwrap(),
+        EspTargetKind::OutputStream
+    );
+    assert!(esp.target_kind("nope").is_err());
+}

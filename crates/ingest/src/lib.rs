@@ -1,0 +1,27 @@
+//! # hana-ingest: streaming ingest with exactly-once delivery
+//!
+//! Bridges the ESP event-stream engine and the relational platform:
+//! an [`IngestPipeline`] subscribes to a stream/window via an ESP
+//! table sink, buffers rows into bounded micro-batches, and commits
+//! each batch as a numbered *epoch* through the platform's durable
+//! ingest ledger ([`hana_core::HanaPlatform::commit_ingest_batch`]).
+//! Epochs are monotone per pipeline and replay-deduplicated, so a
+//! crash, a WAL replay, or a chunk-level retry inside the distributed
+//! repartition exchange delivers every source row exactly once.
+//!
+//! The [`IngestRuntime`] owns the pipelines and implements
+//! [`hana_core::IngestDriver`], which wires `CREATE STREAM SINK ... ON
+//! <stream> INTO <table>` and `DROP STREAM SINK` SQL through to
+//! [`IngestRuntime::attach`] / [`IngestRuntime::detach`].
+//!
+//! Backpressure propagates end to end: a full pipeline buffer blocks
+//! the ESP sink emission, which blocks `EspEngine::send`, which (with
+//! the engine's bounded input gate) blocks the event producer.
+
+mod config;
+mod pipeline;
+mod runtime;
+
+pub use config::{IngestConfig, DEFAULT_BATCH_ROWS, DEFAULT_MAX_INFLIGHT};
+pub use pipeline::{IngestPipeline, IngestStats};
+pub use runtime::IngestRuntime;

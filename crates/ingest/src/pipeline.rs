@@ -1,0 +1,339 @@
+//! The micro-batching pipeline: a bounded row buffer, one worker
+//! thread, and exactly-once epoch commits through
+//! [`HanaPlatform::commit_ingest_batch`].
+//!
+//! Producers ([`IngestPipeline::submit`], usually called from an ESP
+//! sink while the engine lock is held) block when the buffer is full —
+//! that is the backpressure the ESP input gate propagates to event
+//! sources. The worker drains up to `batch_rows` rows at a time,
+//! stamps the batch with the pipeline's next epoch, and commits it.
+//! Retryable commit failures (a partition node down or flaky beyond
+//! the chunk retry budget) are retried **under the same epoch** until
+//! the fault heals: the platform ledger deduplicates any partial
+//! re-delivery, so the retry loop cannot duplicate rows. Permanent
+//! failures poison the pipeline; subsequent submits surface the error.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::Instant;
+
+use hana_core::{HanaPlatform, IngestCommit, Session};
+use hana_types::{HanaError, Result, Row};
+
+use crate::IngestConfig;
+
+/// Monotonic pipeline counters (a snapshot; see
+/// [`IngestPipeline::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Rows accepted by `submit`.
+    pub rows_submitted: u64,
+    /// Rows committed into the target table.
+    pub rows_committed: u64,
+    /// Epochs committed.
+    pub batches_committed: u64,
+    /// Epochs acknowledged as already-committed duplicates.
+    pub epochs_deduped: u64,
+    /// Batch-level commit retries.
+    pub retries: u64,
+    /// `submit` calls that had to wait for buffer space.
+    pub backpressure_waits: u64,
+    /// Highest committed epoch.
+    pub last_epoch: u64,
+}
+
+struct PipeState {
+    queue: VecDeque<Row>,
+    /// Rows taken off the queue and currently committing.
+    committing: usize,
+    next_epoch: u64,
+    stopped: bool,
+    poisoned: Option<String>,
+    stats: IngestStats,
+}
+
+struct Shared {
+    name: String,
+    table: String,
+    platform: Weak<HanaPlatform>,
+    session: Session,
+    config: IngestConfig,
+    state: Mutex<PipeState>,
+    /// Signals the worker: rows available or stopping.
+    data: Condvar,
+    /// Signals producers/flushers: space freed or batch finished.
+    space: Condvar,
+    /// Backpressure warn-once-per-episode latch.
+    engaged: AtomicBool,
+    started: Instant,
+}
+
+/// A running ingest pipeline. Dropping the handle stops the worker
+/// after it drains what was already submitted.
+pub struct IngestPipeline {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl IngestPipeline {
+    /// Start a pipeline delivering into `table`, resuming epoch
+    /// numbering from the platform's ledger (so a restarted pipeline
+    /// under the same name continues, and re-deliveries of old epochs
+    /// dedup).
+    pub fn start(
+        platform: &Arc<HanaPlatform>,
+        session: &Session,
+        config: IngestConfig,
+        name: &str,
+        table: &str,
+    ) -> Result<Arc<IngestPipeline>> {
+        platform.catalog().table(table)?; // must exist
+        let shared = Arc::new(Shared {
+            name: name.to_string(),
+            table: table.to_string(),
+            platform: Arc::downgrade(platform),
+            session: session.clone(),
+            config,
+            state: Mutex::new(PipeState {
+                queue: VecDeque::new(),
+                committing: 0,
+                next_epoch: platform.ingest_epoch(name) + 1,
+                stopped: false,
+                poisoned: None,
+                stats: IngestStats::default(),
+            }),
+            data: Condvar::new(),
+            space: Condvar::new(),
+            engaged: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name(format!("hana-ingest-{name}"))
+            .spawn(move || worker_loop(&worker_shared))
+            .map_err(|e| HanaError::Io(format!("spawn ingest worker: {e}")))?;
+        Ok(Arc::new(IngestPipeline {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        }))
+    }
+
+    /// Pipeline name (the ledger key).
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Target table.
+    pub fn table(&self) -> &str {
+        &self.shared.table
+    }
+
+    /// Queue `rows` for delivery, blocking while the bounded buffer is
+    /// full (backpressure). Errors once the pipeline is poisoned or
+    /// closed — nothing further will be delivered.
+    pub fn submit(&self, rows: &[Row]) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let sh = &*self.shared;
+        let cap = sh.config.capacity_rows();
+        let mut state = sh.state.lock().expect("pipeline lock");
+        loop {
+            if let Some(msg) = &state.poisoned {
+                return Err(HanaError::Stream(format!(
+                    "ingest pipeline '{}' failed: {msg}",
+                    sh.name
+                )));
+            }
+            if state.stopped {
+                return Err(HanaError::Stream(format!(
+                    "ingest pipeline '{}' is closed",
+                    sh.name
+                )));
+            }
+            if state.queue.len() < cap {
+                break;
+            }
+            state.stats.backpressure_waits += 1;
+            hana_obs::registry()
+                .counter("hana_ingest_backpressure_waits_total")
+                .inc();
+            if !sh.engaged.swap(true, Ordering::Relaxed) {
+                hana_obs::warn(format!(
+                    "ingest pipeline '{}': buffer full ({cap} rows); blocking producer",
+                    sh.name
+                ));
+            }
+            state = sh.space.wait(state).expect("pipeline lock");
+        }
+        // One submission may overshoot the bound by its own size (a
+        // window flush can be larger than the buffer); the next caller
+        // waits until the worker drains below `cap` again.
+        state.stats.rows_submitted += rows.len() as u64;
+        state.queue.extend(rows.iter().cloned());
+        drop(state);
+        sh.data.notify_one();
+        Ok(())
+    }
+
+    /// Block until everything submitted so far is committed (or surface
+    /// the pipeline failure).
+    pub fn flush(&self) -> Result<()> {
+        let sh = &*self.shared;
+        let mut state = sh.state.lock().expect("pipeline lock");
+        loop {
+            if let Some(msg) = &state.poisoned {
+                return Err(HanaError::Stream(format!(
+                    "ingest pipeline '{}' failed: {msg}",
+                    sh.name
+                )));
+            }
+            if state.queue.is_empty() && state.committing == 0 {
+                return Ok(());
+            }
+            state = sh.space.wait(state).expect("pipeline lock");
+        }
+    }
+
+    /// Stop the worker after draining the buffer and join it. Returns
+    /// the final counters; a poisoned pipeline surfaces its error.
+    pub fn close(&self) -> Result<IngestStats> {
+        {
+            let mut state = self.shared.state.lock().expect("pipeline lock");
+            state.stopped = true;
+        }
+        self.shared.data.notify_all();
+        if let Some(handle) = self.worker.lock().expect("worker lock").take() {
+            let _ = handle.join();
+        }
+        let state = self.shared.state.lock().expect("pipeline lock");
+        match &state.poisoned {
+            Some(msg) => Err(HanaError::Stream(format!(
+                "ingest pipeline '{}' failed: {msg}",
+                self.shared.name
+            ))),
+            None => Ok(state.stats),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> IngestStats {
+        self.shared.state.lock().expect("pipeline lock").stats
+    }
+}
+
+impl Drop for IngestPipeline {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pipeline lock");
+            state.stopped = true;
+        }
+        self.shared.data.notify_all();
+        if let Some(handle) = self.worker.lock().expect("worker lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(sh: &Shared) {
+    loop {
+        // Wait for work (or a stop with an empty queue).
+        let (batch, epoch) = {
+            let mut state = sh.state.lock().expect("pipeline lock");
+            while state.queue.is_empty() && !state.stopped && state.poisoned.is_none() {
+                state = sh.data.wait(state).expect("pipeline lock");
+            }
+            if state.poisoned.is_some() || (state.queue.is_empty() && state.stopped) {
+                sh.space.notify_all();
+                return;
+            }
+            let take = state.queue.len().min(sh.config.batch_rows.max(1));
+            let batch: Vec<Row> = state.queue.drain(..take).collect();
+            state.committing = batch.len();
+            let epoch = state.next_epoch;
+            (batch, epoch)
+        };
+        // Capacity just freed: unblock producers while we commit.
+        sh.space.notify_all();
+
+        let outcome = commit_batch(sh, epoch, &batch);
+
+        let mut state = sh.state.lock().expect("pipeline lock");
+        state.committing = 0;
+        // Re-arm the warn-once latch once the buffer has headroom.
+        if sh.engaged.load(Ordering::Relaxed) && state.queue.len() * 2 < sh.config.capacity_rows() {
+            sh.engaged.store(false, Ordering::Relaxed);
+        }
+        match outcome {
+            Ok(deduped) => {
+                state.next_epoch = epoch + 1;
+                state.stats.last_epoch = epoch;
+                if deduped {
+                    state.stats.epochs_deduped += 1;
+                } else {
+                    state.stats.batches_committed += 1;
+                    state.stats.rows_committed += batch.len() as u64;
+                }
+                let elapsed = sh.started.elapsed().as_secs_f64().max(1e-6);
+                hana_obs::registry()
+                    .gauge("hana_ingest_rows_per_sec")
+                    .set((state.stats.rows_committed as f64 / elapsed) as i64);
+            }
+            Err(e) => {
+                hana_obs::warn(format!(
+                    "ingest pipeline '{}': epoch {epoch} failed permanently: {e}",
+                    sh.name
+                ));
+                state.poisoned = Some(e.to_string());
+                state.queue.clear();
+            }
+        }
+        drop(state);
+        sh.space.notify_all();
+    }
+}
+
+/// Commit one epoch, retrying retryable failures forever (the fault
+/// will heal or the operator will drop the sink). `Ok(true)` = the
+/// epoch was a duplicate.
+fn commit_batch(sh: &Shared, epoch: u64, batch: &[Row]) -> Result<bool> {
+    let mut attempt: u32 = 0;
+    loop {
+        let Some(platform) = sh.platform.upgrade() else {
+            return Err(HanaError::Stream("platform shut down".into()));
+        };
+        let t0 = Instant::now();
+        let result = platform.commit_ingest_batch(&sh.session, &sh.name, epoch, &sh.table, batch);
+        drop(platform);
+        match result {
+            Ok(IngestCommit::Committed { .. }) => {
+                hana_obs::registry()
+                    .histogram("hana_ingest_batch_latency_us")
+                    .record(t0.elapsed().as_micros() as u64);
+                return Ok(false);
+            }
+            Ok(IngestCommit::Deduplicated { .. }) => return Ok(true),
+            Err(e) if e.is_retryable() => {
+                attempt += 1;
+                {
+                    let mut state = sh.state.lock().expect("pipeline lock");
+                    state.stats.retries += 1;
+                }
+                hana_obs::registry()
+                    .counter("hana_ingest_batch_retries_total")
+                    .inc();
+                if attempt == 1 {
+                    hana_obs::warn(format!(
+                        "ingest pipeline '{}': epoch {epoch} hit a retryable fault ({e}); \
+                         retrying under the same epoch",
+                        sh.name
+                    ));
+                }
+                // Cap the exponent so the pause settles at max_backoff.
+                std::thread::sleep(sh.config.retry.backoff(attempt.min(16)));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -107,6 +107,22 @@ pub enum Statement {
         /// Target column table.
         table: String,
     },
+    /// `CREATE STREAM SINK name ON <stream|window> INTO table` — attach
+    /// an exactly-once ingest pipeline delivering ESP output into a
+    /// platform table (§3.2 use case 1 at scale).
+    CreateStreamSink {
+        /// Pipeline name (ingest-ledger key).
+        name: String,
+        /// ESP source: input stream, window or output stream.
+        source: String,
+        /// Target table.
+        table: String,
+    },
+    /// `DROP STREAM SINK name` — detach and stop the pipeline.
+    DropStreamSink {
+        /// Pipeline to drop.
+        name: String,
+    },
 }
 
 /// Physical table kind in DDL.

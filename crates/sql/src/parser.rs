@@ -169,6 +169,11 @@ impl Parser {
                 };
                 return Ok(Statement::DropIndex { name, table });
             }
+            if self.eat_kw("stream") {
+                self.expect_kw("sink")?;
+                let name = self.identifier()?;
+                return Ok(Statement::DropStreamSink { name });
+            }
             self.expect_kw("table")?;
             let name = self.dotted_name()?;
             return Ok(Statement::DropTable { name });
@@ -228,6 +233,19 @@ impl Parser {
         }
         if self.eat_kw("index") {
             return self.create_index();
+        }
+        if self.eat_kw("stream") {
+            self.expect_kw("sink")?;
+            let name = self.identifier()?;
+            self.expect_kw("on")?;
+            let source = self.dotted_name()?;
+            self.expect_kw("into")?;
+            let table = self.dotted_name()?;
+            return Ok(Statement::CreateStreamSink {
+                name,
+                source,
+                table,
+            });
         }
         let kind = if self.eat_kw("column") {
             TableKind::Column
@@ -1002,6 +1020,29 @@ mod tests {
         let ext = ct.extended.unwrap();
         assert!(ext.hybrid);
         assert_eq!(ext.aging_column.as_deref(), Some("is_cold"));
+    }
+
+    #[test]
+    fn parse_create_and_drop_stream_sink() {
+        let s =
+            parse_statement("CREATE STREAM SINK feed ON cell_health INTO Health_Table").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateStreamSink {
+                name: "feed".into(),
+                source: "cell_health".into(),
+                table: "health_table".into(),
+            }
+        );
+        let s = parse_statement("DROP STREAM SINK Feed").unwrap();
+        assert_eq!(
+            s,
+            Statement::DropStreamSink {
+                name: "feed".into()
+            }
+        );
+        assert!(parse_statement("CREATE STREAM SINK f ON w").is_err());
+        assert!(parse_statement("DROP STREAM f").is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub use hana_columnar as columnar;
 pub use hana_dist as dist;
 pub use hana_esp as esp;
 pub use hana_hadoop as hadoop;
+pub use hana_ingest as ingest;
 pub use hana_iq as iq;
 pub use hana_obs as obs;
 pub use hana_pal as pal;
